@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs a *reduced* version of the paper's sweep by default so
+that ``pytest benchmarks/ --benchmark-only`` finishes in a few minutes on a
+laptop.  Set ``REPRO_BENCH_FULL=1`` in the environment to run the full
+4 KiB – 4 MiB sweep with the paper's eleven IO sizes.
+
+The numbers that matter (simulated bandwidth per layout and IO size, and
+the derived overhead percentages) are attached to each benchmark's
+``extra_info`` and printed to stdout, so they appear both in the
+pytest-benchmark output and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import sweep_config
+from repro.analysis.overhead import LayoutSweep
+
+
+@pytest.fixture(scope="session")
+def write_sweep_results():
+    """The Fig. 3b write sweep, shared by the write-bandwidth and overhead
+    benchmarks so the expensive part runs once per session."""
+    sweep = LayoutSweep(sweep_config())
+    return sweep.run("write")
+
+
+@pytest.fixture(scope="session")
+def read_sweep_results():
+    """The Fig. 3a read sweep."""
+    sweep = LayoutSweep(sweep_config())
+    return sweep.run("read")

@@ -1,0 +1,58 @@
+"""Ablation A1 — atomic transactions vs journal-based consistency.
+
+The paper's related-work discussion (§2.3) notes that dm-crypt +
+dm-integrity keeps data and per-sector metadata consistent through a
+journal, "which is shown to reduce the throughput by nearly one-half",
+whereas the paper's design leans on RADOS atomic multi-op transactions and
+avoids the double write.  This ablation runs the object-end layout both
+ways and checks that the journaled variant loses a large fraction of its
+write bandwidth while the atomic variant stays close to the baseline.
+"""
+
+from __future__ import annotations
+
+from bench_common import sweep_config
+
+from repro.analysis.overhead import LayoutSweep
+from repro.analysis.report import ascii_table
+from repro.util import KIB
+
+
+IO_SIZES = (16 * KIB, 256 * KIB)
+
+
+def _run(journaled: bool):
+    config = sweep_config(io_sizes=IO_SIZES,
+                          layouts=("luks-baseline", "object-end"),
+                          journaled=journaled,
+                          bytes_per_point=4 * 1024 * 1024)
+    return LayoutSweep(config).run("write")
+
+
+def test_ablation_journal_vs_atomic(benchmark):
+    atomic = _run(journaled=False)
+    journaled = benchmark.pedantic(lambda: _run(journaled=True),
+                                   rounds=1, iterations=1)
+
+    rows = []
+    for io_size in IO_SIZES:
+        atomic_bw = atomic.bandwidth("object-end", io_size)
+        journal_bw = journaled.bandwidth("object-end", io_size)
+        baseline_bw = atomic.bandwidth("luks-baseline", io_size)
+        rows.append([io_size, f"{baseline_bw:.0f}", f"{atomic_bw:.0f}",
+                     f"{journal_bw:.0f}", f"{journal_bw / atomic_bw:.2f}"])
+        benchmark.extra_info[f"journal_ratio[{io_size}]"] = round(
+            journal_bw / atomic_bw, 3)
+
+        # The journal costs an extra full data write (plus an extra round
+        # trip), so it should lose a large fraction of the throughput that
+        # the atomic-transaction design keeps.
+        assert journal_bw < atomic_bw * 0.75, (
+            f"journaled write should be much slower at {io_size} B")
+        assert journal_bw > atomic_bw * 0.30, (
+            "journaled write should not collapse entirely")
+        assert atomic_bw > baseline_bw * 0.70
+
+    print()
+    print(ascii_table(["IO size", "baseline MiB/s", "atomic object-end",
+                       "journaled object-end", "journal/atomic"], rows))

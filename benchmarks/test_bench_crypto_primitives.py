@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the cryptographic primitives (wall-clock).
+
+These are genuine wall-clock measurements of the pure-Python primitives —
+useful to understand why the throughput experiments use the cost model plus
+the fast keyed cipher instead of timing pure-Python AES (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.fastcipher import Blake2Xts
+from repro.crypto.gcm import GCM
+from repro.crypto.wideblock import WideBlockCipher
+from repro.crypto.xts import XTS
+
+KEY32 = bytes(range(32))
+KEY64 = bytes(range(64))
+TWEAK = bytes(16)
+SECTOR = bytes(range(256)) * 16  # 4 KiB
+
+
+def test_bench_aes_block_encrypt(benchmark):
+    cipher = AES(KEY32)
+    block = bytes(16)
+    result = benchmark(cipher.encrypt_block, block)
+    assert len(result) == 16
+
+
+def test_bench_xts_encrypt_sector(benchmark):
+    cipher = XTS(KEY64)
+    result = benchmark(cipher.encrypt, TWEAK, SECTOR)
+    assert len(result) == len(SECTOR)
+
+
+def test_bench_xts_decrypt_sector(benchmark):
+    cipher = XTS(KEY64)
+    ciphertext = cipher.encrypt(TWEAK, SECTOR)
+    result = benchmark(cipher.decrypt, TWEAK, ciphertext)
+    assert result == SECTOR
+
+
+def test_bench_gcm_encrypt_sector(benchmark):
+    cipher = GCM(KEY32)
+    nonce = bytes(12)
+    result = benchmark(cipher.encrypt, nonce, SECTOR)
+    assert len(result.ciphertext) == len(SECTOR)
+
+
+def test_bench_wideblock_encrypt_sector(benchmark):
+    cipher = WideBlockCipher(KEY64)
+    result = benchmark(cipher.encrypt, TWEAK, SECTOR)
+    assert len(result) == len(SECTOR)
+
+
+def test_bench_fast_cipher_encrypt_sector(benchmark):
+    cipher = Blake2Xts(KEY32)
+    result = benchmark(cipher.encrypt, TWEAK, SECTOR)
+    assert len(result) == len(SECTOR)
+
+
+@pytest.mark.parametrize("suite_name, factory", [
+    ("aes-xts-256", lambda: XTS(KEY64)),
+    ("blake2-xts-sim", lambda: Blake2Xts(KEY32)),
+])
+def test_bench_sector_roundtrip(benchmark, suite_name, factory):
+    cipher = factory()
+
+    def roundtrip():
+        return cipher.decrypt(TWEAK, cipher.encrypt(TWEAK, SECTOR))
+
+    result = benchmark(roundtrip)
+    assert result == SECTOR

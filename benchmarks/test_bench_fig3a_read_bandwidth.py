@@ -1,0 +1,48 @@
+"""Experiment E1 — Fig. 3(a): random-read bandwidth vs IO size.
+
+Reproduces the paper's read sweep: randread at queue depth 32 over a fully
+written encrypted image, for the LUKS2 baseline and the three per-sector
+metadata layouts.  The paper's findings to check against: all three layouts
+stay close to the baseline, the object-end layout's worst case is about 3 %
+below baseline, and OMAP fares slightly worse than the other two.
+"""
+
+from __future__ import annotations
+
+from bench_common import sweep_config
+
+from repro.analysis.overhead import LayoutSweep, overhead_percent
+from repro.analysis.report import format_bandwidth_table, format_overhead_table
+
+
+def test_fig3a_read_bandwidth(benchmark, read_sweep_results):
+    results = read_sweep_results
+
+    def representative_point():
+        # Wall-clock benchmark target: one 64 KiB read point on a fresh
+        # cluster (the sweep itself is session-cached).
+        config = sweep_config(io_sizes=(64 * 1024,),
+                              layouts=("object-end",),
+                              bytes_per_point=2 * 1024 * 1024)
+        return LayoutSweep(config).run("read")
+
+    benchmark.pedantic(representative_point, rounds=1, iterations=1)
+
+    print()
+    print(format_bandwidth_table(results))
+    print()
+    print(format_overhead_table(results))
+
+    for layout in ("unaligned", "object-end", "omap"):
+        for io_size in results.io_sizes():
+            overhead = overhead_percent(results, layout, io_size)
+            benchmark.extra_info[f"read_overhead_pct[{layout}][{io_size}]"] = round(overhead, 2)
+            # Paper: reads closely mirror the baseline (<= 3% for object-end,
+            # all layouts single-digit); allow a modest margin.
+            assert overhead <= 10.0, (
+                f"{layout} read overhead at {io_size} B is {overhead:.1f}%, "
+                "far above the paper's near-baseline read behaviour")
+
+    baseline_peak = max(bw for _size, bw in results.series("luks-baseline"))
+    benchmark.extra_info["baseline_peak_read_mbps"] = round(baseline_peak, 1)
+    assert baseline_peak > 1000.0, "baseline read bandwidth should reach GB/s scale"

@@ -1,0 +1,56 @@
+"""Experiment E2 — Fig. 3(b): random-write bandwidth vs IO size.
+
+Reproduces the paper's write sweep: randwrite at queue depth 32 for the
+LUKS2 baseline and the three per-sector metadata layouts.  Shape checks:
+the baseline is fastest everywhere, the object-end layout tracks it within
+roughly 1–25 %, OMAP is competitive only at the smallest IO sizes, and the
+unaligned layout trails the object-end layout at small/medium IO sizes.
+"""
+
+from __future__ import annotations
+
+from bench_common import sweep_config
+
+from repro.analysis.overhead import LayoutSweep
+from repro.analysis.report import format_bandwidth_table, to_csv
+
+
+def test_fig3b_write_bandwidth(benchmark, write_sweep_results):
+    results = write_sweep_results
+
+    def representative_point():
+        config = sweep_config(io_sizes=(64 * 1024,), layouts=("object-end",),
+                              bytes_per_point=2 * 1024 * 1024)
+        return LayoutSweep(config).run("write")
+
+    benchmark.pedantic(representative_point, rounds=1, iterations=1)
+
+    print()
+    print(format_bandwidth_table(results))
+    print()
+    print(to_csv(results))
+
+    sizes = results.io_sizes()
+    for io_size in sizes:
+        base = results.bandwidth("luks-baseline", io_size)
+        benchmark.extra_info[f"write_mbps[baseline][{io_size}]"] = round(base, 1)
+        for layout in ("unaligned", "object-end", "omap"):
+            bw = results.bandwidth(layout, io_size)
+            benchmark.extra_info[f"write_mbps[{layout}][{io_size}]"] = round(bw, 1)
+            assert bw <= base * 1.02, (
+                f"{layout} should not beat the baseline at {io_size} B")
+
+    # Who wins: object-end beats OMAP for everything beyond the smallest IO,
+    # and beats unaligned at small/medium IO sizes (the paper's headline).
+    for io_size in sizes[1:]:
+        assert (results.bandwidth("object-end", io_size)
+                >= results.bandwidth("omap", io_size)), (
+            f"object-end should outperform OMAP at {io_size} B")
+    for io_size in (s for s in sizes if s <= 256 * 1024):
+        assert (results.bandwidth("object-end", io_size)
+                >= results.bandwidth("unaligned", io_size)), (
+            f"object-end should outperform unaligned at {io_size} B")
+
+    baseline_peak = max(bw for _s, bw in results.series("luks-baseline"))
+    benchmark.extra_info["baseline_peak_write_mbps"] = round(baseline_peak, 1)
+    assert baseline_peak > 500.0, "baseline write bandwidth should reach ~1 GB/s scale"

@@ -1,0 +1,66 @@
+"""Experiment E3 — Fig. 4: write performance overhead vs the LUKS2 baseline.
+
+Derived from the Fig. 3(b) write sweep: for every IO size, the percentage
+of write bandwidth lost by each per-sector metadata layout relative to the
+baseline.  Shape checks from the paper:
+
+* object-end: roughly 1–22 % depending on IO size, shrinking as IO grows;
+* OMAP: the best option at the smallest IO size, but the overhead grows
+  significantly with IO size (the key-value store becomes the bottleneck);
+* unaligned: worse than object-end for small/medium IO sizes because of
+  read-modify-write turns.
+"""
+
+from __future__ import annotations
+
+from bench_common import sweep_config
+
+from repro.analysis.overhead import LayoutSweep, overhead_percent
+from repro.analysis.report import format_overhead_table
+
+
+def test_fig4_write_overhead(benchmark, write_sweep_results):
+    results = write_sweep_results
+
+    def representative_point():
+        config = sweep_config(io_sizes=(4 * 1024,),
+                              layouts=("luks-baseline", "object-end"),
+                              bytes_per_point=1 * 1024 * 1024)
+        return LayoutSweep(config).run("write")
+
+    benchmark.pedantic(representative_point, rounds=1, iterations=1)
+
+    print()
+    print(format_overhead_table(results))
+
+    sizes = results.io_sizes()
+    smallest, largest = sizes[0], sizes[-1]
+
+    object_end = {s: overhead_percent(results, "object-end", s) for s in sizes}
+    omap = {s: overhead_percent(results, "omap", s) for s in sizes}
+    unaligned = {s: overhead_percent(results, "unaligned", s) for s in sizes}
+    for name, series in (("object_end", object_end), ("omap", omap),
+                         ("unaligned", unaligned)):
+        for size, value in series.items():
+            benchmark.extra_info[f"overhead_pct[{name}][{size}]"] = round(value, 2)
+
+    # Paper headline: object-end overhead is 1%-22% depending on IO size.
+    assert max(object_end.values()) <= 30.0, (
+        "object-end write overhead should stay within ~1-25%")
+    assert object_end[largest] <= 5.0, (
+        "object-end overhead should become marginal for multi-MiB writes")
+    assert object_end[smallest] >= 5.0, (
+        "object-end overhead should be clearly visible at 4 KiB")
+
+    # OMAP is best at the smallest IO size but degrades sharply with size.
+    assert omap[smallest] <= object_end[smallest], (
+        "OMAP should be the cheapest option at the smallest IO size")
+    assert omap[largest] >= 25.0, (
+        "OMAP overhead should grow significantly for large IOs")
+    assert omap[largest] > object_end[largest], (
+        "OMAP should be far worse than object-end at the largest IO size")
+
+    # Unaligned pays for read-modify-writes at small/medium IO sizes.
+    for size in (s for s in sizes if s <= 256 * 1024):
+        assert unaligned[size] >= object_end[size] - 1.0, (
+            f"unaligned should not beat object-end at {size} B")

@@ -1,0 +1,57 @@
+"""Experiment E4 — §3.3 analytic sector-access overhead.
+
+The paper reasons about the minimum number of physical sectors per IO:
+"in a 4KB write/read, a minimum of two physical disk sectors need to be
+accessed (one for the data and one for the IV) versus one in the baseline.
+Whereas a 32KB IO typically requires 9 sectors to be accessed versus 8 in
+the baseline."  This benchmark regenerates that table from the analytic
+model and pins those two data points exactly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_table
+from repro.analysis.sectors import SectorAccessModel, theoretical_overhead_table
+from repro.util import KIB, MIB, format_size
+from repro.workload.spec import PAPER_IO_SIZES
+
+
+def test_sector_overhead_table(benchmark):
+    model = SectorAccessModel()
+
+    rows = benchmark.pedantic(
+        lambda: theoretical_overhead_table(PAPER_IO_SIZES, model),
+        rounds=3, iterations=1)
+
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            format_size(int(row["io_size"])),
+            int(row["baseline_sectors"]),
+            int(row["object_end_sectors"]),
+            f"{row['object_end_overhead_pct']:.1f}%",
+            int(row["unaligned_sectors"]),
+            f"{row['unaligned_overhead_pct']:.1f}%",
+            int(row["omap_keys"]),
+        ])
+    print()
+    print(ascii_table(["IO size", "baseline", "object-end", "oe ovh",
+                       "unaligned", "ua ovh", "omap keys"], table_rows))
+
+    # The two data points the paper states explicitly (§3.3).
+    assert model.baseline_sectors(4 * KIB) == 1
+    assert model.object_end_sectors(4 * KIB) == 2
+    assert model.baseline_sectors(32 * KIB) == 8
+    assert model.object_end_sectors(32 * KIB) == 9
+
+    # The relative overhead decreases monotonically with IO size.
+    overheads = [model.overhead_percent("object-end", size)
+                 for size in PAPER_IO_SIZES]
+    assert all(a >= b for a, b in zip(overheads, overheads[1:]))
+    benchmark.extra_info["object_end_overhead_4k_pct"] = overheads[0]
+    benchmark.extra_info["object_end_overhead_4m_pct"] = overheads[-1]
+    assert overheads[0] == 100.0
+    assert overheads[-1] < 1.0
+
+    # OMAP key count equals the number of encryption blocks.
+    assert model.omap_keys(4 * MIB) == 1024

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""An OLTP-style database volume on encrypted virtual disks.
+
+Databases are the canonical small-random-write workload that disk
+encryption must not slow down: 4-16 KiB page writes at moderate queue
+depth, mixed with occasional large sequential scans (backups, analytics).
+This example runs such a mix against each encryption layout and reports
+simulated throughput, so you can see the trade-off the paper quantifies:
+the OMAP layout shines for pure small writes, the object-end layout is the
+best all-rounder, and the unaligned layout pays for its read-modify-writes.
+
+Run with::
+
+    python examples/database_workload.py
+"""
+
+from repro import api
+from repro.analysis.report import ascii_table
+from repro.util import KIB, MIB
+from repro.workload.runner import WorkloadRunner, prefill_image
+from repro.workload.spec import WorkloadSpec
+
+LAYOUTS = ("luks-baseline", "unaligned", "object-end", "omap")
+
+PHASES = (
+    WorkloadSpec(name="oltp-writes", rw="randwrite", io_size=8 * KIB,
+                 queue_depth=32, io_count=192, seed=11),
+    WorkloadSpec(name="oltp-mixed", rw="randrw", io_size=16 * KIB,
+                 queue_depth=32, io_count=128, read_fraction=0.7, seed=12),
+    WorkloadSpec(name="analytics-scan", rw="read", io_size=1 * MIB,
+                 queue_depth=8, io_count=24, seed=13),
+    WorkloadSpec(name="backup-stream", rw="write", io_size=4 * MIB,
+                 queue_depth=4, io_count=8, seed=14),
+)
+
+
+def main() -> None:
+    rows = []
+    for layout in LAYOUTS:
+        cluster = api.make_cluster()
+        image, _info = api.create_encrypted_image(
+            cluster, f"db-{layout}", 64 * MIB, passphrase=b"db-demo",
+            encryption_format=layout, cipher_suite="blake2-xts-sim",
+            random_seed=b"db-workload")
+        prefill_image(image)
+        runner = WorkloadRunner(cluster)
+        row = [layout]
+        for spec in PHASES:
+            result = runner.run(image, spec, layout_name=layout)
+            row.append(f"{result.bandwidth_mbps:.0f}")
+        rows.append(row)
+
+    headers = ["layout"] + [f"{spec.name} MiB/s" for spec in PHASES]
+    print("database-style workload phases, simulated bandwidth per layout:")
+    print(ascii_table(headers, rows))
+    print()
+    print("interpretation: the object-end layout stays close to the LUKS2")
+    print("baseline in every phase; OMAP is competitive for the small-write")
+    print("OLTP phase but falls behind on the large sequential phases; the")
+    print("unaligned layout pays a read-modify-write penalty on every write.")
+
+
+if __name__ == "__main__":
+    main()

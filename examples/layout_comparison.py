@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare the three per-sector metadata layouts against the LUKS2 baseline
+on a small IO-size sweep — a scaled-down rendition of the paper's Fig. 3/4.
+
+Run with::
+
+    python examples/layout_comparison.py            # quick sweep
+    python examples/layout_comparison.py --full     # full 4 KiB..4 MiB sweep
+"""
+
+import argparse
+
+from repro.analysis.overhead import LayoutSweep, SweepConfig, quick_sweep_config
+from repro.analysis.report import (format_bandwidth_table,
+                                   format_overhead_table, to_csv)
+from repro.analysis.sectors import SectorAccessModel, theoretical_overhead_table
+from repro.util import KIB, MIB, format_size
+from repro.workload.spec import PAPER_IO_SIZES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the full 4KiB..4MiB sweep of the paper")
+    parser.add_argument("--csv", action="store_true",
+                        help="also print CSV output")
+    args = parser.parse_args()
+
+    if args.full:
+        config = SweepConfig(io_sizes=PAPER_IO_SIZES, image_size=64 * MIB,
+                             bytes_per_point=16 * MIB)
+    else:
+        config = quick_sweep_config(io_sizes=(4 * KIB, 16 * KIB, 64 * KIB,
+                                              256 * KIB, 1024 * KIB))
+    sweep = LayoutSweep(config)
+
+    print("running write sweep (Fig. 3b / Fig. 4)...")
+    writes = sweep.run("write")
+    print(format_bandwidth_table(writes))
+    print()
+    print(format_overhead_table(writes))
+    print()
+
+    print("running read sweep (Fig. 3a)...")
+    reads = sweep.run("read")
+    print(format_bandwidth_table(reads))
+    print()
+    print(format_overhead_table(reads))
+    print()
+
+    print("theoretical minimum sector accesses (paper §3.3):")
+    model = SectorAccessModel()
+    for row in theoretical_overhead_table(config.io_sizes, model):
+        print(f"  {format_size(int(row['io_size'])):>9s}: baseline "
+              f"{row['baseline_sectors']:>4.0f} sectors, object-end "
+              f"{row['object_end_sectors']:>4.0f} "
+              f"(+{row['object_end_overhead_pct']:.1f}%), unaligned "
+              f"{row['unaligned_sectors']:>4.0f} "
+              f"(+{row['unaligned_overhead_pct']:.1f}%), OMAP keys "
+              f"{row['omap_keys']:.0f}")
+
+    if args.csv:
+        print()
+        print("CSV (writes):")
+        print(to_csv(writes))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: create a simulated Ceph-like cluster, an encrypted image with
+per-sector random IVs (object-end layout), write and read data, take a
+snapshot, and print what the cluster did.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import api
+from repro.util import MIB, format_size
+
+
+def main() -> None:
+    # A 3-OSD cluster with 3-way replication, like the paper's testbed.
+    cluster = api.make_cluster(osd_count=3, replica_count=3)
+
+    # An encrypted 64 MiB image.  "object-end" is the layout the paper
+    # recommends: AES-XTS with a fresh random IV per 4 KiB block, all IVs of
+    # a 4 MiB object packed after its data.
+    image, info = api.create_encrypted_image(
+        cluster, "quickstart-vol", size=64 * MIB, passphrase=b"correct horse",
+        encryption_format="object-end")
+    print(f"created image {image.name!r}: {format_size(image.size)}, "
+          f"layout={info.layout}, codec={info.codec}, iv={info.iv_policy}, "
+          f"{info.metadata_size} bytes of metadata per {info.block_size}-byte block "
+          f"({info.space_overhead:.2%} space overhead)")
+
+    # Ordinary byte-granular IO; partial blocks are handled transparently.
+    image.write(0, b"hello, encrypted virtual disk!")
+    image.write(10 * MIB + 123, b"unaligned write crossing a block boundary" * 50)
+    print("read back:", image.read(0, 30))
+
+    # Snapshots keep old (ciphertext) versions around — the situation that
+    # motivates random IVs in the first place.
+    image.create_snapshot("before-update")
+    image.write(0, b"HELLO, ENCRYPTED VIRTUAL DISK!")
+    image.set_read_snapshot("before-update")
+    print("snapshot :", image.read(0, 30))
+    image.set_read_snapshot(None)
+    print("head     :", image.read(0, 30))
+
+    # Re-open the image with the passphrase, as a fresh client would.
+    reopened, _ = api.open_encrypted_image(cluster, "quickstart-vol",
+                                           passphrase=b"correct horse")
+    assert reopened.read(0, 5) == b"HELLO"
+
+    print()
+    print(cluster.describe())
+    print("cost-ledger highlights:")
+    for name in ("device.ops", "device.sectors_written", "device.rmw_turns",
+                 "omap.keys_written", "rados.transactions", "crypto.blocks"):
+        print(f"  {name:28s} {cluster.ledger.counter(name):12.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A realistic virtual-machine backup workflow on an encrypted image.
+
+This is the scenario from the paper's introduction: virtual disks are
+snapshotted all the time (backup, cloning, rollback), and every snapshot
+preserves old ciphertext alongside new ciphertext.  The workflow below
+simulates nightly snapshots of a VM volume that keeps changing, verifies
+that every snapshot still decrypts to exactly the data it captured, and
+reports how much extra space the per-sector metadata costs.
+
+Run with::
+
+    python examples/snapshot_backup_workflow.py
+"""
+
+import hashlib
+import random
+
+from repro import api
+from repro.util import MIB, format_size
+
+BLOCK = 4096
+NIGHTS = 5
+WRITES_PER_DAY = 40
+
+
+def checksum(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    cluster = api.make_cluster()
+    # The fast keyed simulation cipher keeps this bulk-data example snappy;
+    # swap cipher_suite to "aes-xts-256" for the real (slow, pure-Python) AES.
+    image, info = api.create_encrypted_image(
+        cluster, "vm-root-disk", 64 * MIB, passphrase=b"backup-demo",
+        encryption_format="object-end", codec="xts-hmac",
+        cipher_suite="blake2-xts-sim",
+        random_seed=b"backup-workflow")
+    print(f"provisioned {image.name!r} ({format_size(image.size)}), "
+          f"layout={info.layout}, codec={info.codec} "
+          f"({info.metadata_size} B metadata/block)")
+
+    # Install a "filesystem": deterministic content we can verify later.
+    base = bytes(rng.getrandbits(8) for _ in range(256)) * (1 * MIB // 256)
+    for off in range(0, 16 * MIB, len(base)):
+        image.write(off, base)
+
+    expectations = {}
+    for night in range(1, NIGHTS + 1):
+        # Daytime activity: scattered 4-64 KiB writes.
+        for _ in range(WRITES_PER_DAY):
+            length = rng.choice((4, 8, 16, 64)) * 1024
+            offset = rng.randrange(0, (16 * MIB - length) // BLOCK) * BLOCK
+            payload = bytes([night]) * length
+            image.write(offset, payload)
+        snap_name = f"nightly-{night}"
+        image.create_snapshot(snap_name)
+        expectations[snap_name] = checksum(image.read(0, 16 * MIB))
+        print(f"night {night}: took snapshot {snap_name!r} "
+              f"(image checksum {expectations[snap_name]})")
+
+    print("\nverifying every snapshot decrypts to the data it captured...")
+    for snap_name, expected in expectations.items():
+        image.set_read_snapshot(snap_name)
+        actual = checksum(image.read(0, 16 * MIB))
+        status = "OK " if actual == expected else "FAIL"
+        print(f"  [{status}] {snap_name}: {actual}")
+        assert actual == expected
+    image.set_read_snapshot(None)
+
+    # Disaster strikes: restore the volume head from the oldest snapshot by
+    # copying it back through the encrypted API (a full logical restore).
+    image.set_read_snapshot("nightly-1")
+    restored = image.read(0, 16 * MIB)
+    image.set_read_snapshot(None)
+    image.write(0, restored)
+    assert checksum(image.read(0, 16 * MIB)) == expectations["nightly-1"]
+    print("\nrestore from 'nightly-1' verified")
+
+    used = cluster.total_used_bytes()
+    print(f"\ncluster usage after {NIGHTS} nightly snapshots: "
+          f"{format_size(used)} across {cluster.total_objects()} object replicas")
+    print(f"per-sector metadata space overhead of this layout: "
+          f"{info.space_overhead:.2%}")
+    print(f"random IVs generated so far: "
+          f"{cluster.ledger.counter('crypto.blocks'):.0f} blocks encrypted")
+
+
+if __name__ == "__main__":
+    main()

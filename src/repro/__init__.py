@@ -1,0 +1,38 @@
+"""repro — reproduction of "Rethinking Block Storage Encryption with Virtual
+Disks" (Harnik, Naor, Ofer, Ozery — HotStorage'22).
+
+The package provides:
+
+* ``repro.crypto`` — from-scratch AES/XTS/GCM/wide-block ciphers, IV
+  policies (plain64, ESSIV, random, write-counter), KDFs and MACs.
+* ``repro.sim`` / ``repro.blockdev`` / ``repro.kvstore`` / ``repro.rados`` —
+  a simulated Ceph-like distributed object store (OSDs with NVMe cost
+  models, CRUSH-style placement, replication, atomic transactions, OMAP
+  backed by a small LSM tree, snapshots).
+* ``repro.rbd`` — a librbd-like virtual-disk image layer striping the LBA
+  space over 4 MB objects.
+* ``repro.encryption`` — the paper's contribution: client-side encryption
+  formats with per-sector metadata layouts (``luks-baseline``,
+  ``unaligned``, ``object-end``, ``omap``) plus authenticated/wide-block
+  extensions.
+* ``repro.workload`` — a fio-like workload generator and benchmark runner
+  measuring simulated throughput.
+* ``repro.attacks`` / ``repro.analysis`` — security demonstrations and the
+  analytic overhead models behind the paper's discussion.
+
+Quickstart::
+
+    from repro import api
+    cluster = api.make_cluster(osd_count=3)
+    image = api.create_encrypted_image(cluster, "vol0", size="64M",
+                                       encryption_format="object-end",
+                                       passphrase=b"hunter2")
+    image.write(0, b"hello world")
+    assert image.read(0, 11) == b"hello world"
+"""
+
+__version__ = "1.0.0"
+
+from . import errors, util  # noqa: F401  (re-exported for convenience)
+
+__all__ = ["errors", "util", "__version__"]

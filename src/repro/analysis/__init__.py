@@ -1,0 +1,14 @@
+"""Analysis tools: theoretical sector-overhead model, layout comparison
+sweeps (the machinery behind Fig. 3 and Fig. 4) and report rendering.
+"""
+
+from .sectors import SectorAccessModel, theoretical_overhead_table
+from .overhead import (LayoutSweep, SweepConfig, SweepResults,
+                       overhead_percent, PAPER_LAYOUTS)
+from .report import ascii_table, format_bandwidth_table, format_overhead_table
+
+__all__ = [
+    "SectorAccessModel", "theoretical_overhead_table", "LayoutSweep",
+    "SweepConfig", "SweepResults", "overhead_percent", "PAPER_LAYOUTS",
+    "ascii_table", "format_bandwidth_table", "format_overhead_table",
+]

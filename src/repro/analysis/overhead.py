@@ -1,0 +1,162 @@
+"""Layout-comparison sweeps: the machinery behind Fig. 3 and Fig. 4.
+
+A sweep runs the same fio-style workload against one freshly created,
+freshly encrypted image per layout and per IO size, on identical clusters,
+and collects the simulated bandwidth.  ``overhead_percent`` then computes
+the write-performance degradation relative to the LUKS2 baseline, which is
+exactly the quantity plotted in the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..api import create_encrypted_image, make_cluster
+from ..crypto.suite import SIMULATION_SUITE
+from ..errors import ConfigurationError
+from ..sim.costparams import CostParameters, default_cost_parameters
+from ..workload.runner import WorkloadResult, WorkloadRunner, prefill_image
+from ..workload.spec import PAPER_IO_SIZES, WorkloadSpec
+from ..util import KIB, MIB
+
+#: the four configurations compared in the paper, in presentation order
+PAPER_LAYOUTS = ("luks-baseline", "unaligned", "object-end", "omap")
+
+
+@dataclass
+class SweepConfig:
+    """Parameters of one Fig. 3-style sweep."""
+
+    io_sizes: Sequence[int] = PAPER_IO_SIZES
+    layouts: Sequence[str] = PAPER_LAYOUTS
+    image_size: int = 64 * MIB
+    object_size: int = 4 * MIB
+    queue_depth: int = 32
+    #: bytes moved per (layout, io_size) point, bounded by io-count limits
+    bytes_per_point: int = 16 * MIB
+    min_ios: int = 8
+    max_ios: int = 256
+    #: cipher suite used for the sweep (the fast simulation cipher by default;
+    #: the metadata path is identical, see DESIGN.md §2)
+    cipher_suite: str = SIMULATION_SUITE
+    codec: str = "xts"
+    seed: int = 1234
+    osd_count: int = 3
+    replica_count: int = 3
+    journaled: bool = False
+    params: Optional[CostParameters] = None
+
+    def io_count_for(self, io_size: int) -> int:
+        """Requests issued for one sweep point."""
+        count = self.bytes_per_point // io_size
+        return max(self.min_ios, min(self.max_ios, count))
+
+
+@dataclass
+class SweepResults:
+    """Results of a sweep: ``results[layout][io_size] -> WorkloadResult``."""
+
+    kind: str
+    config: SweepConfig
+    results: Dict[str, Dict[int, WorkloadResult]] = field(default_factory=dict)
+
+    def bandwidth(self, layout: str, io_size: int) -> float:
+        """Simulated bandwidth (MiB/s) of one point."""
+        return self.results[layout][io_size].bandwidth_mbps
+
+    def layouts(self) -> List[str]:
+        """Layouts present in the results, in configuration order."""
+        return [l for l in self.config.layouts if l in self.results]
+
+    def io_sizes(self) -> List[int]:
+        """IO sizes present in the results, ascending."""
+        sizes = set()
+        for per_layout in self.results.values():
+            sizes.update(per_layout)
+        return sorted(sizes)
+
+    def series(self, layout: str) -> List[Tuple[int, float]]:
+        """(io_size, bandwidth) series for one layout."""
+        return [(size, self.bandwidth(layout, size))
+                for size in sorted(self.results.get(layout, {}))]
+
+    def overhead_series(self, layout: str,
+                        baseline: str = "luks-baseline") -> List[Tuple[int, float]]:
+        """(io_size, overhead %) series for one layout vs the baseline."""
+        series = []
+        for size in self.io_sizes():
+            series.append((size, overhead_percent(self, layout, size, baseline)))
+        return series
+
+
+def overhead_percent(results: SweepResults, layout: str, io_size: int,
+                     baseline: str = "luks-baseline") -> float:
+    """Write/read performance degradation vs the baseline (Fig. 4), percent."""
+    base = results.bandwidth(baseline, io_size)
+    if base <= 0:
+        raise ConfigurationError("baseline bandwidth is zero")
+    value = results.bandwidth(layout, io_size)
+    return max(0.0, 100.0 * (1.0 - value / base))
+
+
+class LayoutSweep:
+    """Runs the Fig. 3(a)/(b) sweeps."""
+
+    def __init__(self, config: Optional[SweepConfig] = None) -> None:
+        self.config = config or SweepConfig()
+
+    def _make_image(self, layout: str, label: str):
+        config = self.config
+        params = (config.params.with_overrides()
+                  if config.params is not None else default_cost_parameters())
+        cluster = make_cluster(osd_count=config.osd_count,
+                               replica_count=config.replica_count,
+                               params=params)
+        image, info = create_encrypted_image(
+            cluster, f"bench-{label}", config.image_size,
+            passphrase=b"benchmark-passphrase",
+            encryption_format=layout, codec=config.codec,
+            cipher_suite=config.cipher_suite,
+            object_size=config.object_size,
+            random_seed=f"sweep-{label}".encode("utf-8"),
+            journaled=config.journaled)
+        return cluster, image, info
+
+    def _spec(self, rw: str, io_size: int, prefill: bool) -> WorkloadSpec:
+        config = self.config
+        return WorkloadSpec(name=f"{rw}-{io_size}", rw=rw, io_size=io_size,
+                            queue_depth=config.queue_depth,
+                            io_count=config.io_count_for(io_size),
+                            seed=config.seed, prefill=prefill)
+
+    def run(self, kind: str) -> SweepResults:
+        """Run a sweep; ``kind`` is ``"write"`` or ``"read"``."""
+        if kind not in ("read", "write"):
+            raise ConfigurationError("sweep kind must be 'read' or 'write'")
+        rw = "randread" if kind == "read" else "randwrite"
+        sweep = SweepResults(kind=kind, config=self.config)
+        for layout in self.config.layouts:
+            per_layout: Dict[int, WorkloadResult] = {}
+            for io_size in self.config.io_sizes:
+                label = f"{kind}-{layout}-{io_size}"
+                cluster, image, _info = self._make_image(layout, label)
+                runner = WorkloadRunner(cluster)
+                if kind == "read":
+                    prefill_image(image)
+                spec = self._spec(rw, io_size, prefill=False)
+                per_layout[io_size] = runner.run(image, spec, layout_name=layout)
+            sweep.results[layout] = per_layout
+        return sweep
+
+    def run_both(self) -> Tuple[SweepResults, SweepResults]:
+        """Convenience: the read sweep and the write sweep (Fig. 3a and 3b)."""
+        return self.run("read"), self.run("write")
+
+
+def quick_sweep_config(io_sizes: Sequence[int] = (4 * KIB, 64 * KIB, 1024 * KIB),
+                       layouts: Sequence[str] = PAPER_LAYOUTS) -> SweepConfig:
+    """A reduced sweep used by tests and the quickstart example."""
+    return SweepConfig(io_sizes=tuple(io_sizes), layouts=tuple(layouts),
+                       image_size=32 * MIB, bytes_per_point=4 * MIB,
+                       max_ios=64)

@@ -1,0 +1,69 @@
+"""Plain-text rendering of sweep results (the "figures" of the reproduction).
+
+Since the harness runs offline, figures are rendered as aligned text tables
+(plus a CSV form for further processing) rather than images.  The benchmark
+scripts print these tables so that EXPERIMENTS.md can quote them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .overhead import SweepResults, overhead_percent
+from ..util import format_size
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    lines = [render_row(list(headers)),
+             render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_bandwidth_table(results: SweepResults) -> str:
+    """Fig. 3-style table: bandwidth per IO size and layout."""
+    layouts = results.layouts()
+    headers = ["IO size"] + [f"{layout} MiB/s" for layout in layouts]
+    rows: List[List[object]] = []
+    for io_size in results.io_sizes():
+        row: List[object] = [format_size(io_size)]
+        for layout in layouts:
+            row.append(f"{results.bandwidth(layout, io_size):.1f}")
+        rows.append(row)
+    title = ("Random read bandwidth (Fig. 3a)" if results.kind == "read"
+             else "Random write bandwidth (Fig. 3b)")
+    return f"{title}\n{ascii_table(headers, rows)}"
+
+
+def format_overhead_table(results: SweepResults,
+                          baseline: str = "luks-baseline") -> str:
+    """Fig. 4-style table: performance degradation vs the baseline."""
+    layouts = [l for l in results.layouts() if l != baseline]
+    headers = ["IO size"] + [f"{layout} %" for layout in layouts]
+    rows: List[List[object]] = []
+    for io_size in results.io_sizes():
+        row: List[object] = [format_size(io_size)]
+        for layout in layouts:
+            row.append(f"{overhead_percent(results, layout, io_size, baseline):.1f}")
+        rows.append(row)
+    kind = "write" if results.kind == "write" else "read"
+    return (f"Performance overhead vs {baseline} ({kind}, Fig. 4)\n"
+            f"{ascii_table(headers, rows)}")
+
+
+def to_csv(results: SweepResults) -> str:
+    """CSV form of a sweep (io_size, layout, bandwidth_mbps, iops)."""
+    lines = ["io_size,layout,bandwidth_mbps,iops"]
+    for layout in results.layouts():
+        for io_size, result in sorted(results.results[layout].items()):
+            lines.append(f"{io_size},{layout},{result.bandwidth_mbps:.3f},"
+                         f"{result.iops:.1f}")
+    return "\n".join(lines)

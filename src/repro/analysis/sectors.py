@@ -1,0 +1,119 @@
+"""Theoretical device-sector overhead of each layout (§3.3 of the paper).
+
+The paper reasons about the minimum number of physical disk sectors an IO
+must touch: a 4 KiB write needs 2 sectors with per-sector metadata (one for
+the data, one for the IV) versus 1 in the baseline, a 32 KiB IO needs 9
+versus 8, and the ratio shrinks as the IO grows.  This module reproduces
+that analysis exactly so the benchmark harness can print the theoretical
+curve next to the simulated one (experiment E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from ..util import KIB, MIB, ceil_div
+
+
+@dataclass(frozen=True)
+class SectorAccessModel:
+    """Geometry of the encrypted image used for the analytic model."""
+
+    sector_size: int = 4 * KIB
+    block_size: int = 4 * KIB
+    metadata_size: int = 16
+    object_size: int = 4 * MIB
+
+    def __post_init__(self) -> None:
+        if self.sector_size <= 0 or self.block_size <= 0:
+            raise ConfigurationError("sector and block size must be positive")
+        if self.metadata_size < 0:
+            raise ConfigurationError("metadata size must be non-negative")
+        if self.object_size % self.block_size:
+            raise ConfigurationError(
+                "object size must be a multiple of the block size")
+
+    # -- per-layout sector counts -------------------------------------------------
+
+    def blocks_for_io(self, io_size: int) -> int:
+        """Number of encryption blocks an aligned IO of ``io_size`` touches."""
+        if io_size <= 0:
+            raise ConfigurationError("io size must be positive")
+        return ceil_div(io_size, self.block_size)
+
+    def baseline_sectors(self, io_size: int) -> int:
+        """Sectors accessed by the metadata-less baseline."""
+        return ceil_div(io_size, self.sector_size)
+
+    def object_end_sectors(self, io_size: int) -> int:
+        """Sectors accessed when IVs are packed at the object end."""
+        blocks = self.blocks_for_io(io_size)
+        metadata_bytes = blocks * self.metadata_size
+        return self.baseline_sectors(io_size) + max(
+            1, ceil_div(metadata_bytes, self.sector_size))
+
+    def unaligned_sectors(self, io_size: int) -> int:
+        """Sectors accessed when each IV sits right after its block.
+
+        The stretched extent is contiguous but misaligned, so on average one
+        extra sector is straddled at the boundary.
+        """
+        blocks = self.blocks_for_io(io_size)
+        stretched = blocks * (self.block_size + self.metadata_size)
+        return ceil_div(stretched, self.sector_size) + 1
+
+    def omap_sectors(self, io_size: int) -> int:
+        """Data sectors accessed by the OMAP layout (IVs live in the KV store)."""
+        return self.baseline_sectors(io_size)
+
+    def omap_keys(self, io_size: int) -> int:
+        """Key-value entries the OMAP layout reads/writes for the IO."""
+        return self.blocks_for_io(io_size)
+
+    def sectors(self, layout: str, io_size: int) -> int:
+        """Dispatch by layout name."""
+        table = {
+            "luks-baseline": self.baseline_sectors,
+            "object-end": self.object_end_sectors,
+            "unaligned": self.unaligned_sectors,
+            "omap": self.omap_sectors,
+        }
+        try:
+            return table[layout](io_size)
+        except KeyError:
+            raise ConfigurationError(f"unknown layout {layout!r}") from None
+
+    def overhead_percent(self, layout: str, io_size: int) -> float:
+        """Extra sectors relative to the baseline, as a percentage."""
+        baseline = self.baseline_sectors(io_size)
+        return 100.0 * (self.sectors(layout, io_size) - baseline) / baseline
+
+    def space_overhead_percent(self, layout: str) -> float:
+        """Static space overhead of persisting the metadata (percent)."""
+        if layout in ("luks-baseline", "omap"):
+            # OMAP space lives in the key-value store, not the data objects;
+            # account the raw value bytes.
+            if layout == "luks-baseline":
+                return 0.0
+        return 100.0 * self.metadata_size / self.block_size
+
+
+def theoretical_overhead_table(io_sizes: Sequence[int],
+                               model: SectorAccessModel = SectorAccessModel()
+                               ) -> List[Dict[str, float]]:
+    """Rows of the §3.3 sector-count analysis for a sweep of IO sizes."""
+    rows: List[Dict[str, float]] = []
+    for io_size in io_sizes:
+        rows.append({
+            "io_size": io_size,
+            "baseline_sectors": model.baseline_sectors(io_size),
+            "object_end_sectors": model.object_end_sectors(io_size),
+            "unaligned_sectors": model.unaligned_sectors(io_size),
+            "omap_sectors": model.omap_sectors(io_size),
+            "omap_keys": model.omap_keys(io_size),
+            "object_end_overhead_pct": model.overhead_percent("object-end", io_size),
+            "unaligned_overhead_pct": model.overhead_percent("unaligned", io_size),
+        })
+    return rows

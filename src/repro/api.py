@@ -1,0 +1,80 @@
+"""High-level convenience API tying the whole stack together.
+
+These helpers exist so that examples, tests and the benchmark harness can
+set up "a 3-node cluster with an encrypted 64 MiB image using the
+object-end layout" in two lines.  Everything they do is also possible (and
+documented) through the underlying packages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from .crypto.drbg import HmacDrbg, RandomSource
+from .encryption.format import (EncryptedImageInfo, EncryptionOptions,
+                                format_encryption, load_encryption)
+from .rados.cluster import Cluster, ClusterConfig
+from .rbd.image import DEFAULT_OBJECT_SIZE, Image, create_image, open_image
+from .sim.costparams import CostParameters, default_cost_parameters
+from .util import parse_size
+
+
+def make_cluster(osd_count: int = 3, replica_count: int = 3,
+                 params: Optional[CostParameters] = None,
+                 config: Optional[ClusterConfig] = None) -> Cluster:
+    """Create a simulated cluster (defaults match the paper's testbed)."""
+    if config is None:
+        config = ClusterConfig(osd_count=osd_count, replica_count=replica_count)
+    return Cluster(config=config, params=params or default_cost_parameters())
+
+
+def _as_bytes(size: Union[int, str]) -> int:
+    return parse_size(size) if isinstance(size, str) else int(size)
+
+
+def create_encrypted_image(cluster: Cluster, name: str, size: Union[int, str],
+                           passphrase: bytes,
+                           encryption_format: str = "object-end",
+                           codec: str = "xts",
+                           cipher_suite: Optional[str] = None,
+                           iv_policy: Optional[str] = None,
+                           object_size: Union[int, str] = DEFAULT_OBJECT_SIZE,
+                           pool: str = "rbd",
+                           random_seed: Optional[bytes] = None,
+                           journaled: bool = False,
+                           ) -> Tuple[Image, EncryptedImageInfo]:
+    """Create an image, format it for encryption and return it unlocked.
+
+    ``encryption_format`` selects the per-sector metadata layout
+    (``luks-baseline``, ``unaligned``, ``object-end`` or ``omap``).
+    """
+    ioctx = cluster.client().open_ioctx(pool)
+    create_image(ioctx, name, _as_bytes(size), _as_bytes(object_size))
+    image = open_image(ioctx, name)
+    rng: Optional[RandomSource] = HmacDrbg(random_seed) if random_seed else None
+    options = EncryptionOptions(layout=encryption_format, codec=codec,
+                                iv_policy=iv_policy, journaled=journaled,
+                                random_source=rng)
+    if cipher_suite is not None:
+        options.cipher_suite = cipher_suite
+    info = format_encryption(image, passphrase, options)
+    return image, info
+
+
+def open_encrypted_image(cluster: Cluster, name: str, passphrase: bytes,
+                         pool: str = "rbd",
+                         journaled: bool = False) -> Tuple[Image, EncryptedImageInfo]:
+    """Open and unlock an existing encrypted image."""
+    ioctx = cluster.client().open_ioctx(pool)
+    image = open_image(ioctx, name)
+    info = load_encryption(image, passphrase, journaled=journaled)
+    return image, info
+
+
+def create_plain_image(cluster: Cluster, name: str, size: Union[int, str],
+                       object_size: Union[int, str] = DEFAULT_OBJECT_SIZE,
+                       pool: str = "rbd") -> Image:
+    """Create and open an unencrypted image (for comparisons and tests)."""
+    ioctx = cluster.client().open_ioctx(pool)
+    create_image(ioctx, name, _as_bytes(size), _as_bytes(object_size))
+    return open_image(ioctx, name)

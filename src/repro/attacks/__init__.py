@@ -1,0 +1,27 @@
+"""Security analysis toolkit: the attacks that motivate the paper.
+
+These helpers demonstrate, against real ciphertext produced by the
+encryption stack, the weaknesses of deterministic (LBA-tweaked) AES-XTS
+that per-sector random IVs eliminate:
+
+* :mod:`repro.attacks.xts_overwrite` — an adversary observing two writes to
+  the same LBA learns exactly which 16-byte sub-blocks changed (§2.1).
+* :mod:`repro.attacks.mix_and_match` — sub-blocks from different versions
+  of a sector can be spliced into a new, valid ciphertext (§2.1).
+* :mod:`repro.attacks.replay` — a sector can be silently reverted to an
+  older version (or moved across snapshots) without detection unless a MAC
+  is stored (§1, §2.2).
+* :mod:`repro.attacks.snapshot_leak` — with snapshots, equal ciphertexts
+  across versions reveal which blocks did not change (§1 "Virtual Disks").
+"""
+
+from .mix_and_match import forge_mixed_ciphertext, splice_sub_blocks
+from .replay import StoredBlock, read_stored_block, replay_stored_block
+from .snapshot_leak import compare_snapshots, unchanged_blocks
+from .xts_overwrite import changed_sub_blocks, overwrite_leakage_report
+
+__all__ = [
+    "forge_mixed_ciphertext", "splice_sub_blocks", "StoredBlock",
+    "read_stored_block", "replay_stored_block", "compare_snapshots",
+    "unchanged_blocks", "changed_sub_blocks", "overwrite_leakage_report",
+]

@@ -1,0 +1,51 @@
+"""Mix-and-match ciphertext forgery — §2.1 of the paper.
+
+Because AES-XTS sub-blocks are independent under a fixed tweak, an attacker
+holding two ciphertext versions of the same sector (e.g. from two
+snapshots, or from eavesdropping two overwrites) can splice sub-blocks from
+both into a brand-new ciphertext that decrypts to a valid-looking mixture
+of the two plaintexts — "creating the encryption of a data combination that
+was never actually written".  Length-preserving encryption cannot detect
+this; a per-sector MAC (or AES-GCM) can.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..crypto.xts import SUB_BLOCK_SIZE
+from ..errors import ConfigurationError
+
+
+def splice_sub_blocks(version_a: bytes, version_b: bytes,
+                      take_from_b: Sequence[int],
+                      sub_block_size: int = SUB_BLOCK_SIZE) -> bytes:
+    """Build a ciphertext taking the listed sub-block indices from ``version_b``.
+
+    Every other sub-block comes from ``version_a``.  The result is a legal
+    ciphertext for the same LBA under deterministic-IV XTS.
+    """
+    if len(version_a) != len(version_b):
+        raise ConfigurationError("ciphertext versions must have equal length")
+    if len(version_a) % sub_block_size:
+        raise ConfigurationError(
+            "ciphertext length must be a multiple of the sub-block size")
+    count = len(version_a) // sub_block_size
+    chosen = set(take_from_b)
+    invalid = chosen - set(range(count))
+    if invalid:
+        raise ConfigurationError(f"sub-block indices out of range: {sorted(invalid)}")
+    out = bytearray()
+    for index in range(count):
+        source = version_b if index in chosen else version_a
+        out += source[index * sub_block_size:(index + 1) * sub_block_size]
+    return bytes(out)
+
+
+def forge_mixed_ciphertext(version_a: bytes, version_b: bytes,
+                           sub_block_size: int = SUB_BLOCK_SIZE) -> bytes:
+    """Convenience forgery: alternate sub-blocks from the two versions."""
+    count = len(version_a) // sub_block_size
+    return splice_sub_blocks(version_a, version_b,
+                             take_from_b=list(range(1, count, 2)),
+                             sub_block_size=sub_block_size)

@@ -1,0 +1,118 @@
+"""Replay / rollback tampering against stored ciphertext.
+
+These helpers act as the "malicious storage" in the paper's threat model:
+they reach underneath the encryption layer, read the raw ciphertext (and
+per-sector metadata) of an image block straight from the OSDs, and can
+write an older version back ("rollback") or copy a block between LBAs.
+
+With plain length-preserving encryption such tampering is undetectable —
+the client happily decrypts the stale or transplanted ciphertext.  With the
+``xts-hmac`` or ``gcm`` codecs (possible only because the metadata layouts
+provide space for a tag) the read fails with an integrity error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..encryption.format import EncryptedImageInfo
+from ..encryption.layouts import ObjectEndLayout, OmapLayout, UnalignedLayout
+from ..errors import ConfigurationError
+from ..rados.cluster import Cluster
+from ..rbd.image import Image
+
+
+@dataclass
+class StoredBlock:
+    """Raw stored state of one encrypted block on one OSD replica."""
+
+    object_no: int
+    block_index: int
+    ciphertext: bytes
+    metadata: Optional[bytes]
+
+
+def _locate(cluster: Cluster, image: Image, object_no: int):
+    """Yield (osd, rados_object) pairs holding the data object's replicas."""
+    name = image.data_object_name(object_no)
+    for osd in cluster.osds:
+        obj = osd.lookup(image.ioctx.pool_name, name)
+        if obj is not None:
+            yield osd, obj
+
+
+def read_stored_block(cluster: Cluster, image: Image,
+                      info: EncryptedImageInfo, lba: int) -> StoredBlock:
+    """Read the raw ciphertext (and metadata) of logical block ``lba``."""
+    layout = info.metadata_layout
+    object_no, block_index = divmod(lba, layout.blocks_per_object)
+    located = list(_locate(cluster, image, object_no))
+    if not located:
+        raise ConfigurationError(f"no replica found for object {object_no}")
+    osd, obj = located[0]
+
+    data_offset = obj.region_offset + layout.data_offset(block_index)
+    ciphertext = osd.data_device.read(data_offset, layout.block_size).data
+
+    metadata: Optional[bytes] = None
+    if layout.metadata_size:
+        if isinstance(layout, UnalignedLayout):
+            metadata = osd.data_device.read(
+                data_offset + layout.block_size, layout.metadata_size).data
+        elif isinstance(layout, ObjectEndLayout):
+            metadata = osd.data_device.read(
+                obj.region_offset + layout.metadata_offset(block_index),
+                layout.metadata_size).data
+        elif isinstance(layout, OmapLayout):
+            result = osd.omap_store.get(obj.omap_key(layout.omap_key(block_index)))
+            metadata = result.items[0][1] if result.items else None
+    return StoredBlock(object_no=object_no, block_index=block_index,
+                       ciphertext=ciphertext, metadata=metadata)
+
+
+def replay_stored_block(cluster: Cluster, image: Image,
+                        info: EncryptedImageInfo, lba: int,
+                        stored: StoredBlock) -> None:
+    """Overwrite block ``lba`` on *every replica* with a previously captured
+    stored state (ciphertext + metadata) — the rollback/replay attack."""
+    layout = info.metadata_layout
+    object_no, block_index = divmod(lba, layout.blocks_per_object)
+    located = list(_locate(cluster, image, object_no))
+    if not located:
+        raise ConfigurationError(f"no replica found for object {object_no}")
+    for osd, obj in located:
+        data_offset = obj.region_offset + layout.data_offset(block_index)
+        osd.data_device.write(data_offset, stored.ciphertext)
+        if not layout.metadata_size:
+            continue
+        metadata = (stored.metadata or b"").ljust(layout.metadata_size, b"\x00")
+        if isinstance(layout, UnalignedLayout):
+            osd.data_device.write(data_offset + layout.block_size, metadata)
+        elif isinstance(layout, ObjectEndLayout):
+            osd.data_device.write(
+                obj.region_offset + layout.metadata_offset(block_index), metadata)
+        elif isinstance(layout, OmapLayout):
+            osd.omap_store.put(obj.omap_key(layout.omap_key(block_index)),
+                               metadata)
+
+
+def corrupt_stored_block(cluster: Cluster, image: Image,
+                         info: EncryptedImageInfo, lba: int,
+                         flip_byte: int = 0) -> List[int]:
+    """Flip one ciphertext byte of ``lba`` on every replica (bit-rot/tamper).
+
+    Returns the list of OSD ids that were modified.
+    """
+    layout = info.metadata_layout
+    object_no, block_index = divmod(lba, layout.blocks_per_object)
+    if not 0 <= flip_byte < layout.block_size:
+        raise ConfigurationError("flip_byte outside the block")
+    touched = []
+    for osd, obj in _locate(cluster, image, object_no):
+        offset = obj.region_offset + layout.data_offset(block_index)
+        current = bytearray(osd.data_device.read(offset, layout.block_size).data)
+        current[flip_byte] ^= 0x01
+        osd.data_device.write(offset, bytes(current))
+        touched.append(osd.osd_id)
+    return touched

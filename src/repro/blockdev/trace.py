@@ -1,0 +1,71 @@
+"""IO trace recording for debugging and for the examples.
+
+A trace is a bounded in-memory list of :class:`TraceRecord` entries; it can
+be rendered as text or summarised.  Traces are optional — benchmarks do not
+enable them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One device-level IO."""
+
+    op: str
+    device: str
+    offset: int
+    length: int
+    sectors: int
+
+    def render(self) -> str:
+        """Render as a single human-readable line."""
+        return (f"{self.op:5s} {self.device:16s} off={self.offset:>12d} "
+                f"len={self.length:>9d} sectors={self.sectors}")
+
+
+class IOTrace:
+    """Bounded in-memory IO trace."""
+
+    def __init__(self, limit: int = 100_000) -> None:
+        if limit <= 0:
+            raise ValueError("trace limit must be positive")
+        self._limit = limit
+        self._records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, op: str, device: str, offset: int, length: int,
+               sectors: int) -> None:
+        """Append a record (drops silently past the limit, counting drops)."""
+        if len(self._records) >= self._limit:
+            self.dropped += 1
+            return
+        self._records.append(TraceRecord(op, device, offset, length, sectors))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, op: Optional[str] = None,
+               device: Optional[str] = None) -> List[TraceRecord]:
+        """Return records matching the given op and/or device name."""
+        out = []
+        for rec in self._records:
+            if op is not None and rec.op != op:
+                continue
+            if device is not None and rec.device != device:
+                continue
+            out.append(rec)
+        return out
+
+    def render(self, limit: int = 50) -> str:
+        """Render up to ``limit`` records as text."""
+        lines = [rec.render() for rec in self._records[:limit]]
+        if len(self._records) > limit:
+            lines.append(f"... {len(self._records) - limit} more records")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (module form, no install step needed beyond ``pip install -e .``)::
+
+    python -m repro.cli sweep --kind write --sizes 4K,64K,1M
+    python -m repro.cli sweep --kind read  --layouts luks-baseline,object-end
+    python -m repro.cli sectors --sizes 4K,32K,256K,4M
+    python -m repro.cli demo
+
+Subcommands
+-----------
+``sweep``
+    Run the Fig. 3 / Fig. 4 layout comparison for a chosen IO-size sweep and
+    print the bandwidth and overhead tables (optionally CSV).
+``sectors``
+    Print the §3.3 analytic sector-access table.
+``demo``
+    A tiny end-to-end demonstration (create an encrypted image, write, read,
+    snapshot) printing the cluster's cost-ledger highlights.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import api
+from .analysis.overhead import LayoutSweep, PAPER_LAYOUTS, SweepConfig
+from .analysis.report import (format_bandwidth_table, format_overhead_table,
+                              to_csv)
+from .analysis.sectors import SectorAccessModel, theoretical_overhead_table
+from .util import MIB, format_size, parse_size
+from .workload.spec import PAPER_IO_SIZES
+
+
+def _parse_sizes(text: Optional[str]) -> Sequence[int]:
+    if not text:
+        return PAPER_IO_SIZES
+    return tuple(parse_size(part) for part in text.split(",") if part)
+
+
+def _parse_layouts(text: Optional[str]) -> Sequence[str]:
+    if not text:
+        return PAPER_LAYOUTS
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = SweepConfig(
+        io_sizes=_parse_sizes(args.sizes),
+        layouts=_parse_layouts(args.layouts),
+        image_size=parse_size(args.image_size),
+        bytes_per_point=parse_size(args.bytes_per_point),
+        queue_depth=args.queue_depth,
+        osd_count=args.osds,
+        replica_count=args.replicas,
+        journaled=args.journaled,
+    )
+    results = LayoutSweep(config).run(args.kind)
+    print(format_bandwidth_table(results))
+    print()
+    if "luks-baseline" in results.layouts():
+        print(format_overhead_table(results))
+    if args.csv:
+        print()
+        print(to_csv(results))
+    return 0
+
+
+def _cmd_sectors(args: argparse.Namespace) -> int:
+    model = SectorAccessModel(block_size=parse_size(args.block_size),
+                              metadata_size=args.metadata_size)
+    rows = theoretical_overhead_table(_parse_sizes(args.sizes), model)
+    print("theoretical minimum sector accesses per IO (paper §3.3):")
+    for row in rows:
+        print(f"  {format_size(int(row['io_size'])):>9s}: baseline "
+              f"{row['baseline_sectors']:>5.0f}  object-end "
+              f"{row['object_end_sectors']:>5.0f} "
+              f"(+{row['object_end_overhead_pct']:.1f}%)  unaligned "
+              f"{row['unaligned_sectors']:>5.0f} "
+              f"(+{row['unaligned_overhead_pct']:.1f}%)  omap-keys "
+              f"{row['omap_keys']:.0f}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    cluster = api.make_cluster(osd_count=args.osds, replica_count=args.replicas)
+    image, info = api.create_encrypted_image(
+        cluster, "cli-demo", 32 * MIB, passphrase=b"cli-demo",
+        encryption_format=args.layout, cipher_suite="blake2-xts-sim")
+    image.write(0, b"written through the CLI demo")
+    image.create_snapshot("before")
+    image.write(0, b"WRITTEN THROUGH THE CLI DEMO")
+    image.set_read_snapshot("before")
+    snapshot_view = image.read(0, 28)
+    image.set_read_snapshot(None)
+    print(f"image: {image.name} ({format_size(image.size)}), layout={info.layout}, "
+          f"codec={info.codec}, iv={info.iv_policy}")
+    print(f"head     reads: {image.read(0, 28)!r}")
+    print(f"snapshot reads: {snapshot_view!r}")
+    print("ledger highlights:")
+    for counter in ("device.ops", "device.sectors_written", "omap.keys_written",
+                    "rados.transactions", "crypto.blocks"):
+        print(f"  {counter:26s} {cluster.ledger.counter(counter):10.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Reproduction of 'Rethinking Block Storage "
+        "Encryption with Virtual Disks' (HotStorage'22)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run the Fig.3/Fig.4 layout comparison")
+    sweep.add_argument("--kind", choices=("read", "write"), default="write")
+    sweep.add_argument("--sizes", help="comma-separated IO sizes (e.g. 4K,64K,1M)")
+    sweep.add_argument("--layouts", help="comma-separated layouts "
+                       f"(default: {','.join(PAPER_LAYOUTS)})")
+    sweep.add_argument("--image-size", default="32M")
+    sweep.add_argument("--bytes-per-point", default="8M")
+    sweep.add_argument("--queue-depth", type=int, default=32)
+    sweep.add_argument("--osds", type=int, default=3)
+    sweep.add_argument("--replicas", type=int, default=3)
+    sweep.add_argument("--journaled", action="store_true",
+                       help="use journal-based consistency (ablation A1)")
+    sweep.add_argument("--csv", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    sectors = sub.add_parser("sectors", help="print the analytic sector table")
+    sectors.add_argument("--sizes")
+    sectors.add_argument("--block-size", default="4K")
+    sectors.add_argument("--metadata-size", type=int, default=16)
+    sectors.set_defaults(func=_cmd_sectors)
+
+    demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
+    demo.add_argument("--layout", default="object-end")
+    demo.add_argument("--osds", type=int, default=3)
+    demo.add_argument("--replicas", type=int, default=3)
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Cryptographic substrate: AES, XTS, CBC, CTR, GCM, wide-block, IV policies,
+KDFs, MACs and deterministic randomness.
+
+Everything here is implemented from scratch (no third-party crypto
+libraries) and validated against published test vectors in
+``tests/crypto/``.  See DESIGN.md §3 for the inventory.
+"""
+
+from .aes import AES, BLOCK_SIZE
+from .cbc import CBC
+from .ctr import CTR
+from .drbg import HmacDrbg, OsRandomSource, RandomSource, default_random_source
+from .fastcipher import Blake2Xts, NullCipher
+from .gcm import GCM, GCMResult, NONCE_SIZE, TAG_SIZE
+from .iv import (EssivIV, IVPolicy, Plain64IV, RandomIV, WriteCounterIV,
+                 make_iv_policy, IV_SIZE)
+from .kdf import (aes_key_unwrap, aes_key_wrap, derive_subkey, hkdf,
+                  hkdf_expand, hkdf_extract, pbkdf2)
+from .mac import DEFAULT_TAG_SIZE, SectorMac
+from .suite import (CipherSuite, DEFAULT_SUITE, SIMULATION_SUITE,
+                    available_suites, get_suite, register_suite)
+from .wideblock import WideBlockCipher
+from .xts import SUB_BLOCK_SIZE, XTS
+
+__all__ = [
+    "AES", "BLOCK_SIZE", "CBC", "CTR", "GCM", "GCMResult", "NONCE_SIZE",
+    "TAG_SIZE", "HmacDrbg", "OsRandomSource", "RandomSource",
+    "default_random_source", "Blake2Xts", "NullCipher", "EssivIV", "IVPolicy",
+    "Plain64IV", "RandomIV", "WriteCounterIV", "make_iv_policy", "IV_SIZE",
+    "aes_key_unwrap", "aes_key_wrap", "derive_subkey", "hkdf", "hkdf_expand",
+    "hkdf_extract", "pbkdf2", "DEFAULT_TAG_SIZE", "SectorMac", "CipherSuite",
+    "DEFAULT_SUITE", "SIMULATION_SUITE", "available_suites", "get_suite",
+    "register_suite", "WideBlockCipher", "SUB_BLOCK_SIZE", "XTS",
+]

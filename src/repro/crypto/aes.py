@@ -1,0 +1,264 @@
+"""Pure-Python AES block cipher (AES-128/192/256).
+
+This is a from-scratch implementation of FIPS-197 used as the primitive
+underneath every encryption mode in the reproduction (XTS, CBC, GCM, the
+wide-block mode and ESSIV).  Encryption uses 32-bit T-tables; decryption
+uses the inverse S-box together with precomputed GF(2^8) multiplication
+tables for InvMixColumns.  Correctness is pinned to the FIPS-197 appendix
+vectors in ``tests/crypto/test_aes.py``.
+
+The implementation favours clarity over raw speed: it processes one
+16-byte block per call.  Bulk simulation workloads should use
+:mod:`repro.crypto.fastcipher` instead (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import DataSizeError, KeySizeError
+
+BLOCK_SIZE = 16
+
+# ---------------------------------------------------------------------------
+# Table construction (done once at import time).
+# ---------------------------------------------------------------------------
+
+
+def _build_sbox() -> List[int]:
+    """Build the AES S-box from the multiplicative inverse in GF(2^8)."""
+    # Build log/antilog tables using generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 (x ^= xtime(x))
+        x ^= ((x << 1) ^ (0x1B if x & 0x80 else 0)) & 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inv(b: int) -> int:
+        if b == 0:
+            return 0
+        return exp[255 - log[b]]
+
+    sbox = [0] * 256
+    for i in range(256):
+        b = inv(i)
+        # Affine transformation.
+        res = 0
+        for shift in (0, 1, 2, 3, 4):
+            res ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[i] = res ^ 0x63
+    return sbox
+
+
+SBOX: List[int] = _build_sbox()
+INV_SBOX: List[int] = [0] * 256
+for _i, _v in enumerate(SBOX):
+    INV_SBOX[_v] = _i
+
+
+def _xtime(b: int) -> int:
+    return ((b << 1) ^ (0x1B if b & 0x80 else 0)) & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) (Russian peasant algorithm)."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = _xtime(a)
+    return result
+
+
+# Encryption T-tables: Te0..Te3 (32-bit entries, big-endian byte order).
+TE0: List[int] = [0] * 256
+TE1: List[int] = [0] * 256
+TE2: List[int] = [0] * 256
+TE3: List[int] = [0] * 256
+for _x in range(256):
+    _s = SBOX[_x]
+    _t = (_gmul(_s, 2) << 24) | (_s << 16) | (_s << 8) | _gmul(_s, 3)
+    TE0[_x] = _t
+    TE1[_x] = ((_t >> 8) | (_t << 24)) & 0xFFFFFFFF
+    TE2[_x] = ((_t >> 16) | (_t << 16)) & 0xFFFFFFFF
+    TE3[_x] = ((_t >> 24) | (_t << 8)) & 0xFFFFFFFF
+
+# GF(2^8) multiplication tables for InvMixColumns.
+MUL9: List[int] = [_gmul(_x, 9) for _x in range(256)]
+MUL11: List[int] = [_gmul(_x, 11) for _x in range(256)]
+MUL13: List[int] = [_gmul(_x, 13) for _x in range(256)]
+MUL14: List[int] = [_gmul(_x, 14) for _x in range(256)]
+
+RCON: List[int] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80,
+                   0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+_VALID_KEY_SIZES = (16, 24, 32)
+
+
+class AES:
+    """AES block cipher for a single fixed key.
+
+    Parameters
+    ----------
+    key:
+        16, 24 or 32 bytes (AES-128/192/256).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in _VALID_KEY_SIZES:
+            raise KeySizeError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}")
+        self._key = bytes(key)
+        self._round_keys = self._expand_key(self._key)
+        self.rounds = len(self._round_keys) // 4 - 1
+
+    @property
+    def key(self) -> bytes:
+        """The raw key this instance was constructed with."""
+        return self._key
+
+    @property
+    def key_size(self) -> int:
+        """Key length in bytes (16, 24 or 32)."""
+        return len(self._key)
+
+    # -- key schedule -------------------------------------------------------
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[int]:
+        """Expand the key into 4*(rounds+1) 32-bit round-key words."""
+        nk = len(key) // 4
+        rounds = {4: 10, 6: 12, 8: 14}[nk]
+        words: List[int] = [int.from_bytes(key[4 * i:4 * i + 4], "big")
+                            for i in range(nk)]
+        for i in range(nk, 4 * (rounds + 1)):
+            temp = words[i - 1]
+            if i % nk == 0:
+                # RotWord + SubWord + Rcon
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF
+                temp = ((SBOX[(temp >> 24) & 0xFF] << 24)
+                        | (SBOX[(temp >> 16) & 0xFF] << 16)
+                        | (SBOX[(temp >> 8) & 0xFF] << 8)
+                        | SBOX[temp & 0xFF])
+                temp ^= RCON[i // nk - 1] << 24
+            elif nk > 6 and i % nk == 4:
+                temp = ((SBOX[(temp >> 24) & 0xFF] << 24)
+                        | (SBOX[(temp >> 16) & 0xFF] << 16)
+                        | (SBOX[(temp >> 8) & 0xFF] << 8)
+                        | SBOX[temp & 0xFF])
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    # -- block operations ---------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise DataSizeError(f"AES block must be 16 bytes, got {len(block)}")
+        rk = self._round_keys
+        rounds = self.rounds
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+
+        te0, te1, te2, te3 = TE0, TE1, TE2, TE3
+        k = 4
+        for _ in range(rounds - 1):
+            t0 = (te0[(s0 >> 24) & 0xFF] ^ te1[(s1 >> 16) & 0xFF]
+                  ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ rk[k])
+            t1 = (te0[(s1 >> 24) & 0xFF] ^ te1[(s2 >> 16) & 0xFF]
+                  ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ rk[k + 1])
+            t2 = (te0[(s2 >> 24) & 0xFF] ^ te1[(s3 >> 16) & 0xFF]
+                  ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ rk[k + 2])
+            t3 = (te0[(s3 >> 24) & 0xFF] ^ te1[(s0 >> 16) & 0xFF]
+                  ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ rk[k + 3])
+            s0, s1, s2, s3 = t0, t1, t2, t3
+            k += 4
+
+        sb = SBOX
+        o0 = ((sb[(s0 >> 24) & 0xFF] << 24) | (sb[(s1 >> 16) & 0xFF] << 16)
+              | (sb[(s2 >> 8) & 0xFF] << 8) | sb[s3 & 0xFF]) ^ rk[k]
+        o1 = ((sb[(s1 >> 24) & 0xFF] << 24) | (sb[(s2 >> 16) & 0xFF] << 16)
+              | (sb[(s3 >> 8) & 0xFF] << 8) | sb[s0 & 0xFF]) ^ rk[k + 1]
+        o2 = ((sb[(s2 >> 24) & 0xFF] << 24) | (sb[(s3 >> 16) & 0xFF] << 16)
+              | (sb[(s0 >> 8) & 0xFF] << 8) | sb[s1 & 0xFF]) ^ rk[k + 2]
+        o3 = ((sb[(s3 >> 24) & 0xFF] << 24) | (sb[(s0 >> 16) & 0xFF] << 16)
+              | (sb[(s1 >> 8) & 0xFF] << 8) | sb[s2 & 0xFF]) ^ rk[k + 3]
+        return (o0.to_bytes(4, "big") + o1.to_bytes(4, "big")
+                + o2.to_bytes(4, "big") + o3.to_bytes(4, "big"))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise DataSizeError(f"AES block must be 16 bytes, got {len(block)}")
+        rounds = self.rounds
+        rk = self._round_keys
+        state = list(block)
+
+        # Initial AddRoundKey with the last round key.
+        self._add_round_key(state, rk, rounds)
+        inv_sbox = INV_SBOX
+        for rnd in range(rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = [inv_sbox[b] for b in state]
+            self._add_round_key(state, rk, rnd)
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = [inv_sbox[b] for b in state]
+        self._add_round_key(state, rk, 0)
+        return bytes(state)
+
+    # -- decryption helpers (column-major byte state) -----------------------
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: Sequence[int], rnd: int) -> None:
+        for col in range(4):
+            word = rk[4 * rnd + col]
+            state[4 * col + 0] ^= (word >> 24) & 0xFF
+            state[4 * col + 1] ^= (word >> 16) & 0xFF
+            state[4 * col + 2] ^= (word >> 8) & 0xFF
+            state[4 * col + 3] ^= word & 0xFF
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        out = [0] * 16
+        # state is column-major: state[4*c + r]
+        for col in range(4):
+            for row in range(4):
+                out[4 * ((col + row) % 4) + row] = state[4 * col + row]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> List[int]:
+        out = [0] * 16
+        m9, m11, m13, m14 = MUL9, MUL11, MUL13, MUL14
+        for col in range(4):
+            a0, a1, a2, a3 = state[4 * col:4 * col + 4]
+            out[4 * col + 0] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3]
+            out[4 * col + 1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3]
+            out[4 * col + 2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3]
+            out[4 * col + 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3]
+        return out
+
+    # -- convenience --------------------------------------------------------
+
+    def encrypt_ecb(self, data: bytes) -> bytes:
+        """ECB-encrypt a multiple of 16 bytes (building block for modes)."""
+        if len(data) % BLOCK_SIZE:
+            raise DataSizeError("ECB input must be a multiple of 16 bytes")
+        return b"".join(self.encrypt_block(data[i:i + BLOCK_SIZE])
+                        for i in range(0, len(data), BLOCK_SIZE))
+
+    def decrypt_ecb(self, data: bytes) -> bytes:
+        """ECB-decrypt a multiple of 16 bytes."""
+        if len(data) % BLOCK_SIZE:
+            raise DataSizeError("ECB input must be a multiple of 16 bytes")
+        return b"".join(self.decrypt_block(data[i:i + BLOCK_SIZE])
+                        for i in range(0, len(data), BLOCK_SIZE))

@@ -1,0 +1,56 @@
+"""AES-CBC mode.
+
+CBC is the historical disk-encryption mode that AES-XTS replaced (§2.1 of
+the paper, footnote 1).  It is included both for completeness and because
+the security-analysis examples contrast its leakage profile (an adversary
+observing an overwrite under the same IV learns the position of the *first*
+changed sub-block) with XTS (every changed sub-block is visible) and with
+random-IV encryption (nothing is visible).
+"""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+from ..errors import DataSizeError, IVSizeError
+from ..util import xor_bytes
+
+
+class CBC:
+    """AES-CBC bound to a single key; the IV is supplied per call."""
+
+    def __init__(self, key: bytes) -> None:
+        self._cipher = AES(key)
+
+    @property
+    def key_size(self) -> int:
+        """Underlying AES key size in bytes."""
+        return self._cipher.key_size
+
+    def _check(self, iv: bytes, data: bytes) -> None:
+        if len(iv) != BLOCK_SIZE:
+            raise IVSizeError(f"CBC IV must be 16 bytes, got {len(iv)}")
+        if len(data) % BLOCK_SIZE:
+            raise DataSizeError(
+                f"CBC data must be a multiple of 16 bytes, got {len(data)}")
+
+    def encrypt(self, iv: bytes, plaintext: bytes) -> bytes:
+        """Encrypt a multiple of 16 bytes under ``iv``."""
+        self._check(iv, plaintext)
+        out = bytearray()
+        previous = iv
+        for off in range(0, len(plaintext), BLOCK_SIZE):
+            block = xor_bytes(plaintext[off:off + BLOCK_SIZE], previous)
+            previous = self._cipher.encrypt_block(block)
+            out += previous
+        return bytes(out)
+
+    def decrypt(self, iv: bytes, ciphertext: bytes) -> bytes:
+        """Decrypt a multiple of 16 bytes under ``iv``."""
+        self._check(iv, ciphertext)
+        out = bytearray()
+        previous = iv
+        for off in range(0, len(ciphertext), BLOCK_SIZE):
+            block = ciphertext[off:off + BLOCK_SIZE]
+            out += xor_bytes(self._cipher.decrypt_block(block), previous)
+            previous = block
+        return bytes(out)

@@ -1,0 +1,50 @@
+"""AES-CTR keystream mode (building block for GCM and the wide-block mode)."""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+from ..errors import IVSizeError
+from ..util import xor_bytes
+
+
+def _inc32(block: bytes) -> bytes:
+    """Increment the last 32 bits of a 16-byte counter block (GCM style)."""
+    prefix, counter = block[:12], int.from_bytes(block[12:], "big")
+    counter = (counter + 1) & 0xFFFFFFFF
+    return prefix + counter.to_bytes(4, "big")
+
+
+class CTR:
+    """AES in counter mode.
+
+    Two counter conventions are supported:
+
+    * ``inc32`` (default): only the final 32 bits are incremented, exactly as
+      GCM requires.
+    * full 128-bit increment (``wide_counter=True``): used by the
+      HCTR-style wide-block cipher where the keystream may exceed 2^32
+      blocks in principle.
+    """
+
+    def __init__(self, key: bytes, wide_counter: bool = False) -> None:
+        self._cipher = AES(key)
+        self._wide_counter = wide_counter
+
+    def keystream(self, counter_block: bytes, length: int) -> bytes:
+        """Generate ``length`` keystream bytes starting at ``counter_block``."""
+        if len(counter_block) != BLOCK_SIZE:
+            raise IVSizeError("CTR counter block must be 16 bytes")
+        out = bytearray()
+        block = counter_block
+        while len(out) < length:
+            out += self._cipher.encrypt_block(block)
+            if self._wide_counter:
+                value = (int.from_bytes(block, "big") + 1) & ((1 << 128) - 1)
+                block = value.to_bytes(16, "big")
+            else:
+                block = _inc32(block)
+        return bytes(out[:length])
+
+    def xcrypt(self, counter_block: bytes, data: bytes) -> bytes:
+        """Encrypt or decrypt ``data`` (CTR is an involution)."""
+        return xor_bytes(data, self.keystream(counter_block, len(data)))

@@ -1,0 +1,79 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D).
+
+The paper positions AES-GCM as the natural cipher once per-sector metadata
+exists (§3.1: "this can be used also for storing integrity information, or
+using an alternative cipher like AES-GCM"), because GCM needs both a
+never-repeating nonce *and* space for its authentication tag — neither of
+which classic length-preserving disk encryption can provide.  The
+``gcm_auth`` encryption format in :mod:`repro.encryption.gcm_auth` builds on
+this implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .aes import AES, BLOCK_SIZE
+from .ctr import CTR, _inc32
+from .gf128 import ghash
+from ..errors import AuthenticationError, IVSizeError
+from ..util import constant_time_compare
+
+#: Default GCM tag length in bytes.
+TAG_SIZE = 16
+#: Recommended nonce size (96 bits) — other sizes are supported via GHASH.
+NONCE_SIZE = 12
+
+
+@dataclass(frozen=True)
+class GCMResult:
+    """Ciphertext plus authentication tag produced by :meth:`GCM.encrypt`."""
+
+    ciphertext: bytes
+    tag: bytes
+
+
+class GCM:
+    """AES-GCM bound to a single key; nonce supplied per call."""
+
+    def __init__(self, key: bytes, tag_size: int = TAG_SIZE) -> None:
+        if not 12 <= tag_size <= 16:
+            raise IVSizeError("GCM tag size must be between 12 and 16 bytes")
+        self._cipher = AES(key)
+        self._ctr = CTR(key)
+        self._h = self._cipher.encrypt_block(b"\x00" * BLOCK_SIZE)
+        self._tag_size = tag_size
+
+    @property
+    def tag_size(self) -> int:
+        """Length of produced/verified tags in bytes."""
+        return self._tag_size
+
+    def _j0(self, nonce: bytes) -> bytes:
+        if len(nonce) == NONCE_SIZE:
+            return nonce + b"\x00\x00\x00\x01"
+        return ghash(self._h, b"", nonce)
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> GCMResult:
+        """Encrypt and authenticate; returns ciphertext and tag."""
+        if not nonce:
+            raise IVSizeError("GCM nonce must not be empty")
+        j0 = self._j0(nonce)
+        ciphertext = self._ctr.xcrypt(_inc32(j0), plaintext)
+        full_tag = ghash(self._h, aad, ciphertext)
+        tag = bytes(a ^ b for a, b in
+                    zip(full_tag, self._cipher.encrypt_block(j0)))
+        return GCMResult(ciphertext=ciphertext, tag=tag[:self._tag_size])
+
+    def decrypt(self, nonce: bytes, ciphertext: bytes, tag: bytes,
+                aad: bytes = b"") -> bytes:
+        """Verify the tag and decrypt; raises :class:`AuthenticationError`."""
+        if not nonce:
+            raise IVSizeError("GCM nonce must not be empty")
+        j0 = self._j0(nonce)
+        full_tag = ghash(self._h, aad, ciphertext)
+        expected = bytes(a ^ b for a, b in
+                         zip(full_tag, self._cipher.encrypt_block(j0)))
+        if not constant_time_compare(expected[:self._tag_size], tag):
+            raise AuthenticationError("GCM tag verification failed")
+        return self._ctr.xcrypt(_inc32(j0), ciphertext)

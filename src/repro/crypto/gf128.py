@@ -1,0 +1,129 @@
+"""GF(2^128) arithmetic used by XTS, GCM/GHASH and the wide-block mode.
+
+Two different bit conventions appear in the standards this reproduction
+implements:
+
+* **XTS** multiplies the tweak by the primitive element ``alpha`` using a
+  little-endian bit order (IEEE 1619).
+* **GHASH** (GCM) uses the "reflected" big-endian convention of NIST
+  SP 800-38D with the reduction polynomial ``x^128 + x^7 + x^2 + x + 1``.
+
+Both are provided here, clearly separated, together with a polynomial
+evaluation hash used by the HCTR-style wide-block cipher.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+MASK128 = (1 << 128) - 1
+
+# ---------------------------------------------------------------------------
+# XTS convention (little-endian bit order)
+# ---------------------------------------------------------------------------
+
+
+def xts_mul_alpha(tweak: bytes) -> bytes:
+    """Multiply a 16-byte XTS tweak by alpha (IEEE 1619 little-endian)."""
+    if len(tweak) != 16:
+        raise ValueError("XTS tweak must be 16 bytes")
+    value = int.from_bytes(tweak, "little") << 1
+    if value >> 128:
+        value = (value & MASK128) ^ 0x87
+    return value.to_bytes(16, "little")
+
+
+def xts_mul_alpha_pow(tweak: bytes, power: int) -> bytes:
+    """Multiply an XTS tweak by alpha**power (used to jump within a sector)."""
+    result = tweak
+    for _ in range(power):
+        result = xts_mul_alpha(result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# GHASH convention (reflected, as in NIST SP 800-38D)
+# ---------------------------------------------------------------------------
+
+_R = 0xE1000000000000000000000000000000
+
+
+def ghash_mult(x: int, y: int) -> int:
+    """Multiply two field elements in the GHASH representation."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+class GHash:
+    """Incremental GHASH universal hash keyed by ``H`` (a 16-byte string)."""
+
+    def __init__(self, h: bytes) -> None:
+        if len(h) != 16:
+            raise ValueError("GHASH key must be 16 bytes")
+        self._h = int.from_bytes(h, "big")
+        self._y = 0
+
+    def update(self, data: bytes) -> "GHash":
+        """Absorb data, zero-padded on the right to a 16-byte boundary."""
+        for off in range(0, len(data), 16):
+            block = data[off:off + 16]
+            if len(block) < 16:
+                block = block + b"\x00" * (16 - len(block))
+            self._y = ghash_mult(self._y ^ int.from_bytes(block, "big"),
+                                 self._h)
+        return self
+
+    def update_block(self, block: bytes) -> "GHash":
+        """Absorb exactly one 16-byte block (no padding applied)."""
+        if len(block) != 16:
+            raise ValueError("GHASH block must be 16 bytes")
+        self._y = ghash_mult(self._y ^ int.from_bytes(block, "big"), self._h)
+        return self
+
+    def digest(self) -> bytes:
+        """Return the current 16-byte hash value (does not reset state)."""
+        return self._y.to_bytes(16, "big")
+
+
+def ghash(h: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+    """One-shot GHASH over AAD and ciphertext with the standard length block."""
+    g = GHash(h)
+    g.update(aad)
+    g.update(ciphertext)
+    lengths = (len(aad) * 8).to_bytes(8, "big") + (len(ciphertext) * 8).to_bytes(8, "big")
+    g.update_block(lengths)
+    return g.digest()
+
+
+# ---------------------------------------------------------------------------
+# Polynomial-evaluation hash for the wide-block (HCTR-style) mode
+# ---------------------------------------------------------------------------
+
+
+def poly_hash(h: bytes, chunks: Iterable[bytes]) -> bytes:
+    """Evaluate a polynomial hash of the given 16-byte-padded chunks.
+
+    The hash is ``sum_i  m_i * H^(n-i+1)  +  len * H`` computed in the GHASH
+    field.  It is *not* GHASH itself but shares the field arithmetic; the
+    wide-block cipher only needs an almost-XOR-universal hash.
+    """
+    hval = int.from_bytes(h, "big")
+    acc = 0
+    total_len = 0
+    for item in chunks:
+        total_len += len(item)
+        for off in range(0, len(item), 16):
+            block = item[off:off + 16]
+            if len(block) < 16:
+                block = block + b"\x00" * (16 - len(block))
+            acc = ghash_mult(acc ^ int.from_bytes(block, "big"), hval)
+    acc = ghash_mult(acc ^ (total_len * 8), hval)
+    return acc.to_bytes(16, "big")

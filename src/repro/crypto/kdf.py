@@ -1,0 +1,94 @@
+"""Key derivation and key wrapping used by the LUKS-style header.
+
+* PBKDF2-HMAC-SHA256 — passphrase to key-encryption key (LUKS key slots).
+* HKDF (extract/expand) — deriving independent sub-keys (data key, tweak
+  key, MAC key, OMAP key) from a single volume key.
+* AES Key Wrap (RFC 3394) — protecting the volume key inside a key slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import List
+
+from .aes import AES
+from ..errors import AuthenticationError, DataSizeError
+
+_KEYWRAP_IV = b"\xa6" * 8
+
+
+def pbkdf2(passphrase: bytes, salt: bytes, iterations: int, length: int) -> bytes:
+    """PBKDF2-HMAC-SHA256."""
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    return hashlib.pbkdf2_hmac("sha256", passphrase, salt, iterations, length)
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract (RFC 5869) with SHA-256."""
+    if not salt:
+        salt = b"\x00" * 32
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand (RFC 5869) with SHA-256."""
+    if length > 255 * 32:
+        raise ValueError("HKDF-Expand output too long")
+    blocks: List[bytes] = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(prk, previous + info + bytes([counter]),
+                            hashlib.sha256).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, info: bytes, length: int, salt: bytes = b"") -> bytes:
+    """One-shot HKDF."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def derive_subkey(volume_key: bytes, purpose: str, length: int) -> bytes:
+    """Derive a purpose-labelled sub-key from the volume key."""
+    return hkdf(volume_key, b"repro/" + purpose.encode("utf-8"), length)
+
+
+def aes_key_wrap(kek: bytes, key_data: bytes) -> bytes:
+    """AES Key Wrap (RFC 3394).  ``key_data`` must be a multiple of 8 bytes."""
+    if len(key_data) % 8 or len(key_data) < 16:
+        raise DataSizeError("key data must be a multiple of 8 bytes, >= 16")
+    cipher = AES(kek)
+    n = len(key_data) // 8
+    a = _KEYWRAP_IV
+    r = [key_data[i * 8:(i + 1) * 8] for i in range(n)]
+    for j in range(6):
+        for i in range(n):
+            b = cipher.encrypt_block(a + r[i])
+            t = n * j + i + 1
+            a = bytes(x ^ y for x, y in zip(b[:8], t.to_bytes(8, "big")))
+            r[i] = b[8:]
+    return a + b"".join(r)
+
+
+def aes_key_unwrap(kek: bytes, wrapped: bytes) -> bytes:
+    """AES Key Unwrap (RFC 3394); raises on integrity-check failure."""
+    if len(wrapped) % 8 or len(wrapped) < 24:
+        raise DataSizeError("wrapped key must be a multiple of 8 bytes, >= 24")
+    cipher = AES(kek)
+    n = len(wrapped) // 8 - 1
+    a = wrapped[:8]
+    r = [wrapped[(i + 1) * 8:(i + 2) * 8] for i in range(n)]
+    for j in range(5, -1, -1):
+        for i in range(n - 1, -1, -1):
+            t = n * j + i + 1
+            a_xored = bytes(x ^ y for x, y in zip(a, t.to_bytes(8, "big")))
+            b = cipher.decrypt_block(a_xored + r[i])
+            a = b[:8]
+            r[i] = b[8:]
+    if a != _KEYWRAP_IV:
+        raise AuthenticationError("AES key unwrap integrity check failed")
+    return b"".join(r)

@@ -1,0 +1,148 @@
+"""AES-XTS (IEEE 1619 / NIST SP 800-38E) — the narrow-block mode used by
+LUKS2, dm-crypt, BitLocker and Ceph RBD client-side encryption.
+
+XTS is a *tweakable*, *length-preserving* mode: the caller supplies a
+16-byte tweak (in disk encryption: the sector number, or — in this paper's
+design — a random value persisted as per-sector metadata).  Each 16-byte
+sub-block of a sector is encrypted independently after being masked with a
+tweak-derived value, which is exactly why overwrites under a repeated tweak
+leak which sub-blocks changed (§2.1 of the paper); see
+:mod:`repro.attacks.xts_overwrite` for the demonstration.
+
+Ciphertext stealing is implemented, so any input of at least 16 bytes is
+supported (disk sectors are always a multiple of 16).
+"""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+from .gf128 import xts_mul_alpha
+from ..errors import DataSizeError, IVSizeError, KeySizeError
+from ..util import xor_bytes
+
+#: Size of the XTS sub-block ("narrow block") in bytes.
+SUB_BLOCK_SIZE = BLOCK_SIZE
+
+
+class XTS:
+    """AES-XTS cipher bound to a data key and a tweak key.
+
+    Parameters
+    ----------
+    key:
+        The concatenation of the data key and the tweak key.  32 bytes
+        selects AES-128-XTS, 64 bytes selects AES-256-XTS (matching the
+        ``aes-xts-plain64`` key layout used by LUKS).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (32, 64):
+            raise KeySizeError(
+                f"XTS key must be 32 or 64 bytes (two AES keys), got {len(key)}")
+        half = len(key) // 2
+        self._data_cipher = AES(key[:half])
+        self._tweak_cipher = AES(key[half:])
+        self._key_size = half
+
+    @property
+    def key_size(self) -> int:
+        """Size of each underlying AES key in bytes (16 or 32)."""
+        return self._key_size
+
+    # -- internal -----------------------------------------------------------
+
+    def _initial_tweak(self, tweak: bytes) -> bytes:
+        if len(tweak) != 16:
+            raise IVSizeError(f"XTS tweak must be 16 bytes, got {len(tweak)}")
+        return self._tweak_cipher.encrypt_block(tweak)
+
+    def _check_length(self, data: bytes) -> None:
+        if len(data) < SUB_BLOCK_SIZE:
+            raise DataSizeError(
+                f"XTS requires at least {SUB_BLOCK_SIZE} bytes, got {len(data)}")
+
+    # -- public API ---------------------------------------------------------
+
+    def encrypt(self, tweak: bytes, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext`` under ``tweak``; output has the same length."""
+        self._check_length(plaintext)
+        t = self._initial_tweak(tweak)
+        full_blocks, tail = divmod(len(plaintext), SUB_BLOCK_SIZE)
+        enc = self._data_cipher.encrypt_block
+
+        out = bytearray()
+        tweaks = []
+        for _ in range(full_blocks):
+            tweaks.append(t)
+            t = xts_mul_alpha(t)
+        final_tweak = t  # tweak for the stolen (partial) block, if any
+
+        limit = full_blocks if tail == 0 else full_blocks - 1
+        for i in range(limit):
+            block = plaintext[i * 16:(i + 1) * 16]
+            out += xor_bytes(enc(xor_bytes(block, tweaks[i])), tweaks[i])
+
+        if tail == 0:
+            return bytes(out)
+
+        # Ciphertext stealing: encrypt the last full block, then borrow.
+        i = full_blocks - 1
+        block = plaintext[i * 16:(i + 1) * 16]
+        cc = xor_bytes(enc(xor_bytes(block, tweaks[i])), tweaks[i])
+        partial = plaintext[full_blocks * 16:]
+        cm = cc[:tail]                      # becomes the final partial output
+        pp = partial + cc[tail:]            # padded with stolen ciphertext
+        cp = xor_bytes(enc(xor_bytes(pp, final_tweak)), final_tweak)
+        out += cp + cm
+        return bytes(out)
+
+    def decrypt(self, tweak: bytes, ciphertext: bytes) -> bytes:
+        """Decrypt ``ciphertext`` under ``tweak``."""
+        self._check_length(ciphertext)
+        t = self._initial_tweak(tweak)
+        full_blocks, tail = divmod(len(ciphertext), SUB_BLOCK_SIZE)
+        dec = self._data_cipher.decrypt_block
+
+        tweaks = []
+        for _ in range(full_blocks):
+            tweaks.append(t)
+            t = xts_mul_alpha(t)
+        final_tweak = t
+
+        out = bytearray()
+        limit = full_blocks if tail == 0 else full_blocks - 1
+        for i in range(limit):
+            block = ciphertext[i * 16:(i + 1) * 16]
+            out += xor_bytes(dec(xor_bytes(block, tweaks[i])), tweaks[i])
+
+        if tail == 0:
+            return bytes(out)
+
+        # Undo ciphertext stealing.  The penultimate on-wire block was
+        # encrypted under the *final* tweak.
+        i = full_blocks - 1
+        cp = ciphertext[i * 16:(i + 1) * 16]
+        cm = ciphertext[full_blocks * 16:]
+        pp = xor_bytes(dec(xor_bytes(cp, final_tweak)), final_tweak)
+        cc = cm + pp[tail:]
+        block = xor_bytes(dec(xor_bytes(cc, tweaks[i])), tweaks[i])
+        out += block + pp[:tail]
+        return bytes(out)
+
+    # -- sub-block helpers used by the attack toolkit ------------------------
+
+    def encrypt_sub_block(self, tweak: bytes, index: int, sub_block: bytes) -> bytes:
+        """Encrypt a single 16-byte sub-block at position ``index`` of a sector.
+
+        Exposed so the security-analysis examples can show that XTS
+        sub-blocks are independent: re-encrypting one sub-block in place
+        yields exactly the bytes found at that position in the full-sector
+        ciphertext.
+        """
+        if len(sub_block) != SUB_BLOCK_SIZE:
+            raise DataSizeError("sub-block must be 16 bytes")
+        t = self._initial_tweak(tweak)
+        for _ in range(index):
+            t = xts_mul_alpha(t)
+        enc = self._data_cipher.encrypt_block
+        return xor_bytes(enc(xor_bytes(sub_block, t)), t)

@@ -1,0 +1,37 @@
+"""Client-side encryption formats for RBD images — the paper's contribution.
+
+The package provides:
+
+* a LUKS2-like on-disk header with passphrase key slots
+  (:mod:`repro.encryption.luks`),
+* sector codecs that turn a 4 KiB plaintext block into ciphertext plus
+  optional per-sector metadata (:mod:`repro.encryption.codecs`): AES-XTS
+  with deterministic or random IVs, AES-XTS + HMAC, AES-GCM, wide-block,
+* the three per-sector metadata layouts evaluated in the paper
+  (:mod:`repro.encryption.layouts`): ``unaligned``, ``object-end`` and
+  ``omap``, next to the metadata-less ``luks-baseline``,
+* the crypto object dispatcher that plugs into an RBD image
+  (:mod:`repro.encryption.dispatch`), and
+* the user-facing format/load API (:mod:`repro.encryption.format`).
+"""
+
+from .codecs import (GcmCodec, MacXtsCodec, SectorCodec, WideBlockCodec,
+                     XtsCodec, make_codec)
+from .dispatch import CryptoObjectDispatcher, JournaledCryptoObjectDispatcher
+from .format import (EncryptionOptions, EncryptedImageInfo, add_passphrase,
+                     format_encryption, load_encryption, remove_passphrase,
+                     DEFAULT_BLOCK_SIZE)
+from .layouts import (BaselineLayout, LAYOUT_NAMES, MetadataLayout,
+                      ObjectEndLayout, OmapLayout, UnalignedLayout,
+                      make_layout)
+from .luks import KeySlot, LuksHeader
+
+__all__ = [
+    "SectorCodec", "XtsCodec", "MacXtsCodec", "GcmCodec", "WideBlockCodec",
+    "make_codec", "CryptoObjectDispatcher", "JournaledCryptoObjectDispatcher",
+    "EncryptionOptions", "EncryptedImageInfo", "add_passphrase",
+    "format_encryption", "load_encryption", "remove_passphrase",
+    "DEFAULT_BLOCK_SIZE", "MetadataLayout",
+    "BaselineLayout", "UnalignedLayout", "ObjectEndLayout", "OmapLayout",
+    "make_layout", "LAYOUT_NAMES", "KeySlot", "LuksHeader",
+]

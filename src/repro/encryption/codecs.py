@@ -1,0 +1,241 @@
+"""Sector codecs: plaintext block <-> (ciphertext block, per-sector metadata).
+
+A codec packages a cipher, an IV policy and (optionally) an integrity
+mechanism behind one interface so the metadata layouts never care *what*
+the per-sector metadata contains — only how large it is:
+
+=================  ===========================  ======================
+codec              ciphertext                    per-sector metadata
+=================  ===========================  ======================
+``xts``            AES-XTS, length preserving   IV (0 or 16 bytes)
+``xts-hmac``       AES-XTS                      IV + truncated HMAC tag
+``gcm``            AES-GCM (CTR keystream)      nonce (12) + tag (16)
+``wide-block``     HCTR-style wide block        IV (0 or 16 bytes)
+=================  ===========================  ======================
+
+With the ``plain64``/``essiv`` IV policies the ``xts`` codec needs no
+metadata at all — that is exactly today's LUKS2 baseline.  With the
+``random`` policy the IV must be persisted, which is the paper's proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..crypto.drbg import RandomSource, default_random_source
+from ..crypto.gcm import GCM
+from ..crypto.iv import IVPolicy, Plain64IV, RandomIV, make_iv_policy
+from ..crypto.kdf import derive_subkey
+from ..crypto.mac import SectorMac
+from ..crypto.suite import get_suite
+from ..errors import ConfigurationError, IntegrityError
+from ..util import constant_time_compare
+
+
+@dataclass(frozen=True)
+class EncryptedSector:
+    """Result of encrypting one block."""
+
+    ciphertext: bytes
+    metadata: bytes    #: empty when the codec needs no per-sector metadata
+
+
+class SectorCodec:
+    """Interface for sector-granular encryption with optional metadata."""
+
+    #: bytes of per-sector metadata this codec produces (0 = none)
+    metadata_size: int = 0
+    #: human-readable codec name recorded in the header
+    name: str = "abstract"
+
+    def encrypt_sector(self, lba: int, plaintext: bytes,
+                       snapshot_id: int = 0) -> EncryptedSector:
+        """Encrypt one block addressed by ``lba``."""
+        raise NotImplementedError
+
+    def decrypt_sector(self, lba: int, ciphertext: bytes,
+                       metadata: Optional[bytes],
+                       snapshot_id: int = 0) -> bytes:
+        """Decrypt one block; ``metadata`` is what the layout read back."""
+        raise NotImplementedError
+
+    @property
+    def deterministic(self) -> bool:
+        """True when overwriting an LBA re-uses the same IV (baseline)."""
+        return self.metadata_size == 0
+
+
+class XtsCodec(SectorCodec):
+    """AES-XTS (or a registered substitute) with a pluggable IV policy."""
+
+    name = "xts"
+
+    def __init__(self, cipher, iv_policy: IVPolicy) -> None:
+        self._cipher = cipher
+        self._policy = iv_policy
+        self.metadata_size = (getattr(iv_policy, "stored_size", 16)
+                              if iv_policy.requires_metadata else 0)
+
+    @property
+    def iv_policy(self) -> IVPolicy:
+        """The IV policy in use."""
+        return self._policy
+
+    def encrypt_sector(self, lba: int, plaintext: bytes,
+                       snapshot_id: int = 0) -> EncryptedSector:
+        iv = self._policy.iv_for_write(lba, snapshot_id)
+        ciphertext = self._cipher.encrypt(iv, plaintext)
+        metadata = b""
+        if self._policy.requires_metadata:
+            metadata = self._policy.metadata_for_iv(iv)
+        return EncryptedSector(ciphertext=ciphertext, metadata=metadata)
+
+    def decrypt_sector(self, lba: int, ciphertext: bytes,
+                       metadata: Optional[bytes],
+                       snapshot_id: int = 0) -> bytes:
+        iv = self._policy.iv_for_read(lba, metadata or None, snapshot_id)
+        return self._cipher.decrypt(iv, ciphertext)
+
+
+class MacXtsCodec(SectorCodec):
+    """AES-XTS plus a truncated HMAC over (lba, IV, ciphertext).
+
+    This is the "authentication of encryption" use of per-sector metadata
+    described in §1/§2.2: manipulation and replay of ciphertext become
+    detectable at read time.
+    """
+
+    name = "xts-hmac"
+
+    def __init__(self, cipher, iv_policy: IVPolicy, mac: SectorMac) -> None:
+        self._cipher = cipher
+        self._policy = iv_policy
+        self._mac = mac
+        iv_size = (getattr(iv_policy, "stored_size", 16)
+                   if iv_policy.requires_metadata else 0)
+        self._iv_size = iv_size
+        self.metadata_size = iv_size + mac.tag_size
+
+    def encrypt_sector(self, lba: int, plaintext: bytes,
+                       snapshot_id: int = 0) -> EncryptedSector:
+        iv = self._policy.iv_for_write(lba, snapshot_id)
+        ciphertext = self._cipher.encrypt(iv, plaintext)
+        stored_iv = (self._policy.metadata_for_iv(iv)
+                     if self._policy.requires_metadata else b"")
+        tag = self._mac.tag(lba, iv, ciphertext)
+        return EncryptedSector(ciphertext=ciphertext, metadata=stored_iv + tag)
+
+    def decrypt_sector(self, lba: int, ciphertext: bytes,
+                       metadata: Optional[bytes],
+                       snapshot_id: int = 0) -> bytes:
+        if metadata is None or len(metadata) != self.metadata_size:
+            raise IntegrityError(
+                f"missing or truncated integrity metadata for LBA {lba}")
+        stored_iv, tag = metadata[:self._iv_size], metadata[self._iv_size:]
+        iv = self._policy.iv_for_read(lba, stored_iv or None, snapshot_id)
+        self._mac.verify(lba, iv, ciphertext, tag)
+        return self._cipher.decrypt(iv, ciphertext)
+
+
+class GcmCodec(SectorCodec):
+    """AES-GCM per sector: authenticated encryption with a random nonce.
+
+    GCM is only safe when the nonce never repeats, which is impossible
+    without per-sector metadata — the paper names it as the natural cipher
+    once metadata space exists (§3.1).  The nonce binds the LBA and
+    snapshot id via the additional authenticated data.
+    """
+
+    name = "gcm"
+    metadata_size = 12 + 16
+
+    def __init__(self, gcm: GCM, random_source: Optional[RandomSource] = None) -> None:
+        self._gcm = gcm
+        self._random = random_source or default_random_source()
+
+    def _aad(self, lba: int, snapshot_id: int) -> bytes:
+        return lba.to_bytes(8, "little") + snapshot_id.to_bytes(4, "little")
+
+    def encrypt_sector(self, lba: int, plaintext: bytes,
+                       snapshot_id: int = 0) -> EncryptedSector:
+        nonce = self._random.read(12)
+        result = self._gcm.encrypt(nonce, plaintext, aad=self._aad(lba, snapshot_id))
+        return EncryptedSector(ciphertext=result.ciphertext,
+                               metadata=nonce + result.tag)
+
+    def decrypt_sector(self, lba: int, ciphertext: bytes,
+                       metadata: Optional[bytes],
+                       snapshot_id: int = 0) -> bytes:
+        if metadata is None or len(metadata) != self.metadata_size:
+            raise IntegrityError(
+                f"missing or truncated GCM metadata for LBA {lba}")
+        nonce, tag = metadata[:12], metadata[12:]
+        return self._gcm.decrypt(nonce, ciphertext, tag,
+                                 aad=self._aad(lba, snapshot_id))
+
+
+class WideBlockCodec(SectorCodec):
+    """Wide-block (sector-wide) encryption with a pluggable IV policy."""
+
+    name = "wide-block"
+
+    def __init__(self, cipher, iv_policy: IVPolicy) -> None:
+        self._cipher = cipher
+        self._policy = iv_policy
+        self.metadata_size = (getattr(iv_policy, "stored_size", 16)
+                              if iv_policy.requires_metadata else 0)
+
+    def encrypt_sector(self, lba: int, plaintext: bytes,
+                       snapshot_id: int = 0) -> EncryptedSector:
+        iv = self._policy.iv_for_write(lba, snapshot_id)
+        ciphertext = self._cipher.encrypt(iv, plaintext)
+        metadata = (self._policy.metadata_for_iv(iv)
+                    if self._policy.requires_metadata else b"")
+        return EncryptedSector(ciphertext=ciphertext, metadata=metadata)
+
+    def decrypt_sector(self, lba: int, ciphertext: bytes,
+                       metadata: Optional[bytes],
+                       snapshot_id: int = 0) -> bytes:
+        iv = self._policy.iv_for_read(lba, metadata or None, snapshot_id)
+        return self._cipher.decrypt(iv, ciphertext)
+
+
+#: codec names accepted by :func:`make_codec`
+CODEC_NAMES = ("xts", "xts-hmac", "gcm", "wide-block")
+
+
+def make_codec(codec_name: str, cipher_suite: str, iv_policy_name: str,
+               volume_key: bytes,
+               random_source: Optional[RandomSource] = None) -> SectorCodec:
+    """Build a codec from header fields and the unlocked volume key.
+
+    Sub-keys for data encryption, MAC and GCM are derived independently
+    from the volume key so that no key is reused across algorithms.
+    """
+    if codec_name not in CODEC_NAMES:
+        raise ConfigurationError(f"unknown codec {codec_name!r}")
+    rng = random_source or default_random_source()
+
+    if codec_name == "gcm":
+        gcm_key = derive_subkey(volume_key, "gcm", 32)
+        return GcmCodec(GCM(gcm_key), rng)
+
+    suite = get_suite(cipher_suite)
+    data_key = derive_subkey(volume_key, "data", suite.key_size)
+    cipher = suite.create(data_key)
+    policy = make_iv_policy(iv_policy_name, volume_key=volume_key,
+                            random_source=rng)
+
+    if codec_name == "xts":
+        return XtsCodec(cipher, policy)
+    if codec_name == "xts-hmac":
+        mac_key = derive_subkey(volume_key, "mac", 32)
+        return MacXtsCodec(cipher, policy, SectorMac(mac_key))
+    if codec_name == "wide-block":
+        if not suite.wide_block:
+            wide_suite = get_suite("wide-block-256")
+            cipher = wide_suite.create(derive_subkey(volume_key, "wide",
+                                                     wide_suite.key_size))
+        return WideBlockCodec(cipher, policy)
+    raise ConfigurationError(f"unhandled codec {codec_name!r}")

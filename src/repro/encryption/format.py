@@ -1,0 +1,222 @@
+"""User-facing encryption format API: format an image, load (unlock) it.
+
+``format_encryption`` writes the encryption header and installs the
+encrypting dispatcher; ``load_encryption`` unlocks an already formatted
+image with a passphrase and installs the dispatcher.  Both mirror libRBD's
+``rbd encryption format`` / ``load`` flow.
+
+Typical use::
+
+    from repro.rados import Cluster
+    from repro.rbd import create_image, open_image
+    from repro.encryption import EncryptionOptions, format_encryption
+
+    cluster = Cluster()
+    ioctx = cluster.client().open_ioctx("rbd")
+    create_image(ioctx, "vol0", 64 * 1024 * 1024)
+    image = open_image(ioctx, "vol0")
+    info = format_encryption(image, b"hunter2",
+                             EncryptionOptions(layout="object-end"))
+    image.write(0, b"secret data")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .codecs import SectorCodec, make_codec
+from .dispatch import CryptoObjectDispatcher, JournaledCryptoObjectDispatcher
+from .layouts import BaselineLayout, MetadataLayout, make_layout
+from .luks import DEFAULT_ITERATIONS, LuksHeader
+from ..crypto.drbg import RandomSource, default_random_source
+from ..crypto.suite import DEFAULT_SUITE
+from ..errors import ConfigurationError, EncryptionFormatError
+from ..rados.transaction import WriteTransaction
+from ..rbd.image import Image
+from ..sim.ledger import OpReceipt
+
+DEFAULT_BLOCK_SIZE = 4096
+_VOLUME_KEY_SIZE = 64
+
+
+def crypto_header_object(image_name: str) -> str:
+    """RADOS object name that stores the encryption header of an image."""
+    return f"rbd_crypto_header.{image_name}"
+
+
+@dataclass
+class EncryptionOptions:
+    """Options accepted by :func:`format_encryption`."""
+
+    #: metadata layout: ``luks-baseline``, ``unaligned``, ``object-end``, ``omap``
+    layout: str = "object-end"
+    #: sector codec: ``xts``, ``xts-hmac``, ``gcm``, ``wide-block``
+    codec: str = "xts"
+    #: cipher suite backing the codec (see :mod:`repro.crypto.suite`)
+    cipher_suite: str = DEFAULT_SUITE
+    #: IV policy; ``None`` picks ``random`` for metadata layouts and
+    #: ``plain64`` for the baseline
+    iv_policy: Optional[str] = None
+    #: encryption block ("sector") size; the paper only considers 4 KiB
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: PBKDF2 iterations for new key slots
+    iterations: int = DEFAULT_ITERATIONS
+    #: use the journal-based consistency ablation instead of atomic txns
+    journaled: bool = False
+    #: deterministic randomness source (tests/benchmarks)
+    random_source: Optional[RandomSource] = None
+
+    def resolved_iv_policy(self) -> str:
+        """The IV policy after applying the layout-dependent default."""
+        if self.iv_policy is not None:
+            return self.iv_policy
+        return "plain64" if self.layout in ("luks-baseline", "baseline",
+                                            "luks2") else "random"
+
+
+@dataclass
+class EncryptedImageInfo:
+    """What an unlocked encryption format looks like to the caller."""
+
+    image_name: str
+    layout: str
+    codec: str
+    cipher_suite: str
+    iv_policy: str
+    block_size: int
+    metadata_size: int
+    journaled: bool = False
+    #: fraction of extra object space consumed by per-sector metadata
+    space_overhead: float = 0.0
+    header: LuksHeader = field(default=None, repr=False)
+    dispatcher: CryptoObjectDispatcher = field(default=None, repr=False)
+
+    @property
+    def sector_codec(self) -> SectorCodec:
+        """The live codec (exposed for the attack/analysis toolkits)."""
+        return self.dispatcher.codec
+
+    @property
+    def metadata_layout(self) -> MetadataLayout:
+        """The live layout."""
+        return self.dispatcher.layout
+
+
+def _write_header_object(image: Image, header: LuksHeader) -> OpReceipt:
+    txn = WriteTransaction().write_full(header.to_json())
+    return image.ioctx.operate_write(crypto_header_object(image.name), txn,
+                                     object_size_hint=64 * 1024)
+
+
+def _read_header_object(image: Image) -> LuksHeader:
+    name = crypto_header_object(image.name)
+    size = image.ioctx.stat(name)
+    if size is None:
+        raise EncryptionFormatError(
+            f"image {image.name!r} has no encryption header")
+    raw = image.ioctx.read(name, 0, size).data
+    return LuksHeader.from_json(raw)
+
+
+def _install(image: Image, header: LuksHeader, volume_key: bytes,
+             journaled: bool,
+             random_source: Optional[RandomSource]) -> EncryptedImageInfo:
+    codec = make_codec(header.codec, header.cipher_suite, header.iv_policy,
+                       volume_key, random_source)
+    if codec.metadata_size != header.metadata_size:
+        raise EncryptionFormatError(
+            f"header metadata size {header.metadata_size} does not match "
+            f"codec metadata size {codec.metadata_size}")
+    layout = make_layout(header.layout, image.object_size, header.block_size,
+                         header.metadata_size)
+    dispatcher_cls = (JournaledCryptoObjectDispatcher if journaled
+                      else CryptoObjectDispatcher)
+    dispatcher = dispatcher_cls(image.ioctx, image.header.image_id,
+                                image.object_size, header.block_size,
+                                codec, layout)
+    image.set_dispatcher(dispatcher)
+    data_area = image.object_size
+    overhead = (layout.physical_object_size() - data_area) / data_area
+    return EncryptedImageInfo(
+        image_name=image.name, layout=layout.name, codec=header.codec,
+        cipher_suite=header.cipher_suite, iv_policy=header.iv_policy,
+        block_size=header.block_size, metadata_size=header.metadata_size,
+        journaled=journaled, space_overhead=overhead, header=header,
+        dispatcher=dispatcher)
+
+
+def format_encryption(image: Image, passphrase: bytes,
+                      options: Optional[EncryptionOptions] = None) -> EncryptedImageInfo:
+    """Format an image for encryption and install the encrypting dispatcher.
+
+    The image must be freshly created (formatting does not re-encrypt
+    existing data).  Raises :class:`EncryptionFormatError` if the image is
+    already formatted.
+    """
+    options = options or EncryptionOptions()
+    if not passphrase:
+        raise ConfigurationError("passphrase must not be empty")
+    if options.block_size <= 0 or options.block_size % 512:
+        raise ConfigurationError("block size must be a positive multiple of 512")
+    if image.object_size % options.block_size:
+        raise ConfigurationError(
+            "object size must be a multiple of the encryption block size")
+    if image.ioctx.object_exists(crypto_header_object(image.name)):
+        raise EncryptionFormatError(
+            f"image {image.name!r} already has an encryption header")
+
+    rng = options.random_source or default_random_source()
+    volume_key = rng.read(_VOLUME_KEY_SIZE)
+    iv_policy = options.resolved_iv_policy()
+    codec = make_codec(options.codec, options.cipher_suite, iv_policy,
+                       volume_key, rng)
+
+    header = LuksHeader(cipher_suite=options.cipher_suite, codec=options.codec,
+                        iv_policy=iv_policy, layout=options.layout,
+                        block_size=options.block_size,
+                        metadata_size=codec.metadata_size)
+    # Fail early (before persisting anything) if the layout/IV combination
+    # is impossible, e.g. random IVs on the metadata-less baseline.
+    make_layout(options.layout, image.object_size, options.block_size,
+                codec.metadata_size)
+    header.set_volume_key_digest(volume_key, rng)
+    header.add_key_slot(passphrase, volume_key, options.iterations, rng)
+    _write_header_object(image, header)
+    image.update_encryption_metadata({
+        "format": "luks-repro",
+        "header_object": crypto_header_object(image.name),
+        "layout": options.layout,
+    })
+    return _install(image, header, volume_key, options.journaled, rng)
+
+
+def load_encryption(image: Image, passphrase: bytes,
+                    journaled: bool = False,
+                    random_source: Optional[RandomSource] = None) -> EncryptedImageInfo:
+    """Unlock a formatted image and install the encrypting dispatcher."""
+    header = _read_header_object(image)
+    volume_key = header.unlock(passphrase)
+    return _install(image, header, volume_key, journaled, random_source)
+
+
+def add_passphrase(image: Image, existing_passphrase: bytes,
+                   new_passphrase: bytes,
+                   iterations: int = DEFAULT_ITERATIONS,
+                   random_source: Optional[RandomSource] = None) -> None:
+    """Add a key slot so the image can also be unlocked with a new passphrase."""
+    header = _read_header_object(image)
+    volume_key = header.unlock(existing_passphrase)
+    header.add_key_slot(new_passphrase, volume_key, iterations,
+                        random_source or default_random_source())
+    _write_header_object(image, header)
+
+
+def remove_passphrase(image: Image, passphrase: bytes, slot_index: int) -> None:
+    """Remove a key slot (verifying the caller can unlock the header first)."""
+    header = _read_header_object(image)
+    header.unlock(passphrase)
+    if len(header.key_slots) <= 1:
+        raise EncryptionFormatError("refusing to remove the last key slot")
+    header.remove_key_slot(slot_index)
+    _write_header_object(image, header)

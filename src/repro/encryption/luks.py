@@ -1,0 +1,164 @@
+"""LUKS2-style encryption header with passphrase key slots.
+
+Ceph RBD's client-side encryption follows the LUKS on-disk format; this
+module reproduces the parts that matter for the paper's design: a volume
+key protected by one or more passphrase-derived key slots (PBKDF2 +
+AES key wrap), a digest for verifying an unlocked volume key, and the
+cipher/IV-policy/layout selection that the data path reads at load time.
+
+The header is serialized as JSON and stored in its own RADOS object
+(``rbd_crypto_header.<image>``) rather than at the head of the data area —
+a small divergence from LUKS noted in DESIGN.md that keeps the data-object
+address arithmetic identical with and without encryption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..crypto.drbg import RandomSource, default_random_source
+from ..crypto.kdf import aes_key_unwrap, aes_key_wrap, pbkdf2
+from ..errors import EncryptionFormatError, PassphraseError
+from ..util import constant_time_compare
+
+HEADER_VERSION = 2
+#: default PBKDF2 iteration count (kept low: this is a simulator, not a vault)
+DEFAULT_ITERATIONS = 2000
+DIGEST_ITERATIONS = 1000
+
+
+@dataclass
+class KeySlot:
+    """One passphrase slot protecting the volume key."""
+
+    salt: bytes
+    iterations: int
+    wrapped_key: bytes
+
+    def to_doc(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {"salt": self.salt.hex(), "iterations": self.iterations,
+                "wrapped_key": self.wrapped_key.hex()}
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "KeySlot":
+        """Parse the JSON form."""
+        return cls(salt=bytes.fromhex(doc["salt"]),
+                   iterations=int(doc["iterations"]),
+                   wrapped_key=bytes.fromhex(doc["wrapped_key"]))
+
+
+@dataclass
+class LuksHeader:
+    """The complete encryption header."""
+
+    cipher_suite: str
+    codec: str
+    iv_policy: str
+    layout: str
+    block_size: int
+    metadata_size: int
+    key_slots: List[KeySlot] = field(default_factory=list)
+    digest_salt: bytes = b""
+    digest: bytes = b""
+    version: int = HEADER_VERSION
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> bytes:
+        """Serialize the header to its on-disk JSON form."""
+        return json.dumps({
+            "version": self.version,
+            "cipher_suite": self.cipher_suite,
+            "codec": self.codec,
+            "iv_policy": self.iv_policy,
+            "layout": self.layout,
+            "block_size": self.block_size,
+            "metadata_size": self.metadata_size,
+            "key_slots": [slot.to_doc() for slot in self.key_slots],
+            "digest_salt": self.digest_salt.hex(),
+            "digest": self.digest.hex(),
+        }, indent=2).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, raw: bytes) -> "LuksHeader":
+        """Parse a header; raises :class:`EncryptionFormatError` if malformed."""
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise EncryptionFormatError(f"malformed encryption header: {exc}") from exc
+        if doc.get("version") != HEADER_VERSION:
+            raise EncryptionFormatError(
+                f"unsupported header version {doc.get('version')!r}")
+        required = ("cipher_suite", "codec", "iv_policy", "layout",
+                    "block_size", "metadata_size")
+        for name in required:
+            if name not in doc:
+                raise EncryptionFormatError(f"header is missing field {name!r}")
+        return cls(
+            cipher_suite=doc["cipher_suite"],
+            codec=doc["codec"],
+            iv_policy=doc["iv_policy"],
+            layout=doc["layout"],
+            block_size=int(doc["block_size"]),
+            metadata_size=int(doc["metadata_size"]),
+            key_slots=[KeySlot.from_doc(d) for d in doc.get("key_slots", [])],
+            digest_salt=bytes.fromhex(doc.get("digest_salt", "")),
+            digest=bytes.fromhex(doc.get("digest", "")),
+            version=int(doc["version"]),
+        )
+
+    # -- key management ----------------------------------------------------------
+
+    @staticmethod
+    def _digest_of(volume_key: bytes, salt: bytes) -> bytes:
+        return hashlib.pbkdf2_hmac("sha256", volume_key, salt,
+                                   DIGEST_ITERATIONS, 32)
+
+    def set_volume_key_digest(self, volume_key: bytes,
+                              random_source: Optional[RandomSource] = None) -> None:
+        """Record a digest used to verify future unlock attempts."""
+        rng = random_source or default_random_source()
+        self.digest_salt = rng.read(16)
+        self.digest = self._digest_of(volume_key, self.digest_salt)
+
+    def add_key_slot(self, passphrase: bytes, volume_key: bytes,
+                     iterations: int = DEFAULT_ITERATIONS,
+                     random_source: Optional[RandomSource] = None) -> KeySlot:
+        """Protect the volume key under a new passphrase slot."""
+        if not passphrase:
+            raise EncryptionFormatError("passphrase must not be empty")
+        if len(volume_key) % 8 or len(volume_key) < 16:
+            raise EncryptionFormatError(
+                "volume key length must be a multiple of 8 bytes, >= 16")
+        rng = random_source or default_random_source()
+        salt = rng.read(32)
+        kek = pbkdf2(passphrase, salt, iterations, 32)
+        slot = KeySlot(salt=salt, iterations=iterations,
+                       wrapped_key=aes_key_wrap(kek, volume_key))
+        self.key_slots.append(slot)
+        return slot
+
+    def remove_key_slot(self, index: int) -> None:
+        """Remove a key slot by position."""
+        if not 0 <= index < len(self.key_slots):
+            raise EncryptionFormatError(f"no key slot {index}")
+        del self.key_slots[index]
+
+    def unlock(self, passphrase: bytes) -> bytes:
+        """Recover the volume key; raises :class:`PassphraseError` on failure."""
+        if not self.key_slots:
+            raise EncryptionFormatError("header has no key slots")
+        for slot in self.key_slots:
+            kek = pbkdf2(passphrase, slot.salt, slot.iterations, 32)
+            try:
+                candidate = aes_key_unwrap(kek, slot.wrapped_key)
+            except Exception:
+                continue
+            if not self.digest or constant_time_compare(
+                    self._digest_of(candidate, self.digest_salt), self.digest):
+                return candidate
+        raise PassphraseError("no key slot could be unlocked with this passphrase")

@@ -1,0 +1,18 @@
+"""Embedded LSM-tree key-value store — the reproduction's stand-in for the
+RocksDB instance that backs Ceph's per-object OMAP metadata.
+
+The paper's third layout ("OMAP") stores each sector's IV in this database,
+keyed by the block's offset within its object, and relies on range
+operations so that a contiguous IO touches the database once.  The store is
+fully functional (write-ahead log, sorted memtable, immutable sorted runs,
+background-style compaction) and charges realistic costs: a fixed per-batch
+cost, a per-key write cost, a much cheaper per-key range-read cost, and the
+device traffic of its WAL and flushes.
+"""
+
+from .lsm import KVResult, LsmStore
+from .memtable import MemTable
+from .sstable import SSTable
+from .wal import WriteAheadLog
+
+__all__ = ["LsmStore", "KVResult", "MemTable", "SSTable", "WriteAheadLog"]

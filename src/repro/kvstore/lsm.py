@@ -1,0 +1,253 @@
+"""LSM-tree key-value store: WAL + memtable + SSTables + compaction.
+
+One :class:`LsmStore` instance backs all OMAP data of one OSD (mirroring
+how a single RocksDB instance inside BlueStore serves every object on that
+OSD).  Object-scoped namespaces are achieved by key prefixes, which the
+RADOS layer manages.
+
+Cost accounting
+---------------
+Writes charge a fixed per-batch cost, a per-key insert cost and a per-byte
+cost to the OSD CPU, plus the WAL append and (amortised) flush/compaction
+traffic on the metadata device.  Range reads charge the fixed per-batch
+cost and a much smaller per-key cost, reflecting that an iterator scan over
+adjacent keys is far cheaper than inserting those keys.  These constants
+are what make the paper's OMAP layout attractive for small IOs and
+increasingly expensive as the IO size (and therefore the number of keys per
+batch) grows — see Fig. 4 and EXPERIMENTS.md E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .memtable import MemTable
+from .sstable import SSTable, merge_tables
+from .wal import WriteAheadLog, encode_batch
+from ..blockdev.device import SimulatedDisk
+from ..errors import KVClosedError
+from ..sim.costparams import CostParameters
+from ..sim.ledger import CostLedger, RES_OSD_CPU
+
+
+@dataclass
+class KVResult:
+    """Values returned by a store operation plus its critical-path latency."""
+
+    items: List[Tuple[bytes, bytes]] = field(default_factory=list)
+    latency_us: float = 0.0
+
+    def as_dict(self) -> Dict[bytes, bytes]:
+        """The returned key/value pairs as a dictionary."""
+        return dict(self.items)
+
+
+class LsmStore:
+    """A small but functional LSM-tree store with simulated costs."""
+
+    def __init__(self, name: str, device: SimulatedDisk,
+                 params: Optional[CostParameters] = None,
+                 ledger: Optional[CostLedger] = None,
+                 memtable_flush_bytes: int = 4 * 1024 * 1024,
+                 max_tables_before_compaction: int = 8,
+                 wal_region_bytes: int = 32 * 1024 * 1024) -> None:
+        self.name = name
+        self.params = params or CostParameters()
+        self.ledger = ledger
+        self._device = device
+        self._memtable = MemTable()
+        self._tables: List[SSTable] = []      # newest first
+        self._flush_threshold = memtable_flush_bytes
+        self._max_tables = max_tables_before_compaction
+        # The WAL occupies the start of the metadata device; flushed SSTable
+        # data is written after it (append-only, compaction rewrites in place).
+        self._wal = WriteAheadLog(device, 0, wal_region_bytes)
+        self._sst_region = wal_region_bytes
+        self._sst_write_pos = wal_region_bytes
+        self._closed = False
+        self.flush_count = 0
+        self.compaction_count = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise KVClosedError(f"LSM store {self.name!r} is closed")
+
+    def _charge_cpu(self, microseconds: float, counter: str,
+                    amount: float = 1.0) -> None:
+        if self.ledger is not None:
+            self.ledger.busy(RES_OSD_CPU, microseconds)
+            self.ledger.count(counter, amount)
+
+    def _payload_bytes(self, items: List[Tuple[bytes, Optional[bytes]]]) -> int:
+        return sum(len(k) + (len(v) if v is not None else 0) for k, v in items)
+
+    def _maybe_flush(self) -> float:
+        if self._memtable.approximate_bytes < self._flush_threshold:
+            return 0.0
+        return self.flush()
+
+    # -- mutations -------------------------------------------------------------
+
+    def put_batch(self, items: List[Tuple[bytes, Optional[bytes]]]) -> KVResult:
+        """Atomically apply a batch of puts/deletes (value ``None`` deletes)."""
+        self._check_open()
+        if not items:
+            return KVResult()
+        params = self.params
+        payload = encode_batch(items)
+        wal_latency = self._wal.append(payload)
+        for key, value in items:
+            self._memtable.put(key, value)
+
+        nbytes = self._payload_bytes(items)
+        cpu = (params.omap_op_cost_us
+               + params.omap_write_key_cost_us * len(items)
+               + params.omap_byte_cost_us_per_kib * nbytes / 1024.0)
+        # Amortised flush + compaction write amplification.
+        cpu += params.omap_compaction_factor * params.omap_write_key_cost_us * len(items)
+        self._charge_cpu(cpu, "omap.keys_written", len(items))
+        if self.ledger is not None:
+            self.ledger.count("omap.write_batches")
+            self.ledger.count("omap.bytes_written", nbytes)
+        flush_latency = self._maybe_flush()
+        return KVResult(items=[], latency_us=wal_latency + cpu + flush_latency)
+
+    def put(self, key: bytes, value: bytes) -> KVResult:
+        """Insert or overwrite a single key."""
+        return self.put_batch([(key, value)])
+
+    def delete(self, key: bytes) -> KVResult:
+        """Delete a key (tombstone)."""
+        return self.put_batch([(key, None)])
+
+    def delete_range(self, start: bytes, end: bytes) -> KVResult:
+        """Delete every key in ``[start, end)`` currently visible."""
+        existing = [k for k, _ in self.scan(start, end).items]
+        if not existing:
+            return KVResult()
+        return self.put_batch([(k, None) for k in existing])
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> KVResult:
+        """Point lookup; returns zero or one item."""
+        self._check_open()
+        params = self.params
+        cpu = params.omap_op_cost_us + params.omap_read_key_cost_us
+        found, value = self._memtable.get(key)
+        if not found:
+            for table in self._tables:
+                found, value = table.get(key)
+                if found:
+                    break
+                cpu += params.omap_read_key_cost_us  # probe one more level
+        self._charge_cpu(cpu, "omap.point_lookups")
+        items = [(key, value)] if found and value is not None else []
+        return KVResult(items=items, latency_us=cpu)
+
+    def get_many(self, keys: List[bytes]) -> KVResult:
+        """Multi-key lookup (used for sparse IV reads)."""
+        self._check_open()
+        params = self.params
+        out: List[Tuple[bytes, bytes]] = []
+        for key in keys:
+            found, value = self._memtable.get(key)
+            if not found:
+                for table in self._tables:
+                    found, value = table.get(key)
+                    if found:
+                        break
+            if found and value is not None:
+                out.append((key, value))
+        nbytes = sum(len(k) + len(v) for k, v in out)
+        cpu = (params.omap_op_cost_us
+               + params.omap_read_key_cost_us * max(1, len(keys))
+               + params.omap_byte_cost_us_per_kib * nbytes / 1024.0)
+        self._charge_cpu(cpu, "omap.keys_read", len(keys))
+        if self.ledger is not None:
+            self.ledger.count("omap.read_batches")
+        return KVResult(items=out, latency_us=cpu)
+
+    def scan(self, start: bytes, end: bytes) -> KVResult:
+        """Range scan over ``[start, end)`` merging all levels."""
+        self._check_open()
+        params = self.params
+        merged: Dict[bytes, Optional[bytes]] = {}
+        # Oldest table first so newer entries overwrite older ones.
+        for table in reversed(self._tables):
+            for key, value in table.scan(start, end):
+                merged[key] = value
+        for key, value in self._memtable.scan(start, end):
+            merged[key] = value
+        out = [(k, v) for k, v in sorted(merged.items()) if v is not None]
+        nbytes = sum(len(k) + len(v) for k, v in out)
+        cpu = (params.omap_op_cost_us
+               + params.omap_read_key_cost_us * max(1, len(out))
+               + params.omap_byte_cost_us_per_kib * nbytes / 1024.0)
+        self._charge_cpu(cpu, "omap.keys_read", len(out))
+        if self.ledger is not None:
+            self.ledger.count("omap.read_batches")
+        return KVResult(items=out, latency_us=cpu)
+
+    # -- maintenance --------------------------------------------------------------
+
+    def flush(self) -> float:
+        """Flush the memtable into a new SSTable; returns device latency."""
+        self._check_open()
+        if len(self._memtable) == 0:
+            return 0.0
+        entries = list(self._memtable.items())
+        table = SSTable(entries)
+        self._tables.insert(0, table)
+        self._memtable.clear()
+        self._wal.truncate()
+        self.flush_count += 1
+
+        # Write the serialized table sequentially to the metadata device.
+        latency = self._write_table(table)
+        if self.ledger is not None:
+            self.ledger.count("omap.flushes")
+        if len(self._tables) > self._max_tables:
+            latency += self.compact()
+        return latency
+
+    def compact(self) -> float:
+        """Merge all SSTables into one, dropping tombstones."""
+        self._check_open()
+        if len(self._tables) <= 1:
+            return 0.0
+        merged = merge_tables(self._tables, drop_tombstones=True)
+        self._tables = [merged] if len(merged) else []
+        self.compaction_count += 1
+        latency = self._write_table(merged) if len(merged) else 0.0
+        if self.ledger is not None:
+            self.ledger.count("omap.compactions")
+        return latency
+
+    def _write_table(self, table: SSTable) -> float:
+        size = max(table.size_bytes, 1)
+        if self._sst_write_pos + size > self._device.capacity_bytes:
+            self._sst_write_pos = self._sst_region
+        result = self._device.write(self._sst_write_pos, b"\x00" * size)
+        self._sst_write_pos += size
+        return result.latency_us
+
+    def close(self) -> None:
+        """Flush outstanding data and refuse further operations."""
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def table_count(self) -> int:
+        """Number of immutable SSTables currently live."""
+        return len(self._tables)
+
+    def key_count(self) -> int:
+        """Total number of live (non-tombstone) keys visible to readers."""
+        return len(self.scan(b"", b"\xff" * 64).items)

@@ -1,0 +1,64 @@
+"""In-memory sorted write buffer (memtable) for the LSM store."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Sentinel stored for deleted keys until compaction drops them.
+TOMBSTONE = None
+
+
+class MemTable:
+    """Sorted mutable buffer of key/value pairs.
+
+    Keys are ``bytes``; values are ``bytes`` or ``None`` (tombstone).  The
+    structure keeps a parallel sorted key list so range scans are cheap,
+    mirroring a skiplist-based memtable.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[bytes, Optional[bytes]] = {}
+        self._sorted_keys: List[bytes] = []
+        self.approximate_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def put(self, key: bytes, value: Optional[bytes]) -> None:
+        """Insert or overwrite ``key`` (``None`` value records a delete)."""
+        if key not in self._data:
+            bisect.insort(self._sorted_keys, key)
+            self.approximate_bytes += len(key)
+        else:
+            old = self._data[key]
+            self.approximate_bytes -= len(old) if old is not None else 0
+        self._data[key] = value
+        self.approximate_bytes += len(value) if value is not None else 0
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Return ``(found, value)``; a found tombstone yields ``(True, None)``."""
+        if key in self._data:
+            return True, self._data[key]
+        return False, None
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Yield entries with ``start <= key < end`` in key order."""
+        lo = bisect.bisect_left(self._sorted_keys, start)
+        hi = bisect.bisect_left(self._sorted_keys, end)
+        for key in self._sorted_keys[lo:hi]:
+            yield key, self._data[key]
+
+    def items(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Yield all entries in key order (used when flushing to an SSTable)."""
+        for key in self._sorted_keys:
+            yield key, self._data[key]
+
+    def clear(self) -> None:
+        """Drop all entries (after a successful flush)."""
+        self._data.clear()
+        self._sorted_keys.clear()
+        self.approximate_bytes = 0

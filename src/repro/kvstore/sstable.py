@@ -1,0 +1,77 @@
+"""Immutable sorted runs (SSTables) for the LSM store."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+
+class SSTable:
+    """An immutable, sorted list of key/value pairs produced by a flush.
+
+    Values of ``None`` are tombstones and shadow older tables during reads;
+    they are dropped when a compaction merges the oldest level.
+    """
+
+    _counter = 0
+
+    def __init__(self, entries: List[Tuple[bytes, Optional[bytes]]]) -> None:
+        keys = [k for k, _ in entries]
+        if keys != sorted(keys):
+            raise ValueError("SSTable entries must be sorted by key")
+        if len(set(keys)) != len(keys):
+            raise ValueError("SSTable entries must have unique keys")
+        self._keys = keys
+        self._values = [v for _, v in entries]
+        SSTable._counter += 1
+        self.table_id = SSTable._counter
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate serialized size (keys + values)."""
+        return (sum(len(k) for k in self._keys)
+                + sum(len(v) for v in self._values if v is not None))
+
+    @property
+    def key_range(self) -> Tuple[Optional[bytes], Optional[bytes]]:
+        """Smallest and largest key (``(None, None)`` for an empty table)."""
+        if not self._keys:
+            return None, None
+        return self._keys[0], self._keys[-1]
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Binary-search lookup; returns ``(found, value_or_tombstone)``."""
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return True, self._values[idx]
+        return False, None
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Yield entries with ``start <= key < end`` in key order."""
+        lo = bisect.bisect_left(self._keys, start)
+        hi = bisect.bisect_left(self._keys, end)
+        for i in range(lo, hi):
+            yield self._keys[i], self._values[i]
+
+    def items(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Yield every entry in key order."""
+        return iter(zip(self._keys, self._values))
+
+
+def merge_tables(tables: List[SSTable], drop_tombstones: bool) -> SSTable:
+    """Merge SSTables (newest first) into one, optionally dropping tombstones."""
+    merged: dict = {}
+    # Iterate oldest -> newest so newer entries overwrite older ones.
+    for table in reversed(tables):
+        for key, value in table.items():
+            merged[key] = value
+    entries = []
+    for key in sorted(merged):
+        value = merged[key]
+        if value is None and drop_tombstones:
+            continue
+        entries.append((key, value))
+    return SSTable(entries)

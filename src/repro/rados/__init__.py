@@ -1,0 +1,33 @@
+"""A simulated Ceph-like distributed object store ("RADOS").
+
+This package is the substrate the paper's prototype modifies: objects that
+hold byte data, extended attributes and an OMAP key-value namespace; OSDs
+that store replicas of those objects on simulated NVMe devices; a
+CRUSH-style pseudo-random placement function; client-side transactions that
+apply several writes (data + metadata) **atomically**; and self-managed
+snapshots used by the RBD layer above.
+
+The atomic multi-op transaction support is the property the paper leans on
+("we use the support in the Ceph RADOS protocol for atomically writing
+multiple IOs to ensure data and IV consistency", §3.1).
+"""
+
+from .cluster import Cluster, ClusterConfig, Pool
+from .client import IoCtx, RadosClient, ReadResult, SnapContext
+from .object import CloneInfo, RadosObject
+from .osd import OSD
+from .placement import PlacementMap
+from .transaction import (OpCreate, OpGetXattr, OpOmapGetValsByKeys,
+                          OpOmapGetValsByRange, OpOmapRmRange, OpOmapSetKeys,
+                          OpRead, OpRemove, OpSetXattr, OpStat, OpTruncate,
+                          OpWrite, OpWriteFull, OpZero, ReadOperation,
+                          WriteTransaction)
+
+__all__ = [
+    "Cluster", "ClusterConfig", "Pool", "IoCtx", "RadosClient", "ReadResult",
+    "SnapContext", "CloneInfo", "RadosObject", "OSD", "PlacementMap",
+    "OpCreate", "OpGetXattr", "OpOmapGetValsByKeys", "OpOmapGetValsByRange",
+    "OpOmapRmRange", "OpOmapSetKeys", "OpRead", "OpRemove", "OpSetXattr",
+    "OpStat", "OpTruncate", "OpWrite", "OpWriteFull", "OpZero",
+    "ReadOperation", "WriteTransaction",
+]

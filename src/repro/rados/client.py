@@ -1,0 +1,213 @@
+"""Client-side access to the simulated cluster (librados equivalent).
+
+The :class:`RadosClient` / :class:`IoCtx` pair mirrors the librados API
+surface libRBD uses: per-pool IO contexts, atomic write transactions, read
+operations, object listing and self-managed snapshots.  Every call charges
+the client NIC/CPU and backend-network resources and returns an
+:class:`~repro.sim.ledger.OpReceipt` carrying the critical-path latency, so
+layers above can aggregate per-image-IO latency for the queue-depth bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cluster import Cluster, Pool
+from .transaction import OpResult, ReadOperation, WriteTransaction
+from ..errors import ObjectNotFoundError
+from ..sim.ledger import (OpReceipt, RES_CLIENT_CPU, RES_CLIENT_NET,
+                          RES_CLUSTER_NET)
+
+
+@dataclass(frozen=True)
+class SnapContext:
+    """Snapshot context attached to writes (sequence + existing snap ids)."""
+
+    seq: int = 0
+    snaps: Tuple[int, ...] = ()
+
+    @classmethod
+    def empty(cls) -> "SnapContext":
+        """A context representing "no snapshots exist"."""
+        return cls(0, ())
+
+
+@dataclass
+class ReadResult:
+    """Results of a :class:`ReadOperation` plus its cost receipt."""
+
+    results: List[OpResult] = field(default_factory=list)
+    receipt: OpReceipt = field(default_factory=OpReceipt)
+
+    @property
+    def data(self) -> bytes:
+        """Convenience: the payload of the first extent read."""
+        for result in self.results:
+            if result.data:
+                return result.data
+        return b""
+
+    @property
+    def kv(self) -> Dict[bytes, bytes]:
+        """Convenience: merged key/value results across ops."""
+        merged: Dict[bytes, bytes] = {}
+        for result in self.results:
+            merged.update(result.kv)
+        return merged
+
+
+class RadosClient:
+    """Client handle: opens IO contexts on pools."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> Cluster:
+        """The cluster this client talks to."""
+        return self._cluster
+
+    def open_ioctx(self, pool_name: str) -> "IoCtx":
+        """Open an IO context for a pool (raises if the pool is missing)."""
+        pool = self._cluster.get_pool(pool_name)
+        return IoCtx(self._cluster, pool)
+
+
+class IoCtx:
+    """Per-pool IO context."""
+
+    def __init__(self, cluster: Cluster, pool: Pool) -> None:
+        self._cluster = cluster
+        self._pool = pool
+        self._snap_context = SnapContext.empty()
+        self._read_snap: Optional[int] = None
+
+    # -- snapshot plumbing -------------------------------------------------------
+
+    @property
+    def pool_name(self) -> str:
+        """Name of the pool this context addresses."""
+        return self._pool.name
+
+    @property
+    def cluster(self) -> Cluster:
+        """The cluster this context belongs to (cost parameters, ledger)."""
+        return self._cluster
+
+    def set_snap_context(self, context: SnapContext) -> None:
+        """Attach a snapshot context to subsequent writes."""
+        self._snap_context = context
+
+    def snap_set_read(self, snap_id: Optional[int]) -> None:
+        """Read from a snapshot id (``None`` reads the head)."""
+        self._read_snap = snap_id
+
+    def create_self_managed_snap(self) -> int:
+        """Allocate a new snapshot id from the pool."""
+        return self._pool.new_snapshot_id()
+
+    def remove_self_managed_snap(self, snap_id: int) -> None:
+        """Release a snapshot id."""
+        self._pool.remove_snapshot_id(snap_id)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _osds_for(self, name: str) -> List[int]:
+        return self._cluster.placement.osds_for_object(
+            self._pool.name, name, self._pool.replica_count)
+
+    def _charge_client(self, payload_bytes: int, response_bytes: int = 0) -> float:
+        params = self._cluster.params
+        ledger = self._cluster.ledger
+        cpu = (params.client_op_cost_us
+               + params.osd_byte_cost_us_per_kib * payload_bytes / 1024.0)
+        net = params.client_transfer_us(payload_bytes + response_bytes)
+        ledger.busy(RES_CLIENT_CPU, cpu)
+        ledger.busy(RES_CLIENT_NET, net)
+        ledger.count("net.client_bytes", payload_bytes + response_bytes)
+        return cpu + net
+
+    # -- write path -------------------------------------------------------------------
+
+    def operate_write(self, name: str, txn: WriteTransaction,
+                      object_size_hint: int = 4 * 1024 * 1024) -> OpReceipt:
+        """Apply a transaction to every replica of ``name`` atomically."""
+        params = self._cluster.params
+        ledger = self._cluster.ledger
+        payload = txn.payload_bytes()
+        osd_ids = self._osds_for(name)
+
+        client_us = self._charge_client(payload)
+        snap_seq = self._snap_context.seq
+        snap_ids = self._snap_context.snaps
+
+        # Primary applies locally while forwarding to the replicas; the op
+        # acks when the slowest replica has committed.
+        primary = self._cluster.osd_by_id(osd_ids[0])
+        primary_latency = primary.apply_transaction(
+            self._pool.name, name, txn, object_size_hint, snap_seq, snap_ids)
+        replica_latencies = []
+        for osd_id in osd_ids[1:]:
+            osd = self._cluster.osd_by_id(osd_id)
+            latency = osd.apply_transaction(
+                self._pool.name, name, txn, object_size_hint, snap_seq, snap_ids)
+            replica_latencies.append(params.replication_hop_us + latency)
+            ledger.busy(RES_CLUSTER_NET, params.cluster_transfer_us(payload))
+            ledger.count("net.replication_bytes", payload)
+
+        osd_side = max([primary_latency] + replica_latencies)
+        latency = client_us + params.network_round_trip_us + osd_side
+        ledger.count("rados.client_write_ops")
+        return OpReceipt(latency_us=latency, bytes_moved=payload)
+
+    def remove_object(self, name: str) -> OpReceipt:
+        """Delete an object on every replica."""
+        txn = WriteTransaction().remove()
+        return self.operate_write(name, txn)
+
+    # -- read path ---------------------------------------------------------------------
+
+    def operate_read(self, name: str, readop: ReadOperation) -> ReadResult:
+        """Execute a read operation on the primary replica."""
+        params = self._cluster.params
+        ledger = self._cluster.ledger
+        osd_ids = self._osds_for(name)
+        primary = self._cluster.osd_by_id(osd_ids[0])
+        results, osd_latency = primary.execute_read(
+            self._pool.name, name, readop, self._read_snap)
+
+        response_bytes = 0
+        for result in results:
+            response_bytes += len(result.data)
+            response_bytes += sum(len(k) + len(v) for k, v in result.kv.items())
+        client_us = self._charge_client(0, response_bytes)
+        latency = client_us + params.network_round_trip_us + osd_latency
+        ledger.count("rados.client_read_ops")
+        receipt = OpReceipt(latency_us=latency, bytes_moved=response_bytes)
+        return ReadResult(results=results, receipt=receipt)
+
+    def read(self, name: str, offset: int, length: int) -> ReadResult:
+        """Convenience single-extent read."""
+        return self.operate_read(name, ReadOperation().read(offset, length))
+
+    def stat(self, name: str) -> Optional[int]:
+        """Return the object size, or ``None`` if the object does not exist."""
+        try:
+            result = self.operate_read(name, ReadOperation().stat())
+        except ObjectNotFoundError:
+            return None
+        return result.results[0].size
+
+    def object_exists(self, name: str) -> bool:
+        """True if the object exists on its primary OSD."""
+        return self.stat(name) is not None
+
+    def list_objects(self, prefix: str = "") -> List[str]:
+        """List object names in the pool (union over all OSDs)."""
+        names = set()
+        for osd in self._cluster.osds:
+            for (pool, name), obj in osd.objects.items():
+                if pool == self._pool.name and obj.exists and name.startswith(prefix):
+                    names.add(name)
+        return sorted(names)

@@ -1,0 +1,145 @@
+"""Cluster assembly: OSDs, pools and the shared cost ledger.
+
+A :class:`Cluster` is the top-level simulated deployment (the paper's
+3-node Ceph cluster with 3-way replication).  It owns the cost ledger and
+the cost parameters, creates OSDs, tracks pools (replica count, snapshot
+sequence) and hands out :class:`~repro.rados.client.RadosClient` handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .osd import OSD
+from .placement import PlacementMap
+from ..errors import ConfigurationError, PoolNotFoundError
+from ..sim.costparams import CostParameters, default_cost_parameters
+from ..sim.ledger import CostLedger
+from ..util import GIB
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of the simulated cluster."""
+
+    osd_count: int = 3
+    replica_count: int = 3
+    pg_count: int = 128
+    osd_data_capacity: int = 64 * GIB
+    osd_metadata_capacity: int = 8 * GIB
+    #: device bytes reserved per object beyond the nominal object size so
+    #: that per-sector metadata appended by the encryption layouts fits.
+    object_region_reserve: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.osd_count <= 0:
+            raise ConfigurationError("osd_count must be positive")
+        if not 1 <= self.replica_count <= self.osd_count:
+            raise ConfigurationError(
+                "replica_count must be between 1 and osd_count")
+
+
+@dataclass
+class Pool:
+    """A named pool with its replica policy and snapshot sequencer."""
+
+    name: str
+    replica_count: int
+    snap_seq: int = 0
+    removed_snaps: List[int] = field(default_factory=list)
+
+    def new_snapshot_id(self) -> int:
+        """Allocate a new self-managed snapshot id."""
+        self.snap_seq += 1
+        return self.snap_seq
+
+    def remove_snapshot_id(self, snap_id: int) -> None:
+        """Mark a snapshot id as removed (clones are trimmed lazily)."""
+        if snap_id not in self.removed_snaps:
+            self.removed_snaps.append(snap_id)
+
+
+class Cluster:
+    """The simulated Ceph-like cluster."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 params: Optional[CostParameters] = None,
+                 ledger: Optional[CostLedger] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.params = params or default_cost_parameters()
+        # Keep the cost parameters' idea of the cluster shape in sync with
+        # the actual cluster so the performance model divides busy time by
+        # the right number of OSDs.
+        self.params.osd_count = self.config.osd_count
+        self.params.replica_count = self.config.replica_count
+        self.ledger = ledger or CostLedger()
+        self.osds: List[OSD] = [
+            OSD(osd_id=i, params=self.params, ledger=self.ledger,
+                data_capacity=self.config.osd_data_capacity,
+                metadata_capacity=self.config.osd_metadata_capacity,
+                object_region_reserve=self.config.object_region_reserve)
+            for i in range(self.config.osd_count)
+        ]
+        self.placement = PlacementMap([osd.osd_id for osd in self.osds],
+                                      pg_count=self.config.pg_count)
+        self.pools: Dict[str, Pool] = {}
+        self.create_pool("rbd", replica_count=self.config.replica_count)
+
+    # -- pools -----------------------------------------------------------------
+
+    def create_pool(self, name: str, replica_count: Optional[int] = None) -> Pool:
+        """Create a pool (idempotent if it already exists with same replica)."""
+        replica = replica_count or self.config.replica_count
+        if replica > len(self.osds):
+            raise ConfigurationError(
+                f"pool {name!r} wants {replica} replicas but the cluster has "
+                f"{len(self.osds)} OSDs")
+        existing = self.pools.get(name)
+        if existing is not None:
+            if existing.replica_count != replica:
+                raise ConfigurationError(
+                    f"pool {name!r} already exists with replica count "
+                    f"{existing.replica_count}")
+            return existing
+        pool = Pool(name=name, replica_count=replica)
+        self.pools[name] = pool
+        return pool
+
+    def get_pool(self, name: str) -> Pool:
+        """Look up a pool by name."""
+        try:
+            return self.pools[name]
+        except KeyError:
+            raise PoolNotFoundError(f"pool {name!r} does not exist") from None
+
+    # -- clients ----------------------------------------------------------------
+
+    def client(self) -> "RadosClient":
+        """Create a client handle bound to this cluster."""
+        from .client import RadosClient
+        return RadosClient(self)
+
+    def osd_by_id(self, osd_id: int) -> OSD:
+        """Return the OSD with the given id."""
+        for osd in self.osds:
+            if osd.osd_id == osd_id:
+                return osd
+        raise ConfigurationError(f"no OSD with id {osd_id}")
+
+    # -- reporting ---------------------------------------------------------------
+
+    def total_objects(self) -> int:
+        """Number of live object replicas across all OSDs."""
+        return sum(osd.object_count() for osd in self.osds)
+
+    def total_used_bytes(self) -> int:
+        """Backing bytes allocated across all OSD data devices."""
+        return sum(osd.used_bytes() for osd in self.osds)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable description of the deployment."""
+        return (f"Cluster: {len(self.osds)} OSDs, pools="
+                f"{sorted(self.pools)}, replica={self.config.replica_count}, "
+                f"objects={self.total_objects()}, "
+                f"used={self.total_used_bytes()} bytes")

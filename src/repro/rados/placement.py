@@ -1,0 +1,75 @@
+"""CRUSH-style pseudo-random object placement.
+
+Real Ceph hashes object names into placement groups and runs CRUSH over the
+cluster map to pick an ordered set of OSDs.  The reproduction keeps the two
+properties that matter here — deterministic placement from the object name
+and uniform spread across OSDs — using a straw2-like weighted draw seeded
+by a BLAKE2 hash of the object name, which is stable across runs and
+independent of insertion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+
+
+class PlacementMap:
+    """Maps object names to an ordered list of OSD ids (primary first)."""
+
+    def __init__(self, osd_ids: Sequence[int], pg_count: int = 128,
+                 weights: Dict[int, float] = None) -> None:
+        if not osd_ids:
+            raise ConfigurationError("placement map needs at least one OSD")
+        if pg_count <= 0:
+            raise ConfigurationError("pg_count must be positive")
+        self._osd_ids = list(osd_ids)
+        self._pg_count = pg_count
+        self._weights = dict(weights or {})
+        for osd_id in self._osd_ids:
+            self._weights.setdefault(osd_id, 1.0)
+
+    @property
+    def osd_ids(self) -> List[int]:
+        """All OSD ids known to the map."""
+        return list(self._osd_ids)
+
+    def pg_for_object(self, pool: str, name: str) -> int:
+        """Placement-group index for an object (stable hash of pool + name)."""
+        digest = hashlib.blake2b(f"{pool}/{name}".encode("utf-8"),
+                                 digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self._pg_count
+
+    def _straw(self, pg: int, osd_id: int, attempt: int) -> float:
+        seed = f"{pg}/{osd_id}/{attempt}".encode("utf-8")
+        digest = hashlib.blake2b(seed, digest_size=8).digest()
+        draw = int.from_bytes(digest, "big") / float(1 << 64)
+        # straw2: weight-scaled exponential draw; larger is better.
+        weight = max(self._weights.get(osd_id, 1.0), 1e-9)
+        return draw ** (1.0 / weight)
+
+    def osds_for_object(self, pool: str, name: str, count: int) -> List[int]:
+        """Ordered OSD ids (primary first) for ``count`` replicas."""
+        if count <= 0:
+            raise ConfigurationError("replica count must be positive")
+        if count > len(self._osd_ids):
+            raise ConfigurationError(
+                f"cannot place {count} replicas on {len(self._osd_ids)} OSDs")
+        pg = self.pg_for_object(pool, name)
+        scored = sorted(self._osd_ids,
+                        key=lambda osd_id: self._straw(pg, osd_id, 0),
+                        reverse=True)
+        return scored[:count]
+
+    def primary_for_object(self, pool: str, name: str) -> int:
+        """The primary OSD id for an object."""
+        return self.osds_for_object(pool, name, 1)[0]
+
+    def distribution(self, pool: str, names: Sequence[str]) -> Dict[int, int]:
+        """Histogram of primary assignments (used by balance tests)."""
+        counts: Dict[int, int] = {osd_id: 0 for osd_id in self._osd_ids}
+        for name in names:
+            counts[self.primary_for_object(pool, name)] += 1
+        return counts

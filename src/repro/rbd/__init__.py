@@ -1,0 +1,19 @@
+"""Virtual-disk (RBD image) layer: LBA space striped over RADOS objects.
+
+This is the reproduction's libRBD: images are created inside a pool, their
+byte address space is split into fixed-size objects (4 MiB by default, as
+in the paper's test environment), and reads/writes are dispatched to the
+objects they touch.  Encryption hooks in as an *object dispatcher* (see
+:mod:`repro.encryption`), exactly where Ceph's crypto object-dispatch layer
+sits, so the image code is oblivious to whether data is encrypted or which
+per-sector metadata layout is in use.
+"""
+
+from .dispatcher import ObjectDispatcher, RawObjectDispatcher
+from .image import Image, ImageSnapshot, create_image, open_image, remove_image
+from .striping import ObjectExtent, map_extent
+
+__all__ = [
+    "ObjectDispatcher", "RawObjectDispatcher", "Image", "ImageSnapshot",
+    "create_image", "open_image", "remove_image", "ObjectExtent", "map_extent",
+]

@@ -1,0 +1,73 @@
+"""Object dispatchers: the layer that turns per-object extents into RADOS
+operations.
+
+``RawObjectDispatcher`` writes plaintext bytes at the same in-object offset
+the striping produced — this is an unencrypted image.  The encryption
+formats in :mod:`repro.encryption` provide a ``CryptoObjectDispatcher`` that
+encrypts 4 KiB blocks and persists per-sector metadata according to the
+selected layout; the :class:`~repro.rbd.image.Image` only ever talks to the
+dispatcher interface.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .striping import object_name
+from ..errors import ObjectNotFoundError
+from ..rados.client import IoCtx
+from ..rados.transaction import ReadOperation, WriteTransaction
+from ..sim.ledger import OpReceipt
+
+
+class ObjectDispatcher:
+    """Interface implemented by the raw and encrypted dispatchers."""
+
+    def write(self, object_no: int, offset: int, data: bytes) -> OpReceipt:
+        """Write ``data`` at ``offset`` of object ``object_no``."""
+        raise NotImplementedError
+
+    def read(self, object_no: int, offset: int, length: int) -> Tuple[bytes, OpReceipt]:
+        """Read ``length`` bytes at ``offset`` of object ``object_no``."""
+        raise NotImplementedError
+
+    def discard(self, object_no: int, offset: int, length: int) -> OpReceipt:
+        """Deallocate a range of an object (best effort)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Flush any buffered state (the simulator writes through)."""
+
+
+class RawObjectDispatcher(ObjectDispatcher):
+    """Plaintext dispatcher: in-object offsets map 1:1 to stored offsets."""
+
+    def __init__(self, ioctx: IoCtx, image_id: str, object_size: int) -> None:
+        self._ioctx = ioctx
+        self._image_id = image_id
+        self._object_size = object_size
+
+    def _name(self, object_no: int) -> str:
+        return object_name(self._image_id, object_no)
+
+    def write(self, object_no: int, offset: int, data: bytes) -> OpReceipt:
+        txn = WriteTransaction().write(offset, data)
+        return self._ioctx.operate_write(self._name(object_no), txn,
+                                         object_size_hint=self._object_size)
+
+    def read(self, object_no: int, offset: int, length: int) -> Tuple[bytes, OpReceipt]:
+        try:
+            result = self._ioctx.operate_read(
+                self._name(object_no), ReadOperation().read(offset, length))
+        except ObjectNotFoundError:
+            # Sparse region that has never been written: reads as zeros.
+            return bytes(length), OpReceipt()
+        data = result.results[0].data
+        if len(data) < length:
+            data = data + bytes(length - len(data))
+        return data, result.receipt
+
+    def discard(self, object_no: int, offset: int, length: int) -> OpReceipt:
+        txn = WriteTransaction().zero(offset, length)
+        return self._ioctx.operate_write(self._name(object_no), txn,
+                                         object_size_hint=self._object_size)

@@ -1,0 +1,322 @@
+"""RBD images: creation, opening, IO, resizing and snapshots.
+
+An image is described by a header object holding its size, object size and
+snapshot table; its data lives in numbered data objects.  IO is striped
+over the data objects and handed to an :class:`ObjectDispatcher` — either
+the raw (plaintext) dispatcher or an encrypting one.
+
+Every data-path method returns (or stores into the returned value) an
+:class:`~repro.sim.ledger.OpReceipt` so the workload runner can account
+per-IO latency; object-level pieces of a single image IO are treated as
+issued in parallel, which is how libRBD behaves with AIO.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .dispatcher import ObjectDispatcher, RawObjectDispatcher
+from .striping import header_object_name, map_extent
+from ..errors import ImageExistsError, ImageNotFoundError, RbdError, SnapshotError
+from ..rados.client import IoCtx, SnapContext
+from ..rados.transaction import ReadOperation, WriteTransaction
+from ..sim.ledger import OpReceipt
+from ..util import MIB
+
+DEFAULT_OBJECT_SIZE = 4 * MIB
+
+
+@dataclass(frozen=True)
+class ImageSnapshot:
+    """One entry of an image's snapshot table."""
+
+    snap_id: int
+    name: str
+
+
+@dataclass
+class ImageHeader:
+    """Persisted image metadata (stored as JSON in the header object)."""
+
+    image_id: str
+    size: int
+    object_size: int
+    snapshots: List[ImageSnapshot]
+    encryption: Optional[Dict[str, object]] = None
+
+    def to_json(self) -> bytes:
+        """Serialize to the on-disk JSON form."""
+        return json.dumps({
+            "image_id": self.image_id,
+            "size": self.size,
+            "object_size": self.object_size,
+            "snapshots": [{"id": s.snap_id, "name": s.name}
+                          for s in self.snapshots],
+            "encryption": self.encryption,
+        }).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, raw: bytes) -> "ImageHeader":
+        """Parse the on-disk JSON form."""
+        doc = json.loads(raw.decode("utf-8"))
+        return cls(
+            image_id=doc["image_id"],
+            size=int(doc["size"]),
+            object_size=int(doc["object_size"]),
+            snapshots=[ImageSnapshot(int(s["id"]), s["name"])
+                       for s in doc.get("snapshots", [])],
+            encryption=doc.get("encryption"),
+        )
+
+
+def create_image(ioctx: IoCtx, name: str, size: int,
+                 object_size: int = DEFAULT_OBJECT_SIZE) -> None:
+    """Create an image; raises :class:`ImageExistsError` if it exists."""
+    if size <= 0:
+        raise RbdError("image size must be positive")
+    if object_size <= 0 or object_size % 4096:
+        raise RbdError("object size must be a positive multiple of 4096")
+    header_name = header_object_name(name)
+    if ioctx.object_exists(header_name):
+        raise ImageExistsError(f"image {name!r} already exists")
+    header = ImageHeader(image_id=name, size=size, object_size=object_size,
+                         snapshots=[])
+    txn = WriteTransaction().create(exclusive=True).write_full(header.to_json())
+    ioctx.operate_write(header_name, txn, object_size_hint=64 * 1024)
+
+
+def open_image(ioctx: IoCtx, name: str) -> "Image":
+    """Open an existing image."""
+    return Image(ioctx, name)
+
+
+def remove_image(ioctx: IoCtx, name: str) -> None:
+    """Remove an image: header, data objects and crypto header if present."""
+    header_name = header_object_name(name)
+    if not ioctx.object_exists(header_name):
+        raise ImageNotFoundError(f"image {name!r} does not exist")
+    image = Image(ioctx, name)
+    for object_no in range(image.object_count()):
+        data_name = image.data_object_name(object_no)
+        if ioctx.object_exists(data_name):
+            ioctx.remove_object(data_name)
+    crypto_header = f"rbd_crypto_header.{name}"
+    if ioctx.object_exists(crypto_header):
+        ioctx.remove_object(crypto_header)
+    ioctx.remove_object(header_name)
+
+
+@dataclass
+class IoResult:
+    """Data plus the aggregated cost receipt of one image-level IO."""
+
+    data: bytes
+    receipt: OpReceipt
+
+
+class Image:
+    """An open RBD image."""
+
+    def __init__(self, ioctx: IoCtx, name: str) -> None:
+        self._ioctx = ioctx
+        self.name = name
+        self._header_name = header_object_name(name)
+        raw = self._read_header()
+        self._header = ImageHeader.from_json(raw)
+        self._dispatcher: ObjectDispatcher = RawObjectDispatcher(
+            ioctx, self._header.image_id, self._header.object_size)
+        self._read_snap_id: Optional[int] = None
+        self._refresh_snap_context()
+
+    # -- header plumbing --------------------------------------------------------
+
+    def _read_header(self) -> bytes:
+        if not self._ioctx.object_exists(self._header_name):
+            raise ImageNotFoundError(f"image {self.name!r} does not exist")
+        size = self._ioctx.stat(self._header_name) or 0
+        return self._ioctx.read(self._header_name, 0, size).data
+
+    def _save_header(self) -> None:
+        txn = WriteTransaction().write_full(self._header.to_json())
+        self._ioctx.operate_write(self._header_name, txn,
+                                  object_size_hint=64 * 1024)
+
+    def _refresh_snap_context(self) -> None:
+        snaps = tuple(sorted((s.snap_id for s in self._header.snapshots),
+                             reverse=True))
+        seq = max(snaps) if snaps else 0
+        self._ioctx.set_snap_context(SnapContext(seq=seq, snaps=snaps))
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def ioctx(self) -> IoCtx:
+        """The IO context the image operates on."""
+        return self._ioctx
+
+    @property
+    def size(self) -> int:
+        """Image size in bytes."""
+        return self._header.size
+
+    @property
+    def object_size(self) -> int:
+        """Size of each data object in bytes."""
+        return self._header.object_size
+
+    @property
+    def header(self) -> ImageHeader:
+        """The in-memory image header."""
+        return self._header
+
+    def object_count(self) -> int:
+        """Number of data objects covering the image."""
+        return (self._header.size + self._header.object_size - 1) // self._header.object_size
+
+    def data_object_name(self, object_no: int) -> str:
+        """RADOS name of data object ``object_no``."""
+        from .striping import object_name
+        return object_name(self._header.image_id, object_no)
+
+    def set_dispatcher(self, dispatcher: ObjectDispatcher) -> None:
+        """Install an object dispatcher (used by the encryption layer)."""
+        self._dispatcher = dispatcher
+
+    @property
+    def dispatcher(self) -> ObjectDispatcher:
+        """The currently installed object dispatcher."""
+        return self._dispatcher
+
+    # -- data path -------------------------------------------------------------------
+
+    def _check_io(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0:
+            raise RbdError("offset and length must be non-negative")
+        if offset + length > self._header.size:
+            raise RbdError(
+                f"IO [{offset}, {offset + length}) beyond image size "
+                f"{self._header.size}")
+
+    def write(self, offset: int, data: bytes) -> OpReceipt:
+        """Write ``data`` at image byte ``offset``."""
+        self._check_io(offset, len(data))
+        if not data:
+            return OpReceipt()
+        combined = OpReceipt()
+        first = True
+        for extent in map_extent(offset, len(data), self._header.object_size):
+            piece = data[extent.buffer_offset:extent.buffer_offset + extent.length]
+            receipt = self._dispatcher.write(extent.object_no, extent.offset, piece)
+            if first:
+                combined = receipt
+                first = False
+            else:
+                combined.merge_parallel(receipt)
+        return combined
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at image byte ``offset``."""
+        return self.read_with_receipt(offset, length).data
+
+    def read_with_receipt(self, offset: int, length: int) -> IoResult:
+        """Read returning both the data and the aggregated cost receipt."""
+        self._check_io(offset, length)
+        if length == 0:
+            return IoResult(data=b"", receipt=OpReceipt())
+        pieces: List[bytes] = []
+        combined = OpReceipt()
+        first = True
+        for extent in map_extent(offset, length, self._header.object_size):
+            data, receipt = self._dispatcher.read(extent.object_no,
+                                                  extent.offset, extent.length)
+            pieces.append(data)
+            if first:
+                combined = receipt
+                first = False
+            else:
+                combined.merge_parallel(receipt)
+        return IoResult(data=b"".join(pieces), receipt=combined)
+
+    def discard(self, offset: int, length: int) -> OpReceipt:
+        """Deallocate an image byte range."""
+        self._check_io(offset, length)
+        combined = OpReceipt()
+        first = True
+        for extent in map_extent(offset, length, self._header.object_size):
+            receipt = self._dispatcher.discard(extent.object_no, extent.offset,
+                                               extent.length)
+            if first:
+                combined, first = receipt, False
+            else:
+                combined.merge_parallel(receipt)
+        return combined
+
+    def flush(self) -> None:
+        """Flush the dispatcher (no-op for write-through dispatchers)."""
+        self._dispatcher.flush()
+
+    # -- management ---------------------------------------------------------------------
+
+    def resize(self, new_size: int) -> None:
+        """Grow or shrink the image (shrinking does not trim objects)."""
+        if new_size <= 0:
+            raise RbdError("image size must be positive")
+        self._header.size = new_size
+        self._save_header()
+
+    def update_encryption_metadata(self, metadata: Optional[Dict[str, object]]) -> None:
+        """Record encryption-format metadata in the image header."""
+        self._header.encryption = metadata
+        self._save_header()
+
+    # -- snapshots -------------------------------------------------------------------------
+
+    def list_snapshots(self) -> List[ImageSnapshot]:
+        """All snapshots of the image, oldest first."""
+        return list(self._header.snapshots)
+
+    def create_snapshot(self, snap_name: str) -> ImageSnapshot:
+        """Create a snapshot; subsequent writes preserve pre-write data."""
+        if any(s.name == snap_name for s in self._header.snapshots):
+            raise SnapshotError(f"snapshot {snap_name!r} already exists")
+        snap_id = self._ioctx.create_self_managed_snap()
+        snapshot = ImageSnapshot(snap_id=snap_id, name=snap_name)
+        self._header.snapshots.append(snapshot)
+        self._save_header()
+        self._refresh_snap_context()
+        return snapshot
+
+    def remove_snapshot(self, snap_name: str) -> None:
+        """Remove a snapshot from the table and release its id."""
+        for i, snap in enumerate(self._header.snapshots):
+            if snap.name == snap_name:
+                self._ioctx.remove_self_managed_snap(snap.snap_id)
+                del self._header.snapshots[i]
+                self._save_header()
+                self._refresh_snap_context()
+                return
+        raise SnapshotError(f"snapshot {snap_name!r} does not exist")
+
+    def snapshot_by_name(self, snap_name: str) -> ImageSnapshot:
+        """Look up a snapshot by name."""
+        for snap in self._header.snapshots:
+            if snap.name == snap_name:
+                return snap
+        raise SnapshotError(f"snapshot {snap_name!r} does not exist")
+
+    def set_read_snapshot(self, snap_name: Optional[str]) -> None:
+        """Route subsequent reads to a snapshot (``None`` reads the head)."""
+        if snap_name is None:
+            self._read_snap_id = None
+            self._ioctx.snap_set_read(None)
+            return
+        snap = self.snapshot_by_name(snap_name)
+        self._read_snap_id = snap.snap_id
+        self._ioctx.snap_set_read(snap.snap_id)
+
+    @property
+    def read_snapshot_id(self) -> Optional[int]:
+        """Snapshot id reads are currently routed to (``None`` = head)."""
+        return self._read_snap_id

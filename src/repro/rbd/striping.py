@@ -1,0 +1,52 @@
+"""Striping: mapping image byte extents onto per-object extents.
+
+The default RBD striping is trivial (stripe unit == object size), which is
+also what the paper's deployment uses: byte ``b`` of the image lives at
+offset ``b % object_size`` of object number ``b // object_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import RbdError
+from ..util import split_range
+
+
+@dataclass(frozen=True)
+class ObjectExtent:
+    """A contiguous piece of an image IO that falls inside one object."""
+
+    object_no: int
+    offset: int          #: byte offset within the object
+    length: int
+    buffer_offset: int   #: where this piece starts within the caller's buffer
+
+    @property
+    def end(self) -> int:
+        """Offset one past the last byte of the extent within its object."""
+        return self.offset + self.length
+
+
+def map_extent(image_offset: int, length: int, object_size: int) -> List[ObjectExtent]:
+    """Split an image byte range into per-object extents, in image order."""
+    if image_offset < 0 or length < 0:
+        raise RbdError("offset and length must be non-negative")
+    extents: List[ObjectExtent] = []
+    buffer_offset = 0
+    for object_no, offset, piece in split_range(image_offset, length, object_size):
+        extents.append(ObjectExtent(object_no=object_no, offset=offset,
+                                    length=piece, buffer_offset=buffer_offset))
+        buffer_offset += piece
+    return extents
+
+
+def object_name(image_id: str, object_no: int) -> str:
+    """Canonical RADOS object name of a data object (rbd_data.<id>.<no>)."""
+    return f"rbd_data.{image_id}.{object_no:016x}"
+
+
+def header_object_name(image_name: str) -> str:
+    """Canonical RADOS object name of an image's header object."""
+    return f"rbd_header.{image_name}"

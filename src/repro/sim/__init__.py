@@ -1,0 +1,23 @@
+"""Simulation support: cost parameters, the cost ledger and the performance
+model that turns recorded resource usage into simulated elapsed time.
+
+The paper's evaluation (Fig. 3 and Fig. 4) measures fio throughput against
+a physical 3-node Ceph cluster.  This reproduction replaces the physical
+testbed with a cost model: every simulated component (NVMe device, LSM
+key-value store, network hop, OSD op processing) records the work it
+performed into a :class:`~repro.sim.ledger.CostLedger`, and
+:class:`~repro.sim.perfmodel.PerformanceModel` converts that work into an
+estimated elapsed time using bottleneck analysis plus a queue-depth latency
+bound.  See DESIGN.md §2 for why this substitution preserves the paper's
+comparisons.
+"""
+
+from .clock import SimClock
+from .costparams import CostParameters
+from .ledger import CostLedger, OpReceipt
+from .perfmodel import PerformanceModel, PerformanceEstimate
+
+__all__ = [
+    "SimClock", "CostParameters", "CostLedger", "OpReceipt",
+    "PerformanceModel", "PerformanceEstimate",
+]

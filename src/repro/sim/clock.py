@@ -1,0 +1,33 @@
+"""A tiny logical clock used where components need ordered timestamps
+(write-ahead log records, snapshot ids, transaction ids).
+
+The clock is logical, not wall-clock: simulated elapsed time is computed by
+:mod:`repro.sim.perfmodel`, never by reading this clock.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonically increasing logical clock."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock must start at a non-negative value")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current logical time (does not advance on read)."""
+        return self._now
+
+    def tick(self, amount: int = 1) -> int:
+        """Advance the clock and return the new value."""
+        if amount <= 0:
+            raise ValueError("tick amount must be positive")
+        self._now += amount
+        return self._now
+
+    def next(self) -> int:
+        """Advance by one and return the new value (unique id generator)."""
+        return self.tick(1)

@@ -1,0 +1,130 @@
+"""Cost parameters of the simulated testbed.
+
+The defaults are calibrated so that the *baseline* (LUKS2, no per-sector
+metadata) roughly matches the scale of the paper's Fig. 3 measurements on
+their 3-node cluster (NVMe OSDs, ~13 Gb/s effective client link, 3-way
+replication): reads plateauing around ~2.4 GB/s and writes around
+~1.1 GB/s for multi-megabyte IOs, with IOPS/CPU-limited behaviour at 4 KB.
+Absolute values are calibration constants — the comparisons between
+encryption layouts are *produced* by the simulation (extra device
+operations, read-modify-write turns, OMAP key insertions), not assumed.
+See DESIGN.md §2 and EXPERIMENTS.md for the calibration discussion.
+
+Two kinds of cost appear throughout:
+
+* **latency** — time on the critical path of a single operation; feeds the
+  queue-depth (Little's law) bound.
+* **occupancy** — time a shared resource is kept busy; feeds the
+  bottleneck-resource bound.  For an NVMe device the occupancy of one
+  operation (a few µs of channel time) is much smaller than its latency
+  (tens of µs), which is why queue depth helps throughput at all.
+
+All times are microseconds, all bandwidths are MiB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class CostParameters:
+    """Tunable constants of the simulated hardware and software stack."""
+
+    # --- NVMe device (aggregate per OSD node) --------------------------------
+    device_read_latency_us: float = 65.0     #: critical-path latency of a read
+    device_write_latency_us: float = 25.0    #: critical-path latency of a write
+    device_op_occupancy_us: float = 4.0      #: channel occupancy per operation
+    device_read_bandwidth_mbps: float = 2800.0
+    device_write_bandwidth_mbps: float = 1150.0
+    #: additional occupancy charged once per unaligned (read-modify-write) write
+    device_rmw_penalty_us: float = 8.0
+    #: additional critical-path latency of the read-before-write turn
+    device_rmw_latency_us: float = 65.0
+    #: writes strictly smaller than this are treated as deferred/journaled
+    #: small writes (BlueStore-style): no read-modify-write turn is charged.
+    deferred_write_threshold: int = 4096
+    sector_size: int = 4096
+
+    # --- network ------------------------------------------------------------
+    network_round_trip_us: float = 90.0      #: client <-> primary OSD RTT
+    replication_hop_us: float = 45.0         #: primary -> replica latency
+    client_bandwidth_mbps: float = 2600.0    #: client NIC effective bandwidth
+    cluster_bandwidth_mbps: float = 9000.0   #: aggregate backend network
+
+    # --- OSD request processing ---------------------------------------------
+    osd_op_cost_us: float = 20.0             #: fixed CPU cost per transaction/read
+    osd_subop_cost_us: float = 3.0           #: CPU cost of each op inside it
+    osd_byte_cost_us_per_kib: float = 0.010  #: CPU cost of moving payload
+    #: how many transaction pipelines one OSD node keeps busy concurrently
+    #: (shards); OSD work (CPU + device occupancy) is divided by this.
+    osd_shards: int = 1
+
+    # --- OMAP / embedded key-value store -------------------------------------
+    omap_op_cost_us: float = 2.0             #: fixed cost of one OMAP op in a txn
+    omap_write_key_cost_us: float = 1.8      #: per key inserted/updated
+    omap_read_key_cost_us: float = 0.2       #: per key returned by a lookup
+    omap_byte_cost_us_per_kib: float = 0.25  #: per KiB of key+value payload
+    omap_compaction_factor: float = 0.25     #: amortised compaction overhead
+    wal_group_commit: int = 8                #: WAL appends sharing one flush
+
+    # --- client (libRBD) ------------------------------------------------------
+    client_op_cost_us: float = 12.0          #: per-IO client dispatch cost
+    crypto_block_cost_us: float = 0.8        #: AES-NI cost per 4 KiB block
+    iv_generation_cost_us: float = 0.15      #: DRBG cost per random IV
+
+    # --- cluster shape --------------------------------------------------------
+    osd_count: int = 3
+    replica_count: int = 3
+
+    #: free-form labels describing the calibration, carried into reports
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.osd_count <= 0:
+            raise ConfigurationError("osd_count must be positive")
+        if not 1 <= self.replica_count <= self.osd_count:
+            raise ConfigurationError(
+                "replica_count must be between 1 and osd_count")
+        if self.sector_size <= 0 or self.sector_size % 512:
+            raise ConfigurationError("sector_size must be a multiple of 512")
+        if self.osd_shards <= 0:
+            raise ConfigurationError("osd_shards must be positive")
+        if self.wal_group_commit <= 0:
+            raise ConfigurationError("wal_group_commit must be positive")
+        for name in ("device_read_bandwidth_mbps", "device_write_bandwidth_mbps",
+                     "client_bandwidth_mbps", "cluster_bandwidth_mbps"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    # -- convenience conversions ----------------------------------------------
+
+    def device_transfer_us(self, nbytes: int, is_write: bool) -> float:
+        """Time to move ``nbytes`` to/from one device (excludes op cost)."""
+        bw = (self.device_write_bandwidth_mbps if is_write
+              else self.device_read_bandwidth_mbps)
+        return nbytes / (bw * 1024 * 1024) * 1e6
+
+    def client_transfer_us(self, nbytes: int) -> float:
+        """Time for ``nbytes`` to cross the client NIC."""
+        return nbytes / (self.client_bandwidth_mbps * 1024 * 1024) * 1e6
+
+    def cluster_transfer_us(self, nbytes: int) -> float:
+        """Time for ``nbytes`` of replication traffic on the backend network."""
+        return nbytes / (self.cluster_bandwidth_mbps * 1024 * 1024) * 1e6
+
+    def with_overrides(self, **kwargs: object) -> "CostParameters":
+        """Return a copy with selected fields replaced (ablation studies)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+def default_cost_parameters() -> CostParameters:
+    """The calibration used by the benchmark harness (see EXPERIMENTS.md)."""
+    params = CostParameters()
+    params.notes["calibration"] = (
+        "matched to the scale of HotStorage'22 Fig.3 baseline: "
+        "~2.4 GB/s large reads, ~1.1 GB/s large writes, CPU/IOPS-bound 4 KiB IOs")
+    return params

@@ -1,0 +1,128 @@
+"""Cost ledger: the accounting record every simulated component writes to.
+
+A :class:`CostLedger` accumulates two kinds of information:
+
+* **counters** — physical work items (device sectors written, OMAP keys
+  touched, read-modify-write turns, network bytes ...).  These are what the
+  paper's §3.3 reasons about analytically and they are reported verbatim in
+  the benchmark output.
+* **resource busy time** — microseconds of busy time attributed to named
+  resources (``osd.device``, ``osd.cpu``, ``client.net`` ...), from which
+  the performance model derives throughput.
+
+Per-IO critical-path latency is returned separately via :class:`OpReceipt`
+objects so the workload runner can apply a queue-depth (Little's law)
+bound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+# Resource names used across the stack.
+RES_CLIENT_NET = "client.net"
+RES_CLIENT_CPU = "client.cpu"
+RES_CLUSTER_NET = "cluster.net"
+RES_OSD_DEVICE = "osd.device"
+RES_OSD_CPU = "osd.cpu"
+
+ALL_RESOURCES = (RES_CLIENT_NET, RES_CLIENT_CPU, RES_CLUSTER_NET,
+                 RES_OSD_DEVICE, RES_OSD_CPU)
+
+
+@dataclass
+class OpReceipt:
+    """Critical-path latency and byte count of one client-visible operation."""
+
+    latency_us: float = 0.0
+    bytes_moved: int = 0
+
+    def extend(self, other: "OpReceipt") -> None:
+        """Serial composition: the other op happens after this one."""
+        self.latency_us += other.latency_us
+        self.bytes_moved += other.bytes_moved
+
+    def merge_parallel(self, other: "OpReceipt") -> None:
+        """Parallel composition: both ops overlap; latency is the max."""
+        self.latency_us = max(self.latency_us, other.latency_us)
+        self.bytes_moved += other.bytes_moved
+
+
+class CostLedger:
+    """Accumulates counters and per-resource busy time."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+        self.resource_us: Dict[str, float] = defaultdict(float)
+        self.latency_sum_us: float = 0.0
+        self.op_count: int = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment a named counter."""
+        self.counters[name] += amount
+
+    def busy(self, resource: str, microseconds: float) -> None:
+        """Attribute busy time to a resource."""
+        if microseconds < 0:
+            raise ValueError("busy time must be non-negative")
+        self.resource_us[resource] += microseconds
+
+    def finish_op(self, receipt: OpReceipt) -> None:
+        """Record the completion of one client-visible operation."""
+        self.latency_sum_us += receipt.latency_us
+        self.op_count += 1
+
+    # -- inspection -------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Return a counter (0 if never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def resource(self, name: str) -> float:
+        """Return accumulated busy microseconds for a resource."""
+        return self.resource_us.get(name, 0.0)
+
+    def mean_latency_us(self) -> float:
+        """Average critical-path latency over all finished operations."""
+        if self.op_count == 0:
+            return 0.0
+        return self.latency_sum_us / self.op_count
+
+    def snapshot(self) -> "CostLedger":
+        """Deep copy of the current state (used to diff before/after a run)."""
+        clone = CostLedger()
+        clone.counters = defaultdict(float, self.counters)
+        clone.resource_us = defaultdict(float, self.resource_us)
+        clone.latency_sum_us = self.latency_sum_us
+        clone.op_count = self.op_count
+        return clone
+
+    def diff(self, since: "CostLedger") -> "CostLedger":
+        """Return a ledger holding the activity since ``since`` was captured."""
+        delta = CostLedger()
+        keys = set(self.counters) | set(since.counters)
+        for key in keys:
+            delta.counters[key] = self.counters.get(key, 0.0) - since.counters.get(key, 0.0)
+        keys = set(self.resource_us) | set(since.resource_us)
+        for key in keys:
+            delta.resource_us[key] = (self.resource_us.get(key, 0.0)
+                                      - since.resource_us.get(key, 0.0))
+        delta.latency_sum_us = self.latency_sum_us - since.latency_sum_us
+        delta.op_count = self.op_count - since.op_count
+        return delta
+
+    def items(self) -> Iterator:
+        """Iterate over (counter name, value) pairs, sorted by name."""
+        return iter(sorted(self.counters.items()))
+
+    def reset(self) -> None:
+        """Clear all recorded activity."""
+        self.counters.clear()
+        self.resource_us.clear()
+        self.latency_sum_us = 0.0
+        self.op_count = 0

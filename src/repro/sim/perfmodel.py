@@ -1,0 +1,102 @@
+"""Performance model: ledger + queue depth -> simulated elapsed time.
+
+The model is deliberately simple and transparent (it is documented in
+EXPERIMENTS.md next to every figure it produces):
+
+* **Resource bound** — each resource (client NIC, client CPU, backend
+  network, aggregate OSD devices, aggregate OSD CPUs) has a total busy time
+  recorded in the ledger; resources operate in parallel, so the run cannot
+  finish before the most-loaded resource does.  Per-OSD resources are
+  divided by the number of OSDs (uniform pseudo-random placement) and by
+  the per-OSD parallelism (an OSD node drives several NVMe drives).
+* **Latency bound** — with a fixed queue depth ``QD`` there are never more
+  than ``QD`` operations in flight, so the run takes at least
+  ``sum(latency of each op) / QD`` (Little's law).
+
+Simulated elapsed time is the maximum of the two bounds; throughput is
+bytes moved divided by that time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .costparams import CostParameters
+from .ledger import (CostLedger, RES_CLIENT_CPU, RES_CLIENT_NET,
+                     RES_CLUSTER_NET, RES_OSD_CPU, RES_OSD_DEVICE)
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """Outcome of converting a ledger into time/throughput numbers."""
+
+    elapsed_us: float
+    total_bytes: int
+    bandwidth_mbps: float
+    iops: float
+    mean_latency_us: float
+    bounding_resource: str
+    resource_us: Dict[str, float]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.bandwidth_mbps:8.1f} MiB/s  {self.iops:9.0f} IOPS  "
+                f"lat {self.mean_latency_us:7.1f} us  bound={self.bounding_resource}")
+
+
+class PerformanceModel:
+    """Turns a :class:`CostLedger` into a :class:`PerformanceEstimate`."""
+
+    def __init__(self, params: CostParameters) -> None:
+        self._params = params
+
+    @property
+    def params(self) -> CostParameters:
+        """The cost parameters this model applies."""
+        return self._params
+
+    def estimate(self, ledger: CostLedger, total_bytes: int,
+                 queue_depth: int) -> PerformanceEstimate:
+        """Estimate elapsed time for the activity recorded in ``ledger``."""
+        if queue_depth <= 0:
+            raise ConfigurationError("queue depth must be positive")
+        params = self._params
+
+        effective: Dict[str, float] = {}
+        effective[RES_CLIENT_NET] = ledger.resource(RES_CLIENT_NET)
+        effective[RES_CLIENT_CPU] = ledger.resource(RES_CLIENT_CPU)
+        effective[RES_CLUSTER_NET] = ledger.resource(RES_CLUSTER_NET)
+        # OSD-side work (transaction processing CPU plus device occupancy)
+        # is spread across all OSDs (uniform placement) and each OSD's
+        # transaction shards; within one shard CPU and device time do not
+        # overlap, which is what makes per-sector metadata cost something.
+        osd_div = params.osd_count * max(1, params.osd_shards)
+        osd_work = (ledger.resource(RES_OSD_DEVICE)
+                    + ledger.resource(RES_OSD_CPU)) / osd_div
+        effective["osd.work"] = osd_work
+
+        latency_bound = ledger.latency_sum_us / queue_depth
+        resource_bound_name = max(effective, key=lambda k: effective[k])
+        resource_bound = effective[resource_bound_name]
+
+        if latency_bound >= resource_bound:
+            elapsed = latency_bound
+            bounding = "latency(qd)"
+        else:
+            elapsed = resource_bound
+            bounding = resource_bound_name
+        elapsed = max(elapsed, 1e-6)
+
+        bandwidth = total_bytes / (1024 * 1024) / (elapsed / 1e6)
+        iops = ledger.op_count / (elapsed / 1e6) if ledger.op_count else 0.0
+        return PerformanceEstimate(
+            elapsed_us=elapsed,
+            total_bytes=total_bytes,
+            bandwidth_mbps=bandwidth,
+            iops=iops,
+            mean_latency_us=ledger.mean_latency_us(),
+            bounding_resource=bounding,
+            resource_us=dict(effective),
+        )

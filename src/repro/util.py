@@ -1,0 +1,140 @@
+"""Small shared helpers: byte manipulation, integer packing, size parsing.
+
+These utilities are deliberately dependency-free and are used across the
+crypto, storage and workload subsystems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Return the bytewise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {len(a)} != {len(b)}")
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(len(a), "big")
+
+
+def chunked(data: bytes, size: int) -> Iterator[bytes]:
+    """Yield successive ``size``-byte chunks of ``data`` (last may be short)."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    for off in range(0, len(data), size):
+        yield data[off:off + size]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def round_down(value: int, multiple: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValueError("multiple must be positive")
+    return (value // multiple) * multiple
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def split_range(offset: int, length: int, granule: int) -> List[Tuple[int, int, int]]:
+    """Split a byte range into pieces that do not cross ``granule`` boundaries.
+
+    Returns a list of ``(granule_index, offset_in_granule, piece_length)``
+    tuples covering ``[offset, offset + length)``.  This is the striping
+    primitive used both by the RBD object mapper (granule = object size) and
+    by the encryption layer (granule = sector size).
+    """
+    if offset < 0 or length < 0:
+        raise ValueError("offset and length must be non-negative")
+    if granule <= 0:
+        raise ValueError("granule must be positive")
+    pieces: List[Tuple[int, int, int]] = []
+    remaining = length
+    pos = offset
+    while remaining > 0:
+        index = pos // granule
+        within = pos - index * granule
+        piece = min(remaining, granule - within)
+        pieces.append((index, within, piece))
+        pos += piece
+        remaining -= piece
+    return pieces
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``"4K"``, ``"64M"``, ``"1G"``, ``"512"``)."""
+    value = text.strip().upper()
+    multipliers = {"K": KIB, "KB": KIB, "KIB": KIB,
+                   "M": MIB, "MB": MIB, "MIB": MIB,
+                   "G": GIB, "GB": GIB, "GIB": GIB,
+                   "B": 1, "": 1}
+    digits = value
+    suffix = ""
+    for i, ch in enumerate(value):
+        if not (ch.isdigit() or ch == "."):
+            digits, suffix = value[:i], value[i:]
+            break
+    if not digits:
+        raise ValueError(f"cannot parse size {text!r}")
+    if suffix not in multipliers:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(digits) * multipliers[suffix])
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count using binary units (``"4.0KiB"``, ``"2.5MiB"``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def int_to_le_bytes(value: int, length: int) -> bytes:
+    """Pack an unsigned integer little-endian into ``length`` bytes."""
+    return value.to_bytes(length, "little")
+
+
+def le_bytes_to_int(data: bytes) -> int:
+    """Unpack a little-endian unsigned integer."""
+    return int.from_bytes(data, "little")
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    """Render bytes as a classic hex dump (used by examples and debugging)."""
+    lines = []
+    for off in range(0, len(data), width):
+        chunk = data[off:off + width]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{off:08x}  {hexpart:<{width * 3}}  {asciipart}")
+    return "\n".join(lines)
+
+
+def constant_time_compare(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit (MAC verification)."""
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

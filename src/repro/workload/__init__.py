@@ -1,0 +1,21 @@
+"""fio-like workload generation and benchmark running.
+
+The paper drives its prototype with fio (random read / random write, IO
+sizes 4 KiB to 4 MiB, queue depth 32, ten repeats) and reports bandwidth.
+This package reproduces that harness against the simulated cluster: a
+workload specification, a deterministic request generator, and a runner
+that executes requests against an (encrypted) image, collects the cost
+ledger delta and converts it into simulated bandwidth via the performance
+model.
+"""
+
+from .spec import IORequest, WorkloadSpec, PAPER_IO_SIZES
+from .generator import generate_requests
+from .runner import WorkloadResult, WorkloadRunner, prefill_image
+from .stats import mean, percentile, summarize_latencies
+
+__all__ = [
+    "IORequest", "WorkloadSpec", "PAPER_IO_SIZES", "generate_requests",
+    "WorkloadResult", "WorkloadRunner", "prefill_image", "mean", "percentile",
+    "summarize_latencies",
+]

@@ -1,0 +1,49 @@
+"""Deterministic request generation from a workload specification."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from .spec import IORequest, WorkloadSpec
+from ..errors import WorkloadError
+from ..util import round_down
+
+
+def generate_requests(spec: WorkloadSpec, image_size: int) -> Iterator[IORequest]:
+    """Yield the request stream for ``spec`` against an image of ``image_size``.
+
+    Offsets are aligned to the IO size (fio's default behaviour for random
+    IO) and never cross the end of the image.  The stream is fully
+    deterministic given ``spec.seed``.
+    """
+    if image_size <= 0:
+        raise WorkloadError("image size must be positive")
+    count = spec.resolved_io_count(image_size)
+    rng = random.Random(spec.seed)
+    max_slots = max(1, image_size // spec.io_size)
+
+    sequential_offset = 0
+    for index in range(count):
+        if spec.rw == "randrw":
+            op = "read" if rng.random() < spec.read_fraction else "write"
+        elif spec.rw in ("randread", "read"):
+            op = "read"
+        else:
+            op = "write"
+
+        if spec.is_random or spec.rw == "randrw":
+            slot = rng.randrange(max_slots)
+            offset = slot * spec.io_size
+        else:
+            offset = sequential_offset
+            sequential_offset += spec.io_size
+            if sequential_offset + spec.io_size > image_size:
+                sequential_offset = 0
+        offset = min(offset, round_down(image_size - spec.io_size, spec.io_size))
+        yield IORequest(op=op, offset=offset, length=spec.io_size)
+
+
+def generate_request_list(spec: WorkloadSpec, image_size: int) -> List[IORequest]:
+    """Materialize the request stream as a list (small workloads only)."""
+    return list(generate_requests(spec, image_size))

@@ -1,0 +1,80 @@
+"""Workload specifications (the fio job file of the reproduction)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import WorkloadError
+from ..util import KIB, MIB, parse_size
+
+#: The IO-size sweep of the paper's Fig. 3 / Fig. 4 (4 KiB ... 4 MiB).
+PAPER_IO_SIZES = (4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB, 128 * KIB,
+                  256 * KIB, 512 * KIB, 1024 * KIB, 2048 * KIB, 4096 * KIB)
+
+_VALID_PATTERNS = ("randread", "randwrite", "read", "write", "randrw")
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One request produced by the generator."""
+
+    op: str          #: "read" or "write"
+    offset: int
+    length: int
+
+
+@dataclass
+class WorkloadSpec:
+    """Description of one fio-style job."""
+
+    name: str = "job"
+    #: access pattern: randread / randwrite / read / write / randrw
+    rw: str = "randwrite"
+    io_size: int = 4 * KIB
+    queue_depth: int = 32
+    #: how many requests to issue (if None, derived from total_bytes)
+    io_count: Optional[int] = None
+    #: total bytes to move (used when io_count is None)
+    total_bytes: Optional[int] = 32 * MIB
+    #: fraction of reads in a randrw mix
+    read_fraction: float = 0.5
+    #: RNG seed for offset/op selection (deterministic runs)
+    seed: int = 42
+    #: write the image sequentially before measuring (needed for reads)
+    prefill: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rw not in _VALID_PATTERNS:
+            raise WorkloadError(
+                f"unknown access pattern {self.rw!r}; valid: {_VALID_PATTERNS}")
+        if isinstance(self.io_size, str):
+            self.io_size = parse_size(self.io_size)
+        if self.io_size <= 0:
+            raise WorkloadError("io_size must be positive")
+        if self.queue_depth <= 0:
+            raise WorkloadError("queue_depth must be positive")
+        if self.io_count is None and self.total_bytes is None:
+            raise WorkloadError("one of io_count or total_bytes is required")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError("read_fraction must be within [0, 1]")
+
+    @property
+    def is_random(self) -> bool:
+        """True for random-offset patterns."""
+        return self.rw.startswith("rand")
+
+    def resolved_io_count(self, image_size: int) -> int:
+        """Number of requests to issue against an image of ``image_size``."""
+        if self.io_size > image_size:
+            raise WorkloadError(
+                f"io_size {self.io_size} exceeds image size {image_size}")
+        if self.io_count is not None:
+            return max(1, self.io_count)
+        return max(1, int(self.total_bytes) // self.io_size)
+
+    def describe(self) -> str:
+        """Short fio-style description."""
+        return (f"{self.name}: rw={self.rw} bs={self.io_size} "
+                f"qd={self.queue_depth} seed={self.seed}")

@@ -1,0 +1,55 @@
+"""Small statistics helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (``pct`` in [0, 100])."""
+    values = sorted(values)
+    if not values:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    rank = max(1, math.ceil(pct / 100.0 * len(values)))
+    return values[min(rank, len(values)) - 1]
+
+
+def summarize_latencies(latencies_us: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p95 / p99 / max summary of a latency sample."""
+    return {
+        "mean": mean(latencies_us),
+        "p50": percentile(latencies_us, 50),
+        "p95": percentile(latencies_us, 95),
+        "p99": percentile(latencies_us, 99),
+        "max": max(latencies_us) if latencies_us else 0.0,
+    }
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Relative standard deviation (population), 0 when mean is 0."""
+    values = list(values)
+    if not values:
+        return 0.0
+    avg = mean(values)
+    if avg == 0:
+        return 0.0
+    variance = sum((v - avg) ** 2 for v in values) / len(values)
+    return (variance ** 0.5) / avg
+
+
+def relative_change(value: float, baseline: float) -> float:
+    """``(value - baseline) / baseline`` guarded against a zero baseline."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline

@@ -1,0 +1,185 @@
+"""Tests for the security-analysis toolkit (the paper's motivating attacks)."""
+
+import pytest
+
+from repro import api
+from repro.attacks import (changed_sub_blocks, compare_snapshots,
+                           forge_mixed_ciphertext, overwrite_leakage_report,
+                           read_stored_block, replay_stored_block,
+                           splice_sub_blocks, unchanged_blocks)
+from repro.attacks.replay import corrupt_stored_block
+from repro.crypto.xts import XTS
+from repro.errors import ConfigurationError, IntegrityError
+from repro.util import MIB
+
+BLOCK = 4096
+
+
+def make_image(cluster, layout="luks-baseline", codec="xts", iv_policy=None,
+               name=None):
+    return api.create_encrypted_image(
+        cluster, name or f"atk-{layout}-{codec}", 16 * MIB, b"pw",
+        encryption_format=layout, codec=codec, iv_policy=iv_policy,
+        random_seed=b"attack-tests")
+
+
+class TestSubBlockAnalysis:
+    def test_changed_sub_blocks_pure(self):
+        a = bytes(64)
+        b = bytearray(a)
+        b[17] ^= 1
+        assert changed_sub_blocks(a, bytes(b)) == [1]
+
+    def test_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            changed_sub_blocks(bytes(32), bytes(16))
+        with pytest.raises(ConfigurationError):
+            changed_sub_blocks(bytes(20), bytes(20))
+
+    def test_leakage_report_render(self):
+        a = bytes(64)
+        b = bytearray(a)
+        b[0] ^= 1
+        report = overwrite_leakage_report(a, bytes(b))
+        assert report.leaks_information
+        assert report.unchanged == [1, 2, 3]
+        assert "sub-blocks" in report.render()
+        identical = overwrite_leakage_report(a, a)
+        assert not identical.leaks_information
+        assert "identical" in identical.render()
+
+    def test_splice_and_forge(self):
+        a, b = bytes([0xAA]) * 64, bytes([0xBB]) * 64
+        spliced = splice_sub_blocks(a, b, take_from_b=[1, 3])
+        assert spliced[0:16] == a[0:16]
+        assert spliced[16:32] == b[16:32]
+        forged = forge_mixed_ciphertext(a, b)
+        assert forged[0:16] == a[0:16] and forged[16:32] == b[16:32]
+        with pytest.raises(ConfigurationError):
+            splice_sub_blocks(a, b, take_from_b=[9])
+        with pytest.raises(ConfigurationError):
+            splice_sub_blocks(a, b[:32], take_from_b=[0])
+
+    def test_xts_mix_and_match_decrypts_to_mixture(self):
+        # End-to-end cryptographic check on raw XTS: spliced ciphertext
+        # decrypts to spliced plaintext (the §2.1 manipulation).
+        cipher = XTS(bytes(range(64)))
+        tweak = bytes(16)
+        plain_a, plain_b = bytes([0x11]) * 64, bytes([0x22]) * 64
+        ct_a, ct_b = cipher.encrypt(tweak, plain_a), cipher.encrypt(tweak, plain_b)
+        forged = splice_sub_blocks(ct_a, ct_b, take_from_b=[2])
+        decrypted = cipher.decrypt(tweak, forged)
+        assert decrypted[:32] == plain_a[:32]
+        assert decrypted[32:48] == plain_b[32:48]
+        assert decrypted[48:] == plain_a[48:]
+
+
+class TestOverwriteLeakageEndToEnd:
+    def test_baseline_leaks_changed_sub_block(self, cluster):
+        image, info = make_image(cluster, "luks-baseline")
+        lba = 2
+        version_1 = bytes(BLOCK)
+        version_2 = bytearray(version_1)
+        version_2[512:528] = b"X" * 16
+        image.write(lba * BLOCK, version_1)
+        before = read_stored_block(cluster, image, info, lba).ciphertext
+        image.write(lba * BLOCK, bytes(version_2))
+        after = read_stored_block(cluster, image, info, lba).ciphertext
+        report = overwrite_leakage_report(before, after)
+        assert report.changed == [32]
+        assert report.leaks_information
+
+    def test_random_iv_hides_overwrite_pattern(self, cluster):
+        image, info = make_image(cluster, "object-end")
+        lba = 2
+        version_1 = bytes(BLOCK)
+        version_2 = bytearray(version_1)
+        version_2[512:528] = b"X" * 16
+        image.write(lba * BLOCK, version_1)
+        before = read_stored_block(cluster, image, info, lba).ciphertext
+        image.write(lba * BLOCK, bytes(version_2))
+        after = read_stored_block(cluster, image, info, lba).ciphertext
+        report = overwrite_leakage_report(before, after)
+        assert not report.leaks_information
+        assert len(report.changed) == BLOCK // 16
+
+
+class TestSnapshotLeakage:
+    def _write_two_versions(self, cluster, layout):
+        image, info = make_image(cluster, layout)
+        image.write(0, bytes([0x55]) * (4 * BLOCK))
+        image.create_snapshot("v1")
+        updated = bytearray(bytes([0x55]) * (4 * BLOCK))
+        updated[BLOCK:2 * BLOCK] = bytes([0x66]) * BLOCK
+        image.write(0, bytes(updated))
+        return image, info
+
+    def test_baseline_reveals_update_pattern(self, cluster):
+        image, info = self._write_two_versions(cluster, "luks-baseline")
+        comparison = compare_snapshots(cluster, image, info, 0, 4)
+        assert comparison.reveals_update_pattern
+        assert comparison.differing_blocks == [1]
+        assert unchanged_blocks(comparison) == [0, 2, 3]
+
+    def test_random_iv_hides_update_pattern(self, cluster):
+        image, info = self._write_two_versions(cluster, "object-end")
+        comparison = compare_snapshots(cluster, image, info, 0, 4)
+        assert not comparison.reveals_update_pattern
+        assert comparison.identical_blocks == []
+
+
+class TestReplayAndTamper:
+    def test_read_stored_block_matches_layout(self, cluster):
+        image, info = make_image(cluster, "omap", name="atk-omap-read")
+        image.write(0, b"payload" + bytes(BLOCK - 7))
+        stored = read_stored_block(cluster, image, info, 0)
+        assert len(stored.ciphertext) == BLOCK
+        assert stored.metadata is not None and len(stored.metadata) == 16
+
+    def test_cross_lba_replay_unnoticed_without_mac(self, cluster):
+        image, info = make_image(cluster, "object-end", name="atk-replay-plain")
+        image.write(0, b"admin=true " + bytes(BLOCK - 11))
+        image.write(5 * BLOCK, b"admin=false" + bytes(BLOCK - 11))
+        stolen = read_stored_block(cluster, image, info, 0)
+        replay_stored_block(cluster, image, info, 5, stolen)
+        assert image.read(5 * BLOCK, 11) == b"admin=true "
+
+    def test_cross_lba_replay_detected_with_hmac(self, cluster):
+        image, info = make_image(cluster, "object-end", codec="xts-hmac",
+                                 name="atk-replay-hmac")
+        image.write(0, b"admin=true " + bytes(BLOCK - 11))
+        image.write(5 * BLOCK, b"admin=false" + bytes(BLOCK - 11))
+        stolen = read_stored_block(cluster, image, info, 0)
+        replay_stored_block(cluster, image, info, 5, stolen)
+        with pytest.raises(IntegrityError):
+            image.read(5 * BLOCK, 11)
+
+    def test_rollback_to_stale_version_unnoticed_without_mac(self, cluster):
+        image, info = make_image(cluster, "object-end", name="atk-rollback")
+        image.write(0, b"balance=1000" + bytes(BLOCK - 12))
+        stale = read_stored_block(cluster, image, info, 0)
+        image.write(0, b"balance=0001" + bytes(BLOCK - 12))
+        replay_stored_block(cluster, image, info, 0, stale)
+        assert image.read(0, 12) == b"balance=1000"
+
+    def test_corruption_detected_only_with_authentication(self, cluster):
+        plain_image, plain_info = make_image(cluster, "object-end",
+                                             name="atk-corrupt-plain")
+        plain_image.write(0, b"data" + bytes(BLOCK - 4))
+        corrupt_stored_block(cluster, plain_image, plain_info, 0, flip_byte=10)
+        garbled = plain_image.read(0, BLOCK)      # silently returns garbage
+        assert garbled != b"data" + bytes(BLOCK - 4)
+
+        auth_image, auth_info = make_image(cluster, "object-end", codec="gcm",
+                                           name="atk-corrupt-gcm")
+        auth_image.write(0, b"data" + bytes(BLOCK - 4))
+        touched = corrupt_stored_block(cluster, auth_image, auth_info, 0)
+        assert touched  # every replica modified
+        with pytest.raises(IntegrityError):
+            auth_image.read(0, BLOCK)
+
+    def test_corrupt_flip_byte_validation(self, cluster):
+        image, info = make_image(cluster, "object-end", name="atk-flip")
+        image.write(0, bytes(BLOCK))
+        with pytest.raises(ConfigurationError):
+            corrupt_stored_block(cluster, image, info, 0, flip_byte=BLOCK + 1)

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.crypto.drbg import HmacDrbg
+from repro.rados.cluster import Cluster, ClusterConfig
+from repro.sim.costparams import default_cost_parameters
+from repro.util import MIB
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A default 3-OSD, 3-replica cluster."""
+    return api.make_cluster()
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A single-OSD, single-replica cluster for cheap functional tests."""
+    return Cluster(config=ClusterConfig(osd_count=1, replica_count=1),
+                   params=default_cost_parameters())
+
+
+@pytest.fixture
+def ioctx(cluster):
+    """An IO context on the default pool of the default cluster."""
+    return cluster.client().open_ioctx("rbd")
+
+
+@pytest.fixture
+def drbg() -> HmacDrbg:
+    """A deterministic random source."""
+    return HmacDrbg(b"test-seed")
+
+
+@pytest.fixture
+def plain_image(cluster):
+    """A 16 MiB unencrypted image."""
+    return api.create_plain_image(cluster, "plain-test", 16 * MIB)
+
+
+def _encrypted(cluster, layout, **kwargs):
+    defaults = dict(cipher_suite="blake2-xts-sim", random_seed=b"fixture-seed")
+    defaults.update(kwargs)
+    return api.create_encrypted_image(cluster, f"enc-{layout}", 16 * MIB,
+                                      passphrase=b"fixture-passphrase",
+                                      encryption_format=layout, **defaults)
+
+
+@pytest.fixture
+def encrypted_image_factory(cluster):
+    """Factory creating encrypted images on the shared cluster.
+
+    Uses the fast simulation cipher by default; pass
+    ``cipher_suite="aes-xts-256"`` for the real AES path.
+    """
+    def factory(layout: str = "object-end", **kwargs):
+        return _encrypted(cluster, layout, **kwargs)
+    return factory
+
+
+@pytest.fixture(params=["luks-baseline", "unaligned", "object-end", "omap"])
+def any_layout(request) -> str:
+    """Parametrized over the four layouts compared in the paper."""
+    return request.param
+
+
+@pytest.fixture(params=["unaligned", "object-end", "omap"])
+def metadata_layout_name(request) -> str:
+    """Parametrized over the three per-sector metadata layouts."""
+    return request.param

@@ -1,0 +1,134 @@
+"""Tests for the AES block cipher (FIPS-197)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, SBOX, INV_SBOX
+from repro.errors import DataSizeError, KeySizeError
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+KEY128 = bytes(range(16))
+KEY192 = bytes(range(24))
+KEY256 = bytes(range(32))
+
+
+class TestFipsVectors:
+    """Appendix C of FIPS-197."""
+
+    def test_aes128_encrypt(self):
+        assert AES(KEY128).encrypt_block(PLAINTEXT).hex() == \
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192_encrypt(self):
+        assert AES(KEY192).encrypt_block(PLAINTEXT).hex() == \
+            "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256_encrypt(self):
+        assert AES(KEY256).encrypt_block(PLAINTEXT).hex() == \
+            "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_aes128_decrypt(self):
+        ct = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(KEY128).decrypt_block(ct) == PLAINTEXT
+
+    def test_aes192_decrypt(self):
+        ct = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(KEY192).decrypt_block(ct) == PLAINTEXT
+
+    def test_aes256_decrypt(self):
+        ct = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(KEY256).decrypt_block(ct) == PLAINTEXT
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        # First block of the ECB-AES128 example in NIST SP 800-38A.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert AES(key).encrypt_block(pt).hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+
+class TestSbox:
+    def test_sbox_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox_is_inverse(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestKeyHandling:
+    @pytest.mark.parametrize("size", [16, 24, 32])
+    def test_valid_key_sizes(self, size):
+        cipher = AES(bytes(size))
+        assert cipher.key_size == size
+        assert cipher.rounds == {16: 10, 24: 12, 32: 14}[size]
+
+    @pytest.mark.parametrize("size", [0, 1, 8, 15, 17, 31, 33, 64])
+    def test_invalid_key_sizes(self, size):
+        with pytest.raises(KeySizeError):
+            AES(bytes(size))
+
+    def test_key_property_round_trips(self):
+        cipher = AES(KEY256)
+        assert cipher.key == KEY256
+
+
+class TestBlockValidation:
+    @pytest.mark.parametrize("size", [0, 1, 15, 17, 32])
+    def test_encrypt_rejects_wrong_block_size(self, size):
+        with pytest.raises(DataSizeError):
+            AES(KEY128).encrypt_block(bytes(size))
+
+    @pytest.mark.parametrize("size", [0, 15, 17])
+    def test_decrypt_rejects_wrong_block_size(self, size):
+        with pytest.raises(DataSizeError):
+            AES(KEY128).decrypt_block(bytes(size))
+
+
+class TestEcbHelpers:
+    def test_ecb_round_trip(self):
+        cipher = AES(KEY256)
+        data = bytes(range(64))
+        assert cipher.decrypt_ecb(cipher.encrypt_ecb(data)) == data
+
+    def test_ecb_rejects_partial_blocks(self):
+        with pytest.raises(DataSizeError):
+            AES(KEY128).encrypt_ecb(bytes(20))
+        with pytest.raises(DataSizeError):
+            AES(KEY128).decrypt_ecb(bytes(20))
+
+    def test_ecb_equal_blocks_give_equal_ciphertext(self):
+        cipher = AES(KEY128)
+        ct = cipher.encrypt_ecb(bytes(16) + bytes(16))
+        assert ct[:16] == ct[16:]
+
+
+class TestProperties:
+    @given(key=st.binary(min_size=16, max_size=16),
+           block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_aes128(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(key=st.binary(min_size=32, max_size=32),
+           block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_aes256(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE))
+    @settings(max_examples=20, deadline=None)
+    def test_encryption_changes_data(self, block):
+        cipher = AES(KEY128)
+        assert cipher.encrypt_block(block) != block
+
+    def test_different_keys_give_different_ciphertext(self):
+        ct1 = AES(bytes(16)).encrypt_block(PLAINTEXT)
+        ct2 = AES(bytes([1]) + bytes(15)).encrypt_block(PLAINTEXT)
+        assert ct1 != ct2

@@ -1,0 +1,71 @@
+"""Tests for AES-CBC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cbc import CBC
+from repro.errors import DataSizeError, IVSizeError
+
+
+class TestNistVectors:
+    def test_sp800_38a_cbc_aes128_first_block(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert CBC(key).encrypt(iv, pt).hex() == \
+            "7649abac8119b246cee98e9b12e9197d"
+
+    def test_sp800_38a_cbc_aes128_two_blocks(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a"
+                           "ae2d8a571e03ac9c9eb76fac45af8e51")
+        ct = CBC(key).encrypt(iv, pt)
+        assert ct.hex() == ("7649abac8119b246cee98e9b12e9197d"
+                            "5086cb9b507219ee95db113a917678b2")
+
+    def test_decrypt_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ct = bytes.fromhex("7649abac8119b246cee98e9b12e9197d")
+        assert CBC(key).decrypt(iv, ct).hex() == \
+            "6bc1bee22e409f96e93d7e117393172a"
+
+
+class TestValidation:
+    def test_iv_must_be_16_bytes(self):
+        with pytest.raises(IVSizeError):
+            CBC(bytes(16)).encrypt(bytes(8), bytes(16))
+
+    def test_data_must_be_block_multiple(self):
+        with pytest.raises(DataSizeError):
+            CBC(bytes(16)).encrypt(bytes(16), bytes(20))
+        with pytest.raises(DataSizeError):
+            CBC(bytes(16)).decrypt(bytes(16), bytes(20))
+
+    def test_key_size_property(self):
+        assert CBC(bytes(32)).key_size == 32
+
+
+class TestLeakageProfile:
+    """CBC's overwrite leakage differs from XTS's (§2.1 footnote 1)."""
+
+    def test_change_propagates_forward_only(self):
+        cipher = CBC(bytes(range(16)))
+        iv = bytes(16)
+        data = bytearray(16 * 8)
+        ct1 = cipher.encrypt(iv, bytes(data))
+        data[16 * 4] ^= 0xFF    # change block 4
+        ct2 = cipher.encrypt(iv, bytes(data))
+        same = [i for i in range(8) if ct1[i * 16:(i + 1) * 16] == ct2[i * 16:(i + 1) * 16]]
+        # Blocks before the change are identical; the change and everything
+        # after differ: the adversary learns the position of the first change.
+        assert same == [0, 1, 2, 3]
+
+    @given(data=st.lists(st.binary(min_size=16, max_size=16), min_size=1,
+                         max_size=10).map(b"".join))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, data):
+        cipher = CBC(bytes(range(32)))
+        iv = bytes(range(16))
+        assert cipher.decrypt(iv, cipher.encrypt(iv, data)) == data

@@ -1,0 +1,142 @@
+"""Tests for AES-GCM and the CTR/GHASH building blocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ctr import CTR, _inc32
+from repro.crypto.gcm import GCM, NONCE_SIZE, TAG_SIZE
+from repro.errors import AuthenticationError, IVSizeError
+
+
+class TestNistVectors:
+    """NIST GCM test vectors (AES-128, cases 1 and 2)."""
+
+    def test_case_1_empty_plaintext(self):
+        gcm = GCM(bytes(16))
+        result = gcm.encrypt(bytes(12), b"")
+        assert result.ciphertext == b""
+        assert result.tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case_2_single_zero_block(self):
+        gcm = GCM(bytes(16))
+        result = gcm.encrypt(bytes(12), bytes(16))
+        assert result.ciphertext.hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert result.tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_case_2_decrypt(self):
+        gcm = GCM(bytes(16))
+        plaintext = gcm.decrypt(bytes(12),
+                                bytes.fromhex("0388dace60b6a392f328c2b971b2fe78"),
+                                bytes.fromhex("ab6e47d42cec13bdf53a67b21257bddf"))
+        assert plaintext == bytes(16)
+
+
+class TestAuthenticatedEncryption:
+    def test_roundtrip_with_aad(self):
+        gcm = GCM(bytes(range(32)))
+        nonce, aad = bytes(range(12)), b"lba=17"
+        data = bytes(range(100))
+        result = gcm.encrypt(nonce, data, aad=aad)
+        assert gcm.decrypt(nonce, result.ciphertext, result.tag, aad=aad) == data
+
+    def test_ciphertext_tamper_detected(self):
+        gcm = GCM(bytes(32))
+        result = gcm.encrypt(bytes(12), bytes(64))
+        tampered = bytearray(result.ciphertext)
+        tampered[5] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(bytes(12), bytes(tampered), result.tag)
+
+    def test_tag_tamper_detected(self):
+        gcm = GCM(bytes(32))
+        result = gcm.encrypt(bytes(12), bytes(64))
+        bad_tag = bytes([result.tag[0] ^ 1]) + result.tag[1:]
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(bytes(12), result.ciphertext, bad_tag)
+
+    def test_aad_mismatch_detected(self):
+        gcm = GCM(bytes(32))
+        result = gcm.encrypt(bytes(12), bytes(64), aad=b"lba=1")
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(bytes(12), result.ciphertext, result.tag, aad=b"lba=2")
+
+    def test_wrong_nonce_detected(self):
+        gcm = GCM(bytes(32))
+        result = gcm.encrypt(bytes(12), bytes(64))
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(bytes([1]) + bytes(11), result.ciphertext, result.tag)
+
+    def test_same_nonce_same_plaintext_is_deterministic(self):
+        gcm = GCM(bytes(32))
+        a = gcm.encrypt(bytes(12), bytes(32))
+        b = gcm.encrypt(bytes(12), bytes(32))
+        assert a.ciphertext == b.ciphertext and a.tag == b.tag
+
+    def test_different_nonce_changes_ciphertext(self):
+        gcm = GCM(bytes(32))
+        a = gcm.encrypt(bytes(12), bytes(32))
+        b = gcm.encrypt(bytes([7]) + bytes(11), bytes(32))
+        assert a.ciphertext != b.ciphertext
+
+    def test_non_96_bit_nonce_supported(self):
+        gcm = GCM(bytes(32))
+        nonce = bytes(range(20))
+        result = gcm.encrypt(nonce, b"hello world")
+        assert gcm.decrypt(nonce, result.ciphertext, result.tag) == b"hello world"
+
+    def test_empty_nonce_rejected(self):
+        gcm = GCM(bytes(32))
+        with pytest.raises(IVSizeError):
+            gcm.encrypt(b"", b"data")
+        with pytest.raises(IVSizeError):
+            gcm.decrypt(b"", b"data", bytes(16))
+
+    @pytest.mark.parametrize("tag_size", [12, 14, 16])
+    def test_truncated_tags(self, tag_size):
+        gcm = GCM(bytes(32), tag_size=tag_size)
+        result = gcm.encrypt(bytes(12), bytes(48))
+        assert len(result.tag) == tag_size
+        assert gcm.decrypt(bytes(12), result.ciphertext, result.tag) == bytes(48)
+
+    @pytest.mark.parametrize("tag_size", [4, 11, 17, 32])
+    def test_invalid_tag_sizes_rejected(self, tag_size):
+        with pytest.raises(IVSizeError):
+            GCM(bytes(32), tag_size=tag_size)
+
+    def test_constants(self):
+        assert NONCE_SIZE == 12
+        assert TAG_SIZE == 16
+
+    @given(data=st.binary(min_size=0, max_size=200),
+           aad=st.binary(min_size=0, max_size=40))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, data, aad):
+        gcm = GCM(bytes(range(16)))
+        result = gcm.encrypt(bytes(12), data, aad=aad)
+        assert gcm.decrypt(bytes(12), result.ciphertext, result.tag, aad=aad) == data
+
+
+class TestCtr:
+    def test_inc32_wraps_only_low_word(self):
+        block = bytes(12) + b"\xff\xff\xff\xff"
+        assert _inc32(block) == bytes(16)
+
+    def test_keystream_deterministic(self):
+        ctr = CTR(bytes(16))
+        assert ctr.keystream(bytes(16), 64) == ctr.keystream(bytes(16), 64)
+
+    def test_xcrypt_is_involution(self):
+        ctr = CTR(bytes(range(16)))
+        data = bytes(range(100))
+        counter = bytes(range(16))
+        assert ctr.xcrypt(counter, ctr.xcrypt(counter, data)) == data
+
+    def test_wide_counter_mode(self):
+        ctr = CTR(bytes(16), wide_counter=True)
+        counter = bytes(15) + b"\xff"
+        stream = ctr.keystream(counter, 48)
+        assert len(stream) == 48
+
+    def test_counter_block_must_be_16_bytes(self):
+        with pytest.raises(IVSizeError):
+            CTR(bytes(16)).keystream(bytes(8), 16)

@@ -1,0 +1,153 @@
+"""Tests for the IV policies (plain64, ESSIV, random, write-counter)."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.iv import (EssivIV, IV_SIZE, Plain64IV, RandomIV,
+                             WriteCounterIV, make_iv_policy)
+from repro.errors import ConfigurationError
+
+
+class TestPlain64:
+    def test_encodes_lba_little_endian(self):
+        policy = Plain64IV()
+        assert policy.iv_for_write(1) == b"\x01" + bytes(15)
+        assert policy.iv_for_write(0x0102) == b"\x02\x01" + bytes(14)
+
+    def test_deterministic_and_metadata_free(self):
+        policy = Plain64IV()
+        assert policy.is_deterministic()
+        assert not policy.requires_metadata
+        assert policy.iv_for_read(7, None) == policy.iv_for_write(7)
+
+    def test_distinct_lbas_get_distinct_ivs(self):
+        policy = Plain64IV()
+        ivs = {policy.iv_for_write(lba) for lba in range(1000)}
+        assert len(ivs) == 1000
+
+    def test_iv_size(self):
+        assert len(Plain64IV().iv_for_write(123)) == IV_SIZE
+
+
+class TestEssiv:
+    def test_requires_volume_key(self):
+        with pytest.raises(ConfigurationError):
+            EssivIV(b"")
+
+    def test_deterministic_per_key(self):
+        policy = EssivIV(b"volume-key")
+        assert policy.iv_for_write(5) == policy.iv_for_read(5, None)
+
+    def test_hides_lba_structure(self):
+        policy = Plain64IV()
+        essiv = EssivIV(b"volume-key")
+        # plain64 IVs of consecutive LBAs differ in one byte; ESSIV IVs look
+        # unrelated.
+        plain_diff = sum(a != b for a, b in zip(policy.iv_for_write(0),
+                                                policy.iv_for_write(1)))
+        essiv_diff = sum(a != b for a, b in zip(essiv.iv_for_write(0),
+                                                essiv.iv_for_write(1)))
+        assert plain_diff == 1
+        assert essiv_diff > 8
+
+    def test_different_keys_give_different_ivs(self):
+        assert EssivIV(b"key-a").iv_for_write(1) != EssivIV(b"key-b").iv_for_write(1)
+
+
+class TestRandomIV:
+    def test_requires_metadata(self):
+        policy = RandomIV(HmacDrbg(b"seed"))
+        assert policy.requires_metadata
+        assert not policy.is_deterministic()
+
+    def test_overwrites_get_fresh_ivs(self):
+        policy = RandomIV(HmacDrbg(b"seed"))
+        assert policy.iv_for_write(9) != policy.iv_for_write(9)
+
+    def test_deterministic_given_seed(self):
+        a = RandomIV(HmacDrbg(b"seed")).iv_for_write(1)
+        b = RandomIV(HmacDrbg(b"seed")).iv_for_write(1)
+        assert a == b
+
+    def test_iv_embeds_lba_and_snapshot(self):
+        policy = RandomIV(HmacDrbg(b"seed"))
+        iv = policy.iv_for_write(0x0000AABBCCDD, snapshot_id=0x0102)
+        assert iv[8:14] == (0x0000AABBCCDD).to_bytes(6, "little")
+        assert iv[14:16] == (0x0102).to_bytes(2, "little")
+
+    def test_read_with_full_stored_iv(self):
+        policy = RandomIV(HmacDrbg(b"seed"))
+        iv = policy.iv_for_write(3)
+        assert policy.iv_for_read(3, policy.metadata_for_iv(iv)) == iv
+
+    def test_read_with_8_byte_stored_nonce(self):
+        policy = RandomIV(HmacDrbg(b"seed"), stored_size=8)
+        iv = policy.iv_for_write(3, snapshot_id=2)
+        stored = policy.metadata_for_iv(iv)
+        assert len(stored) == 8
+        assert policy.iv_for_read(3, stored, snapshot_id=2) == iv
+
+    def test_read_without_metadata_fails(self):
+        policy = RandomIV(HmacDrbg(b"seed"))
+        with pytest.raises(ConfigurationError):
+            policy.iv_for_read(3, None)
+
+    def test_bad_stored_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomIV(HmacDrbg(b"seed"), stored_size=12)
+        policy = RandomIV(HmacDrbg(b"seed"))
+        with pytest.raises(ConfigurationError):
+            policy.iv_for_read(1, bytes(5))
+
+    def test_counts_generated_ivs(self):
+        policy = RandomIV(HmacDrbg(b"seed"))
+        for lba in range(10):
+            policy.iv_for_write(lba)
+        assert policy.ivs_generated == 10
+
+    def test_no_collisions_over_many_writes(self):
+        policy = RandomIV(HmacDrbg(b"seed"))
+        ivs = {policy.iv_for_write(0) for _ in range(2000)}
+        assert len(ivs) == 2000
+
+
+class TestWriteCounter:
+    def test_counter_advances_per_lba(self):
+        policy = WriteCounterIV()
+        first = policy.iv_for_write(4)
+        second = policy.iv_for_write(4)
+        other = policy.iv_for_write(5)
+        assert first != second
+        assert first[:8] == (1).to_bytes(8, "little")
+        assert second[:8] == (2).to_bytes(8, "little")
+        assert other[:8] == (1).to_bytes(8, "little")
+
+    def test_metadata_is_counter(self):
+        policy = WriteCounterIV()
+        iv = policy.iv_for_write(4)
+        assert policy.metadata_for_iv(iv) == iv[:8]
+
+    def test_read_reconstructs_iv(self):
+        policy = WriteCounterIV()
+        iv = policy.iv_for_write(4, snapshot_id=3)
+        assert policy.iv_for_read(4, policy.metadata_for_iv(iv), snapshot_id=3) == iv
+
+    def test_read_without_counter_fails(self):
+        with pytest.raises(ConfigurationError):
+            WriteCounterIV().iv_for_read(4, None)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name, cls", [
+        ("plain64", Plain64IV), ("essiv", EssivIV), ("random", RandomIV),
+        ("write-counter", WriteCounterIV),
+    ])
+    def test_factory_builds_each_policy(self, name, cls):
+        policy = make_iv_policy(name, volume_key=b"key",
+                                random_source=HmacDrbg(b"s"))
+        assert isinstance(policy, cls)
+        assert policy.name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_iv_policy("nonsense")

@@ -1,0 +1,107 @@
+"""Tests for PBKDF2, HKDF and AES key wrap."""
+
+import hashlib
+import hmac as hmac_mod
+
+import pytest
+
+from repro.crypto.kdf import (aes_key_unwrap, aes_key_wrap, derive_subkey,
+                              hkdf, hkdf_expand, hkdf_extract, pbkdf2)
+from repro.errors import AuthenticationError, DataSizeError
+
+
+class TestPbkdf2:
+    def test_matches_hashlib(self):
+        expected = hashlib.pbkdf2_hmac("sha256", b"password", b"salt", 1000, 32)
+        assert pbkdf2(b"password", b"salt", 1000, 32) == expected
+
+    def test_rfc_style_vector(self):
+        # PBKDF2-HMAC-SHA256, P="password", S="salt", c=1, dkLen=32.
+        out = pbkdf2(b"password", b"salt", 1, 32)
+        assert out.hex() == ("120fb6cffcf8b32c43e7225256c4f837"
+                             "a86548c92ccc35480805987cb70be17b")
+
+    def test_iterations_must_be_positive(self):
+        with pytest.raises(ValueError):
+            pbkdf2(b"p", b"s", 0, 32)
+
+    def test_different_salts_differ(self):
+        assert pbkdf2(b"p", b"salt1", 10, 16) != pbkdf2(b"p", b"salt2", 10, 16)
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == ("077709362c2e32df0ddc3f0dc47bba63"
+                             "90b6c73bb50f9c3122ec844ad7c2b3e5")
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == ("3cb25f25faacd57a90434f64d0362f2a"
+                             "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+                             "34007208d5b887185865")
+
+    def test_one_shot_matches_two_step(self):
+        assert hkdf(b"ikm", b"info", 32, salt=b"salt") == \
+            hkdf_expand(hkdf_extract(b"salt", b"ikm"), b"info", 32)
+
+    def test_empty_salt_uses_zero_key(self):
+        prk = hkdf_extract(b"", b"ikm")
+        assert prk == hmac_mod.new(b"\x00" * 32, b"ikm", hashlib.sha256).digest()
+
+    def test_output_length_cap(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(bytes(32), b"", 255 * 32 + 1)
+
+    def test_derive_subkey_purposes_are_independent(self):
+        vk = bytes(range(64))
+        assert derive_subkey(vk, "data", 32) != derive_subkey(vk, "mac", 32)
+        assert len(derive_subkey(vk, "data", 64)) == 64
+
+    def test_derive_subkey_deterministic(self):
+        vk = bytes(range(64))
+        assert derive_subkey(vk, "data", 32) == derive_subkey(vk, "data", 32)
+
+
+class TestAesKeyWrap:
+    def test_rfc3394_vector_128(self):
+        kek = bytes.fromhex("000102030405060708090A0B0C0D0E0F")
+        key_data = bytes.fromhex("00112233445566778899AABBCCDDEEFF")
+        wrapped = aes_key_wrap(kek, key_data)
+        assert wrapped.hex().upper() == \
+            "1FA68B0A8112B447AEF34BD8FB5A7B829D3E862371D2CFE5"
+        assert aes_key_unwrap(kek, wrapped) == key_data
+
+    def test_rfc3394_vector_256_kek(self):
+        kek = bytes.fromhex("000102030405060708090A0B0C0D0E0F"
+                            "101112131415161718191A1B1C1D1E1F")
+        key_data = bytes.fromhex("00112233445566778899AABBCCDDEEFF")
+        wrapped = aes_key_wrap(kek, key_data)
+        assert wrapped.hex().upper() == \
+            "64E8C3F9CE0F5BA263E9777905818A2A93C8191E7D6E8AE7"
+        assert aes_key_unwrap(kek, wrapped) == key_data
+
+    def test_wrap_roundtrip_longer_key(self):
+        kek = bytes(range(32))
+        key_data = bytes(range(64))
+        assert aes_key_unwrap(kek, aes_key_wrap(kek, key_data)) == key_data
+
+    def test_unwrap_with_wrong_kek_fails(self):
+        wrapped = aes_key_wrap(bytes(16), bytes(32))
+        with pytest.raises(AuthenticationError):
+            aes_key_unwrap(bytes([1]) + bytes(15), wrapped)
+
+    def test_unwrap_detects_corruption(self):
+        wrapped = bytearray(aes_key_wrap(bytes(16), bytes(32)))
+        wrapped[3] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            aes_key_unwrap(bytes(16), bytes(wrapped))
+
+    def test_wrap_input_validation(self):
+        with pytest.raises(DataSizeError):
+            aes_key_wrap(bytes(16), bytes(12))     # too short
+        with pytest.raises(DataSizeError):
+            aes_key_wrap(bytes(16), bytes(20))     # not multiple of 8
+        with pytest.raises(DataSizeError):
+            aes_key_unwrap(bytes(16), bytes(16))   # too short to unwrap

@@ -1,0 +1,152 @@
+"""Tests for the sector MAC, the deterministic DRBG and the fast ciphers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.drbg import HmacDrbg, OsRandomSource, default_random_source
+from repro.crypto.fastcipher import Blake2Xts, NullCipher
+from repro.crypto.mac import DEFAULT_TAG_SIZE, SectorMac
+from repro.errors import AuthenticationError, IVSizeError, KeySizeError
+
+
+class TestSectorMac:
+    def test_tag_and_verify_roundtrip(self):
+        mac = SectorMac(b"mac-key")
+        tag = mac.tag(7, bytes(16), b"ciphertext")
+        mac.verify(7, bytes(16), b"ciphertext", tag)
+
+    def test_default_tag_size(self):
+        mac = SectorMac(b"mac-key")
+        assert len(mac.tag(1, bytes(16), b"x")) == DEFAULT_TAG_SIZE == 16
+
+    @pytest.mark.parametrize("tag_size", [8, 16, 32])
+    def test_custom_tag_sizes(self, tag_size):
+        mac = SectorMac(b"k", tag_size=tag_size)
+        assert len(mac.tag(0, b"", b"data")) == tag_size
+
+    @pytest.mark.parametrize("tag_size", [4, 7, 33])
+    def test_invalid_tag_sizes(self, tag_size):
+        with pytest.raises(ValueError):
+            SectorMac(b"k", tag_size=tag_size)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            SectorMac(b"")
+
+    def test_lba_binding(self):
+        mac = SectorMac(b"k")
+        tag = mac.tag(1, bytes(16), b"data")
+        with pytest.raises(AuthenticationError):
+            mac.verify(2, bytes(16), b"data", tag)
+
+    def test_iv_binding(self):
+        mac = SectorMac(b"k")
+        tag = mac.tag(1, bytes(16), b"data")
+        with pytest.raises(AuthenticationError):
+            mac.verify(1, bytes([1]) + bytes(15), b"data", tag)
+
+    def test_ciphertext_binding(self):
+        mac = SectorMac(b"k")
+        tag = mac.tag(1, bytes(16), b"data")
+        with pytest.raises(AuthenticationError):
+            mac.verify(1, bytes(16), b"datb", tag)
+
+    def test_truncated_tag_rejected(self):
+        mac = SectorMac(b"k")
+        tag = mac.tag(1, bytes(16), b"data")
+        with pytest.raises(AuthenticationError):
+            mac.verify(1, bytes(16), b"data", tag[:-1])
+
+
+class TestHmacDrbg:
+    def test_deterministic_given_seed(self):
+        assert HmacDrbg(b"seed").read(64) == HmacDrbg(b"seed").read(64)
+
+    def test_different_seeds_differ(self):
+        assert HmacDrbg(b"seed-a").read(32) != HmacDrbg(b"seed-b").read(32)
+
+    def test_stream_does_not_repeat(self):
+        drbg = HmacDrbg(b"seed")
+        assert drbg.read(32) != drbg.read(32)
+
+    def test_reseed_changes_output(self):
+        a = HmacDrbg(b"seed")
+        b = HmacDrbg(b"seed")
+        b.reseed(b"more entropy")
+        assert a.read(32) != b.read(32)
+
+    def test_read_zero_and_negative(self):
+        drbg = HmacDrbg(b"seed")
+        assert drbg.read(0) == b""
+        with pytest.raises(ValueError):
+            drbg.read(-1)
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"")
+
+    def test_counts_bytes(self):
+        drbg = HmacDrbg(b"seed")
+        drbg.read(10)
+        drbg.read(22)
+        assert drbg.bytes_generated == 32
+
+    def test_read_u64_in_range(self):
+        drbg = HmacDrbg(b"seed")
+        for _ in range(10):
+            assert 0 <= drbg.read_u64() < 2 ** 64
+
+    def test_os_source_length(self):
+        assert len(OsRandomSource().read(17)) == 17
+
+    def test_default_source_is_deterministic(self):
+        assert default_random_source().read(8) == default_random_source().read(8)
+
+    @given(n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_requested_length_honoured(self, n):
+        assert len(HmacDrbg(b"s").read(n)) == n
+
+
+class TestFastCiphers:
+    def test_blake2_roundtrip(self):
+        cipher = Blake2Xts(bytes(range(32)))
+        tweak = bytes(range(16))
+        data = bytes(4096)
+        assert cipher.decrypt(tweak, cipher.encrypt(tweak, data)) == data
+
+    def test_blake2_tweak_dependence(self):
+        cipher = Blake2Xts(bytes(range(32)))
+        data = bytes(64)
+        assert cipher.encrypt(bytes(16), data) != \
+            cipher.encrypt(bytes([1]) + bytes(15), data)
+
+    def test_blake2_key_dependence(self):
+        data = bytes(64)
+        assert Blake2Xts(bytes(range(32))).encrypt(bytes(16), data) != \
+            Blake2Xts(bytes(32)).encrypt(bytes(16), data)
+
+    def test_blake2_key_length_validation(self):
+        with pytest.raises(KeySizeError):
+            Blake2Xts(bytes(8))
+
+    def test_blake2_tweak_length_validation(self):
+        with pytest.raises(IVSizeError):
+            Blake2Xts(bytes(32)).encrypt(bytes(8), bytes(16))
+
+    def test_blake2_length_preserving(self):
+        cipher = Blake2Xts(bytes(32))
+        for length in (1, 16, 100, 4096):
+            assert len(cipher.encrypt(bytes(16), bytes(length))) == length
+
+    def test_null_cipher_is_identity(self):
+        cipher = NullCipher()
+        assert cipher.encrypt(bytes(16), b"abc") == b"abc"
+        assert cipher.decrypt(bytes(16), b"abc") == b"abc"
+
+    @given(data=st.binary(min_size=0, max_size=300),
+           tweak=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_blake2_roundtrip_property(self, data, tweak):
+        cipher = Blake2Xts(bytes(range(32)))
+        assert cipher.decrypt(tweak, cipher.encrypt(tweak, data)) == data

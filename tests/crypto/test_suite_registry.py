@@ -1,0 +1,61 @@
+"""Tests for the cipher suite registry."""
+
+import pytest
+
+from repro.crypto.fastcipher import Blake2Xts
+from repro.crypto.suite import (CipherSuite, DEFAULT_SUITE, SIMULATION_SUITE,
+                                available_suites, get_suite, register_suite)
+from repro.crypto.xts import XTS
+from repro.crypto.wideblock import WideBlockCipher
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_default_suites_present(self):
+        suites = available_suites()
+        for name in ("aes-xts-128", "aes-xts-256", "wide-block-256",
+                     "blake2-xts-sim", "null-sim"):
+            assert name in suites
+
+    def test_default_and_simulation_names(self):
+        assert DEFAULT_SUITE == "aes-xts-256"
+        assert SIMULATION_SUITE == "blake2-xts-sim"
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_suite("rot13")
+
+    def test_create_enforces_key_size(self):
+        suite = get_suite("aes-xts-256")
+        with pytest.raises(ConfigurationError):
+            suite.create(bytes(32))
+        assert isinstance(suite.create(bytes(64)), XTS)
+
+    def test_suite_classes(self):
+        assert isinstance(get_suite("blake2-xts-sim").create(bytes(32)), Blake2Xts)
+        assert isinstance(get_suite("wide-block-256").create(bytes(64)),
+                          WideBlockCipher)
+
+    def test_standard_flags(self):
+        assert get_suite("aes-xts-256").standard
+        assert not get_suite("blake2-xts-sim").standard
+
+    def test_wide_block_flag(self):
+        assert get_suite("wide-block-256").wide_block
+        assert not get_suite("aes-xts-256").wide_block
+
+    def test_register_custom_suite(self):
+        suite = CipherSuite("test-suite", 32, Blake2Xts, standard=False)
+        register_suite(suite)
+        try:
+            assert get_suite("test-suite") is suite
+        finally:
+            available_suites()  # registry copy untouched
+            # remove the test entry to avoid leaking into other tests
+            from repro.crypto import suite as suite_module
+            suite_module._REGISTRY.pop("test-suite", None)
+
+    def test_available_suites_returns_copy(self):
+        snapshot = available_suites()
+        snapshot["bogus"] = None
+        assert "bogus" not in available_suites()

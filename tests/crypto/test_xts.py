@@ -1,0 +1,152 @@
+"""Tests for AES-XTS (IEEE 1619)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.xts import SUB_BLOCK_SIZE, XTS
+from repro.errors import DataSizeError, IVSizeError, KeySizeError
+
+
+class TestIeee1619Vectors:
+    def test_vector_1_zero_keys(self):
+        # IEEE 1619-2007 XTS-AES-128 test vector 1.
+        cipher = XTS(bytes(32))
+        ciphertext = cipher.encrypt(bytes(16), bytes(32))
+        assert ciphertext.hex() == ("917cf69ebd68b2ec9b9fe9a3eadda692"
+                                    "cd43d2f59598ed858c02c2652fbf922e")
+
+    def test_vector_1_decrypt(self):
+        cipher = XTS(bytes(32))
+        ciphertext = bytes.fromhex("917cf69ebd68b2ec9b9fe9a3eadda692"
+                                   "cd43d2f59598ed858c02c2652fbf922e")
+        assert cipher.decrypt(bytes(16), ciphertext) == bytes(32)
+
+
+class TestKeyAndTweakValidation:
+    @pytest.mark.parametrize("size", [0, 16, 24, 48, 63, 65, 128])
+    def test_invalid_key_sizes(self, size):
+        with pytest.raises(KeySizeError):
+            XTS(bytes(size))
+
+    @pytest.mark.parametrize("size", [32, 64])
+    def test_valid_key_sizes(self, size):
+        assert XTS(bytes(size)).key_size == size // 2
+
+    @pytest.mark.parametrize("tweak_len", [0, 8, 15, 17, 32])
+    def test_invalid_tweak_length(self, tweak_len):
+        with pytest.raises(IVSizeError):
+            XTS(bytes(32)).encrypt(bytes(tweak_len), bytes(32))
+
+    def test_data_shorter_than_one_block_rejected(self):
+        with pytest.raises(DataSizeError):
+            XTS(bytes(32)).encrypt(bytes(16), bytes(15))
+        with pytest.raises(DataSizeError):
+            XTS(bytes(32)).decrypt(bytes(16), bytes(15))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("length", [16, 17, 31, 32, 33, 100, 512, 4096, 4111])
+    def test_roundtrip_various_lengths(self, length):
+        cipher = XTS(bytes(range(64)))
+        tweak = bytes(range(16))
+        data = bytes((i * 7 + 3) % 256 for i in range(length))
+        ciphertext = cipher.encrypt(tweak, data)
+        assert len(ciphertext) == length
+        assert cipher.decrypt(tweak, ciphertext) == data
+
+    def test_length_preserving(self):
+        cipher = XTS(bytes(64))
+        for length in (16, 20, 4096):
+            assert len(cipher.encrypt(bytes(16), bytes(length))) == length
+
+    def test_wrong_tweak_gives_garbage(self):
+        cipher = XTS(bytes(range(64)))
+        data = bytes(64)
+        ciphertext = cipher.encrypt(bytes(16), data)
+        assert cipher.decrypt(bytes([1]) + bytes(15), ciphertext) != data
+
+    def test_wrong_key_gives_garbage(self):
+        data = bytes(64)
+        ciphertext = XTS(bytes(64)).encrypt(bytes(16), data)
+        assert XTS(bytes([9]) * 64).decrypt(bytes(16), ciphertext) != data
+
+
+class TestNarrowBlockStructure:
+    """The sub-block independence the paper's attacks build on (§2.1)."""
+
+    def test_same_tweak_same_data_is_deterministic(self):
+        cipher = XTS(bytes(range(64)))
+        tweak = bytes(16)
+        data = bytes(range(256)) * 16
+        assert cipher.encrypt(tweak, data) == cipher.encrypt(tweak, data)
+
+    def test_single_sub_block_change_is_localized(self):
+        cipher = XTS(bytes(range(64)))
+        tweak = bytes(16)
+        data = bytearray(4096)
+        ct1 = cipher.encrypt(tweak, bytes(data))
+        data[100] ^= 0xFF                       # inside sub-block 6
+        ct2 = cipher.encrypt(tweak, bytes(data))
+        changed = [i for i in range(4096 // 16)
+                   if ct1[i * 16:(i + 1) * 16] != ct2[i * 16:(i + 1) * 16]]
+        assert changed == [100 // 16]
+
+    def test_different_tweaks_change_everything(self):
+        cipher = XTS(bytes(range(64)))
+        data = bytes(4096)
+        ct1 = cipher.encrypt(bytes(16), data)
+        ct2 = cipher.encrypt(bytes([1]) + bytes(15), data)
+        unchanged = [i for i in range(256)
+                     if ct1[i * 16:(i + 1) * 16] == ct2[i * 16:(i + 1) * 16]]
+        assert unchanged == []
+
+    def test_encrypt_sub_block_matches_full_sector(self):
+        cipher = XTS(bytes(range(64)))
+        tweak = bytes(range(16))
+        sector = bytes((i * 13 + 5) % 256 for i in range(4096))
+        full = cipher.encrypt(tweak, sector)
+        for index in (0, 1, 17, 255):
+            sub = sector[index * 16:(index + 1) * 16]
+            assert cipher.encrypt_sub_block(tweak, index, sub) == \
+                full[index * 16:(index + 1) * 16]
+
+    def test_encrypt_sub_block_rejects_wrong_size(self):
+        with pytest.raises(DataSizeError):
+            XTS(bytes(32)).encrypt_sub_block(bytes(16), 0, bytes(8))
+
+    def test_sub_block_size_constant(self):
+        assert SUB_BLOCK_SIZE == 16
+
+
+class TestCiphertextStealing:
+    def test_partial_final_block_roundtrip(self):
+        cipher = XTS(bytes(range(64)))
+        tweak = bytes(16)
+        for tail in range(1, 16):
+            data = bytes(range(48 + tail))
+            assert cipher.decrypt(tweak, cipher.encrypt(tweak, data)) == data
+
+    def test_stolen_ciphertext_differs_from_aligned_prefix(self):
+        cipher = XTS(bytes(range(64)))
+        tweak = bytes(16)
+        aligned = cipher.encrypt(tweak, bytes(48))
+        stolen = cipher.encrypt(tweak, bytes(50))
+        # The final full block position differs because of the steal.
+        assert aligned[32:48] != stolen[32:48]
+
+
+class TestProperties:
+    @given(key=st.binary(min_size=64, max_size=64),
+           tweak=st.binary(min_size=16, max_size=16),
+           data=st.binary(min_size=16, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, key, tweak, data):
+        cipher = XTS(key)
+        assert cipher.decrypt(tweak, cipher.encrypt(tweak, data)) == data
+
+    @given(tweak=st.binary(min_size=16, max_size=16),
+           data=st.binary(min_size=16, max_size=128))
+    @settings(max_examples=25, deadline=None)
+    def test_ciphertext_differs_from_plaintext(self, tweak, data):
+        cipher = XTS(bytes(range(32)))
+        assert cipher.encrypt(tweak, data) != data

@@ -1,0 +1,171 @@
+"""Tests for the sector codecs (XTS, XTS+HMAC, GCM, wide-block)."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.iv import Plain64IV, RandomIV
+from repro.crypto.mac import SectorMac
+from repro.crypto.suite import get_suite
+from repro.encryption.codecs import (GcmCodec, MacXtsCodec, WideBlockCodec,
+                                     XtsCodec, make_codec)
+from repro.errors import AuthenticationError, ConfigurationError, IntegrityError
+
+BLOCK = bytes(range(256)) * 16      # 4 KiB
+VOLUME_KEY = bytes(range(64))
+
+
+def xts_cipher():
+    return get_suite("blake2-xts-sim").create(bytes(range(32)))
+
+
+class TestXtsCodec:
+    def test_baseline_plain64_has_no_metadata(self):
+        codec = XtsCodec(xts_cipher(), Plain64IV())
+        assert codec.metadata_size == 0
+        assert codec.deterministic
+        sector = codec.encrypt_sector(5, BLOCK)
+        assert sector.metadata == b""
+        assert codec.decrypt_sector(5, sector.ciphertext, None) == BLOCK
+
+    def test_random_iv_requires_and_uses_metadata(self):
+        codec = XtsCodec(xts_cipher(), RandomIV(HmacDrbg(b"s")))
+        assert codec.metadata_size == 16
+        assert not codec.deterministic
+        sector = codec.encrypt_sector(5, BLOCK)
+        assert len(sector.metadata) == 16
+        assert codec.decrypt_sector(5, sector.ciphertext, sector.metadata) == BLOCK
+
+    def test_random_iv_overwrites_differ(self):
+        codec = XtsCodec(xts_cipher(), RandomIV(HmacDrbg(b"s")))
+        first = codec.encrypt_sector(5, BLOCK)
+        second = codec.encrypt_sector(5, BLOCK)
+        assert first.ciphertext != second.ciphertext
+        assert first.metadata != second.metadata
+
+    def test_plain64_overwrites_identical(self):
+        codec = XtsCodec(xts_cipher(), Plain64IV())
+        assert codec.encrypt_sector(5, BLOCK).ciphertext == \
+            codec.encrypt_sector(5, BLOCK).ciphertext
+
+    def test_lba_matters_for_plain64(self):
+        codec = XtsCodec(xts_cipher(), Plain64IV())
+        assert codec.encrypt_sector(1, BLOCK).ciphertext != \
+            codec.encrypt_sector(2, BLOCK).ciphertext
+
+
+class TestMacXtsCodec:
+    def make(self, iv_policy=None):
+        return MacXtsCodec(xts_cipher(), iv_policy or RandomIV(HmacDrbg(b"s")),
+                           SectorMac(b"mac-key"))
+
+    def test_metadata_holds_iv_and_tag(self):
+        codec = self.make()
+        assert codec.metadata_size == 32
+        sector = codec.encrypt_sector(3, BLOCK)
+        assert len(sector.metadata) == 32
+        assert codec.decrypt_sector(3, sector.ciphertext, sector.metadata) == BLOCK
+
+    def test_plain64_variant_stores_only_tag(self):
+        codec = self.make(Plain64IV())
+        assert codec.metadata_size == 16
+
+    def test_ciphertext_tamper_detected(self):
+        codec = self.make()
+        sector = codec.encrypt_sector(3, BLOCK)
+        tampered = bytearray(sector.ciphertext)
+        tampered[0] ^= 1
+        with pytest.raises(AuthenticationError):
+            codec.decrypt_sector(3, bytes(tampered), sector.metadata)
+
+    def test_wrong_lba_detected(self):
+        codec = self.make()
+        sector = codec.encrypt_sector(3, BLOCK)
+        with pytest.raises(AuthenticationError):
+            codec.decrypt_sector(4, sector.ciphertext, sector.metadata)
+
+    def test_missing_metadata_detected(self):
+        codec = self.make()
+        sector = codec.encrypt_sector(3, BLOCK)
+        with pytest.raises(IntegrityError):
+            codec.decrypt_sector(3, sector.ciphertext, None)
+        with pytest.raises(IntegrityError):
+            codec.decrypt_sector(3, sector.ciphertext, sector.metadata[:10])
+
+
+class TestGcmCodec:
+    def make(self):
+        from repro.crypto.gcm import GCM
+        return GcmCodec(GCM(bytes(range(32))), HmacDrbg(b"s"))
+
+    def test_roundtrip_and_metadata_size(self):
+        codec = self.make()
+        assert codec.metadata_size == 28
+        sector = codec.encrypt_sector(7, BLOCK)
+        assert codec.decrypt_sector(7, sector.ciphertext, sector.metadata) == BLOCK
+
+    def test_fresh_nonce_each_write(self):
+        codec = self.make()
+        assert codec.encrypt_sector(7, BLOCK).metadata != \
+            codec.encrypt_sector(7, BLOCK).metadata
+
+    def test_lba_bound_via_aad(self):
+        codec = self.make()
+        sector = codec.encrypt_sector(7, BLOCK)
+        with pytest.raises(AuthenticationError):
+            codec.decrypt_sector(8, sector.ciphertext, sector.metadata)
+
+    def test_snapshot_bound_via_aad(self):
+        codec = self.make()
+        sector = codec.encrypt_sector(7, BLOCK, snapshot_id=1)
+        with pytest.raises(AuthenticationError):
+            codec.decrypt_sector(7, sector.ciphertext, sector.metadata,
+                                 snapshot_id=2)
+        assert codec.decrypt_sector(7, sector.ciphertext, sector.metadata,
+                                    snapshot_id=1) == BLOCK
+
+    def test_missing_metadata_detected(self):
+        codec = self.make()
+        sector = codec.encrypt_sector(7, BLOCK)
+        with pytest.raises(IntegrityError):
+            codec.decrypt_sector(7, sector.ciphertext, None)
+
+
+class TestWideBlockCodec:
+    def test_roundtrip_with_random_iv(self):
+        cipher = get_suite("wide-block-256").create(bytes(range(64)))
+        codec = WideBlockCodec(cipher, RandomIV(HmacDrbg(b"s")))
+        sector = codec.encrypt_sector(2, BLOCK)
+        assert codec.decrypt_sector(2, sector.ciphertext, sector.metadata) == BLOCK
+
+    def test_deterministic_variant_has_no_metadata(self):
+        cipher = get_suite("wide-block-256").create(bytes(range(64)))
+        codec = WideBlockCodec(cipher, Plain64IV())
+        assert codec.metadata_size == 0
+
+
+class TestMakeCodec:
+    @pytest.mark.parametrize("name, metadata_size", [
+        ("xts", 16), ("xts-hmac", 32), ("gcm", 28), ("wide-block", 16),
+    ])
+    def test_factory_with_random_iv(self, name, metadata_size):
+        codec = make_codec(name, "blake2-xts-sim", "random", VOLUME_KEY,
+                           HmacDrbg(b"s"))
+        assert codec.metadata_size == metadata_size
+        sector = codec.encrypt_sector(1, BLOCK)
+        assert codec.decrypt_sector(1, sector.ciphertext,
+                                    sector.metadata or None) == BLOCK
+
+    def test_factory_baseline(self):
+        codec = make_codec("xts", "aes-xts-256", "plain64", VOLUME_KEY)
+        assert codec.metadata_size == 0
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_codec("rot13", "aes-xts-256", "plain64", VOLUME_KEY)
+
+    def test_subkeys_differ_between_codecs(self):
+        xts = make_codec("xts", "blake2-xts-sim", "plain64", VOLUME_KEY)
+        gcm = make_codec("gcm", "blake2-xts-sim", "plain64", VOLUME_KEY,
+                         HmacDrbg(b"s"))
+        assert xts.encrypt_sector(0, BLOCK).ciphertext != \
+            gcm.encrypt_sector(0, BLOCK).ciphertext

@@ -1,0 +1,259 @@
+"""Tests for the encryption format API and the crypto dispatcher, across all
+layouts and codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.encryption import (EncryptionOptions, add_passphrase,
+                              format_encryption, load_encryption,
+                              remove_passphrase)
+from repro.encryption.format import crypto_header_object
+from repro.errors import (ConfigurationError, EncryptionFormatError,
+                          IntegrityError, PassphraseError)
+from repro.rbd import create_image, open_image
+from repro.util import KIB, MIB
+
+BLOCK = 4096
+
+
+class TestFormatAndLoad:
+    def test_format_then_load_roundtrip(self, cluster, ioctx):
+        create_image(ioctx, "img", 16 * MIB)
+        image = open_image(ioctx, "img")
+        info = format_encryption(image, b"pw", EncryptionOptions(
+            layout="object-end", cipher_suite="blake2-xts-sim"))
+        assert info.layout == "object-end"
+        assert info.metadata_size == 16
+        image.write(0, b"secret")
+
+        fresh = open_image(ioctx, "img")
+        info2 = load_encryption(fresh, b"pw")
+        assert info2.layout == info.layout
+        assert fresh.read(0, 6) == b"secret"
+
+    def test_wrong_passphrase_rejected(self, cluster):
+        image, _ = api.create_encrypted_image(cluster, "img", 16 * MIB, b"pw",
+                                              cipher_suite="blake2-xts-sim")
+        with pytest.raises(PassphraseError):
+            api.open_encrypted_image(cluster, "img", b"wrong")
+
+    def test_double_format_rejected(self, ioctx):
+        create_image(ioctx, "img", 16 * MIB)
+        image = open_image(ioctx, "img")
+        format_encryption(image, b"pw", EncryptionOptions(
+            cipher_suite="blake2-xts-sim"))
+        with pytest.raises(EncryptionFormatError):
+            format_encryption(image, b"pw2", EncryptionOptions())
+
+    def test_load_unformatted_rejected(self, ioctx):
+        create_image(ioctx, "img", 16 * MIB)
+        with pytest.raises(EncryptionFormatError):
+            load_encryption(open_image(ioctx, "img"), b"pw")
+
+    def test_empty_passphrase_rejected(self, ioctx):
+        create_image(ioctx, "img", 16 * MIB)
+        with pytest.raises(ConfigurationError):
+            format_encryption(open_image(ioctx, "img"), b"")
+
+    def test_random_iv_on_baseline_rejected(self, ioctx):
+        create_image(ioctx, "img", 16 * MIB)
+        options = EncryptionOptions(layout="luks-baseline", iv_policy="random")
+        with pytest.raises(ConfigurationError):
+            format_encryption(open_image(ioctx, "img"), b"pw", options)
+
+    def test_default_iv_policy_depends_on_layout(self):
+        assert EncryptionOptions(layout="luks-baseline").resolved_iv_policy() == "plain64"
+        assert EncryptionOptions(layout="object-end").resolved_iv_policy() == "random"
+
+    def test_invalid_block_size_rejected(self, ioctx):
+        create_image(ioctx, "img", 16 * MIB)
+        image = open_image(ioctx, "img")
+        with pytest.raises(ConfigurationError):
+            format_encryption(image, b"pw", EncryptionOptions(block_size=1000))
+
+    def test_header_object_created_and_marker_set(self, ioctx):
+        create_image(ioctx, "img", 16 * MIB)
+        image = open_image(ioctx, "img")
+        format_encryption(image, b"pw", EncryptionOptions(
+            cipher_suite="blake2-xts-sim"))
+        assert ioctx.object_exists(crypto_header_object("img"))
+        assert open_image(ioctx, "img").header.encryption["format"] == "luks-repro"
+
+    def test_space_overhead_reported(self, cluster):
+        _, info = api.create_encrypted_image(cluster, "img", 16 * MIB, b"pw",
+                                             encryption_format="object-end",
+                                             cipher_suite="blake2-xts-sim")
+        assert info.space_overhead == pytest.approx(16 / 4096)
+
+    def test_passphrase_management(self, cluster):
+        image, _ = api.create_encrypted_image(cluster, "img", 16 * MIB, b"pw",
+                                              cipher_suite="blake2-xts-sim")
+        image.write(0, b"data")
+        add_passphrase(image, b"pw", b"backup-pw")
+        reopened, _ = api.open_encrypted_image(cluster, "img", b"backup-pw")
+        assert reopened.read(0, 4) == b"data"
+        remove_passphrase(image, b"backup-pw", 0)
+        with pytest.raises(PassphraseError):
+            api.open_encrypted_image(cluster, "img", b"pw")
+        with pytest.raises(EncryptionFormatError):
+            remove_passphrase(image, b"backup-pw", 0)   # last slot protected
+
+
+class TestDataPathAllLayouts:
+    def test_roundtrip_per_layout(self, encrypted_image_factory, any_layout):
+        image, _info = encrypted_image_factory(any_layout)
+        payload = bytes(range(256)) * 64      # 16 KiB
+        image.write(3 * BLOCK, payload)
+        assert image.read(3 * BLOCK, len(payload)) == payload
+
+    def test_partial_block_write(self, encrypted_image_factory, any_layout):
+        image, _ = encrypted_image_factory(any_layout)
+        image.write(0, b"A" * BLOCK)
+        image.write(100, b"hello")
+        data = image.read(0, BLOCK)
+        assert data[100:105] == b"hello"
+        assert data[:100] == b"A" * 100
+        assert data[105:] == b"A" * (BLOCK - 105)
+
+    def test_unaligned_write_spanning_blocks(self, encrypted_image_factory,
+                                             any_layout):
+        image, _ = encrypted_image_factory(any_layout)
+        payload = b"Z" * (BLOCK + 200)
+        image.write(BLOCK - 100, payload)
+        assert image.read(BLOCK - 100, len(payload)) == payload
+
+    def test_write_across_object_boundary(self, encrypted_image_factory,
+                                          any_layout):
+        image, _ = encrypted_image_factory(any_layout)
+        offset = 4 * MIB - 2 * BLOCK
+        payload = bytes(range(256)) * 64
+        image.write(offset, payload)
+        assert image.read(offset, len(payload)) == payload
+
+    def test_sparse_regions_read_zero(self, encrypted_image_factory, any_layout):
+        image, _ = encrypted_image_factory(any_layout)
+        image.write(0, b"data")
+        assert image.read(8 * BLOCK, BLOCK) == bytes(BLOCK)
+        assert image.read(10 * MIB, 100) == bytes(100)
+
+    def test_overwrite_returns_latest(self, encrypted_image_factory, any_layout):
+        image, _ = encrypted_image_factory(any_layout)
+        image.write(0, b"version-1" + bytes(BLOCK - 9))
+        image.write(0, b"version-2" + bytes(BLOCK - 9))
+        assert image.read(0, 9) == b"version-2"
+
+    def test_data_is_encrypted_on_device(self, cluster, encrypted_image_factory,
+                                         any_layout):
+        image, info = encrypted_image_factory(any_layout)
+        secret = b"top-secret-plaintext" * 100
+        image.write(0, secret)
+        for osd in cluster.osds:
+            obj = osd.lookup("rbd", image.data_object_name(0))
+            if obj is None:
+                continue
+            raw = osd.data_device.read(obj.region_offset, len(secret)).data
+            assert secret[:20] not in raw
+
+    def test_discard_then_read(self, encrypted_image_factory, metadata_layout_name):
+        image, _ = encrypted_image_factory(metadata_layout_name)
+        image.write(0, b"X" * (4 * BLOCK))
+        image.discard(0, 2 * BLOCK)
+        assert image.read(2 * BLOCK, 2 * BLOCK) == b"X" * (2 * BLOCK)
+        assert image.read(0, 2 * BLOCK) == bytes(2 * BLOCK)
+
+    def test_snapshot_roundtrip_encrypted(self, encrypted_image_factory,
+                                          metadata_layout_name):
+        image, _ = encrypted_image_factory(metadata_layout_name)
+        image.write(0, b"before-snapshot" + bytes(BLOCK - 15))
+        image.create_snapshot("s1")
+        image.write(0, b"after--snapshot" + bytes(BLOCK - 15))
+        image.set_read_snapshot("s1")
+        assert image.read(0, 15) == b"before-snapshot"
+        image.set_read_snapshot(None)
+        assert image.read(0, 15) == b"after--snapshot"
+
+    def test_journaled_dispatcher_roundtrip(self, cluster):
+        image, info = api.create_encrypted_image(
+            cluster, "journaled", 16 * MIB, b"pw",
+            encryption_format="object-end", cipher_suite="blake2-xts-sim",
+            journaled=True, random_seed=b"j")
+        assert info.journaled
+        image.write(0, b"journaled payload")
+        assert image.read(0, 17) == b"journaled payload"
+        assert cluster.ledger.counter("crypto.journal_writes") >= 1
+
+    def test_real_aes_roundtrip_small(self, cluster):
+        image, _ = api.create_encrypted_image(
+            cluster, "real-aes", 8 * MIB, b"pw", encryption_format="object-end",
+            cipher_suite="aes-xts-256", random_seed=b"aes")
+        payload = bytes(range(256)) * 16
+        image.write(BLOCK, payload)
+        assert image.read(BLOCK, len(payload)) == payload
+
+    def test_missing_metadata_raises_integrity_error(self, cluster,
+                                                     encrypted_image_factory):
+        image, info = encrypted_image_factory("object-end")
+        image.write(0, b"data" + bytes(BLOCK - 4))
+        # Wipe the stored IV on every replica but leave the ciphertext.
+        layout = info.metadata_layout
+        for osd in cluster.osds:
+            obj = osd.lookup("rbd", image.data_object_name(0))
+            if obj is not None:
+                osd.data_device.write(obj.region_offset + layout.metadata_offset(0),
+                                      bytes(16))
+        with pytest.raises(IntegrityError):
+            image.read(0, BLOCK)
+
+    @given(offset=st.integers(min_value=0, max_value=8 * MIB - 20_000),
+           length=st.integers(min_value=1, max_value=20_000))
+    @settings(max_examples=12, deadline=None)
+    def test_arbitrary_offset_roundtrip_property(self, offset, length):
+        cluster = api.make_cluster(osd_count=1, replica_count=1)
+        image, _ = api.create_encrypted_image(
+            cluster, "prop", 8 * MIB, b"pw", encryption_format="object-end",
+            cipher_suite="blake2-xts-sim", random_seed=b"prop")
+        payload = bytes((offset + i) % 256 for i in range(length))
+        image.write(offset, payload)
+        assert image.read(offset, length) == payload
+
+
+class TestCostSignatures:
+    """Each layout leaves its distinctive footprint in the cost ledger."""
+
+    def test_baseline_touches_no_metadata(self, cluster, encrypted_image_factory):
+        image, _ = encrypted_image_factory("luks-baseline")
+        before = cluster.ledger.snapshot()
+        image.write(0, bytes(64 * KIB))
+        delta = cluster.ledger.diff(before)
+        assert delta.counter("omap.keys_written") == 0
+        assert delta.counter("rados.write_ops") == 3          # one op x 3 replicas
+
+    def test_object_end_adds_one_write_op(self, cluster, encrypted_image_factory):
+        image, _ = encrypted_image_factory("object-end")
+        before = cluster.ledger.snapshot()
+        image.write(0, bytes(64 * KIB))
+        delta = cluster.ledger.diff(before)
+        assert delta.counter("rados.write_ops") == 6          # two ops x 3 replicas
+        assert delta.counter("omap.keys_written") == 0
+
+    def test_omap_writes_one_key_per_block(self, cluster, encrypted_image_factory):
+        image, _ = encrypted_image_factory("omap")
+        before = cluster.ledger.snapshot()
+        image.write(0, bytes(64 * KIB))
+        delta = cluster.ledger.diff(before)
+        assert delta.counter("omap.keys_written") == 16 * 3   # 16 blocks x 3 replicas
+
+    def test_unaligned_triggers_rmw(self, cluster, encrypted_image_factory):
+        image, _ = encrypted_image_factory("unaligned")
+        before = cluster.ledger.snapshot()
+        image.write(0, bytes(64 * KIB))
+        delta = cluster.ledger.diff(before)
+        assert delta.counter("device.rmw_turns") >= 3
+
+    def test_crypto_blocks_counted(self, cluster, encrypted_image_factory):
+        image, _ = encrypted_image_factory("object-end")
+        before = cluster.ledger.snapshot()
+        image.write(0, bytes(64 * KIB))
+        delta = cluster.ledger.diff(before)
+        assert delta.counter("crypto.blocks") == 16

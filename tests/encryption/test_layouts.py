@@ -1,0 +1,209 @@
+"""Tests for the per-sector metadata layouts (Fig. 2)."""
+
+import pytest
+
+from repro.encryption.layouts import (BaselineLayout, LAYOUT_NAMES,
+                                      ObjectEndLayout, OmapLayout,
+                                      UnalignedLayout, make_layout)
+from repro.errors import ConfigurationError, EncryptionFormatError
+from repro.rados.transaction import (OpOmapGetValsByRange, OpOmapSetKeys,
+                                     OpRead, OpResult, OpWrite, ReadOperation,
+                                     WriteTransaction)
+from repro.util import MIB
+
+OBJECT_SIZE = 4 * MIB
+BLOCK_SIZE = 4096
+IV_SIZE = 16
+
+
+def blocks(n, fill=0x41):
+    return [bytes([fill + i]) * BLOCK_SIZE for i in range(n)]
+
+
+def metadatas(n):
+    return [bytes([0xF0 + i]) * IV_SIZE for i in range(n)]
+
+
+class TestFactoryAndGeometry:
+    def test_registry_names(self):
+        assert set(LAYOUT_NAMES) == {"luks-baseline", "unaligned",
+                                     "object-end", "omap"}
+
+    @pytest.mark.parametrize("alias, expected", [
+        ("baseline", BaselineLayout), ("luks2", BaselineLayout),
+        ("objectend", ObjectEndLayout), ("object_end", ObjectEndLayout),
+        ("object-end", ObjectEndLayout), ("unaligned", UnalignedLayout),
+        ("omap", OmapLayout),
+    ])
+    def test_aliases(self, alias, expected):
+        metadata = 0 if expected is BaselineLayout else IV_SIZE
+        assert isinstance(make_layout(alias, OBJECT_SIZE, BLOCK_SIZE, metadata),
+                          expected)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_layout("nope", OBJECT_SIZE, BLOCK_SIZE, 16)
+
+    def test_baseline_rejects_metadata(self):
+        with pytest.raises(ConfigurationError):
+            BaselineLayout(OBJECT_SIZE, BLOCK_SIZE, 16)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObjectEndLayout(OBJECT_SIZE, 4095, 16)      # not a divisor
+        with pytest.raises(ConfigurationError):
+            ObjectEndLayout(0, BLOCK_SIZE, 16)
+        with pytest.raises(ConfigurationError):
+            ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, -1)
+
+    def test_physical_sizes(self):
+        assert BaselineLayout(OBJECT_SIZE, BLOCK_SIZE, 0).physical_object_size() \
+            == OBJECT_SIZE
+        assert ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, 16).physical_object_size() \
+            == OBJECT_SIZE + 1024 * 16
+        assert UnalignedLayout(OBJECT_SIZE, BLOCK_SIZE, 16).physical_object_size() \
+            == 1024 * (BLOCK_SIZE + 16)
+        assert OmapLayout(OBJECT_SIZE, BLOCK_SIZE, 16).physical_object_size() \
+            == OBJECT_SIZE
+
+    def test_data_offsets(self):
+        assert BaselineLayout(OBJECT_SIZE, BLOCK_SIZE, 0).data_offset(3) == 3 * 4096
+        assert ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, 16).data_offset(3) == 3 * 4096
+        assert UnalignedLayout(OBJECT_SIZE, BLOCK_SIZE, 16).data_offset(3) == 3 * 4112
+        assert ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, 16).metadata_offset(2) \
+            == OBJECT_SIZE + 32
+
+    def test_run_bounds_checked(self):
+        layout = ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, 16)
+        with pytest.raises(EncryptionFormatError):
+            layout.build_read(ReadOperation(), 1020, 10)
+        with pytest.raises(EncryptionFormatError):
+            layout.build_read(ReadOperation(), -1, 1)
+        with pytest.raises(EncryptionFormatError):
+            layout.build_read(ReadOperation(), 0, 0)
+
+
+class TestBaselineOps:
+    def test_write_single_op(self):
+        layout = BaselineLayout(OBJECT_SIZE, BLOCK_SIZE, 0)
+        txn = WriteTransaction()
+        layout.build_write(txn, 2, blocks(3), [b""] * 3)
+        assert len(txn.ops) == 1
+        op = txn.ops[0]
+        assert isinstance(op, OpWrite) and op.offset == 2 * 4096
+        assert len(op.data) == 3 * 4096
+
+    def test_read_and_parse(self):
+        layout = BaselineLayout(OBJECT_SIZE, BLOCK_SIZE, 0)
+        readop = ReadOperation()
+        layout.build_read(readop, 2, 3)
+        assert len(readop.ops) == 1
+        data = b"".join(blocks(3))
+        parsed, stored = layout.parse_read([OpResult(data=data)], 2, 3)
+        assert parsed == blocks(3)
+        assert stored == [None, None, None]
+
+
+class TestUnalignedOps:
+    def test_write_interleaves(self):
+        layout = UnalignedLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        txn = WriteTransaction()
+        layout.build_write(txn, 1, blocks(2), metadatas(2))
+        assert len(txn.ops) == 1
+        op = txn.ops[0]
+        assert op.offset == 1 * (4096 + 16)
+        assert len(op.data) == 2 * (4096 + 16)
+        assert op.data[4096:4112] == metadatas(2)[0]
+
+    def test_read_and_parse_roundtrip(self):
+        layout = UnalignedLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        txn = WriteTransaction()
+        layout.build_write(txn, 0, blocks(3), metadatas(3))
+        raw = txn.ops[0].data
+        readop = ReadOperation()
+        layout.build_read(readop, 0, 3)
+        assert readop.ops[0].length == 3 * 4112
+        parsed, stored = layout.parse_read([OpResult(data=raw)], 0, 3)
+        assert parsed == blocks(3)
+        assert stored == metadatas(3)
+
+    def test_parse_short_read_pads(self):
+        layout = UnalignedLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        parsed, stored = layout.parse_read([OpResult(data=b"")], 0, 2)
+        assert parsed == [bytes(4096)] * 2
+        assert stored == [None, None]
+
+
+class TestObjectEndOps:
+    def test_write_produces_data_and_metadata_ops(self):
+        layout = ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        txn = WriteTransaction()
+        layout.build_write(txn, 5, blocks(2), metadatas(2))
+        assert len(txn.ops) == 2
+        data_op, meta_op = txn.ops
+        assert data_op.offset == 5 * 4096
+        assert meta_op.offset == OBJECT_SIZE + 5 * 16
+        assert meta_op.data == b"".join(metadatas(2))
+
+    def test_zero_metadata_size_skips_metadata_op(self):
+        layout = ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, 0)
+        txn = WriteTransaction()
+        layout.build_write(txn, 5, blocks(2), [b"", b""])
+        assert len(txn.ops) == 1
+
+    def test_read_and_parse(self):
+        layout = ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        readop = ReadOperation()
+        layout.build_read(readop, 5, 2)
+        assert len(readop.ops) == 2
+        results = [OpResult(data=b"".join(blocks(2))),
+                   OpResult(data=b"".join(metadatas(2)))]
+        parsed, stored = layout.parse_read(results, 5, 2)
+        assert parsed == blocks(2)
+        assert stored == metadatas(2)
+
+    def test_parse_missing_metadata_gives_none(self):
+        layout = ObjectEndLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        results = [OpResult(data=b"".join(blocks(2))), OpResult(data=b"")]
+        _parsed, stored = layout.parse_read(results, 5, 2)
+        assert stored == [None, None]
+
+
+class TestOmapOps:
+    def test_write_produces_data_and_kv_ops(self):
+        layout = OmapLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        txn = WriteTransaction()
+        layout.build_write(txn, 7, blocks(2), metadatas(2))
+        assert len(txn.ops) == 2
+        assert isinstance(txn.ops[1], OpOmapSetKeys)
+        keys = dict(txn.ops[1].values)
+        assert keys[layout.omap_key(7)] == metadatas(2)[0]
+        assert keys[layout.omap_key(8)] == metadatas(2)[1]
+
+    def test_key_encoding_round_trips_and_sorts(self):
+        layout = OmapLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        keys = [layout.omap_key(i) for i in (0, 1, 255, 256, 1023)]
+        assert keys == sorted(keys)
+        assert [layout.block_of_key(k) for k in keys] == [0, 1, 255, 256, 1023]
+        with pytest.raises(EncryptionFormatError):
+            layout.block_of_key(b"bogus")
+
+    def test_read_and_parse(self):
+        layout = OmapLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        readop = ReadOperation()
+        layout.build_read(readop, 7, 2)
+        assert isinstance(readop.ops[0], OpRead)
+        assert isinstance(readop.ops[1], OpOmapGetValsByRange)
+        results = [OpResult(data=b"".join(blocks(2))),
+                   OpResult(kv={layout.omap_key(7): metadatas(2)[0],
+                                layout.omap_key(8): metadatas(2)[1]})]
+        parsed, stored = layout.parse_read(results, 7, 2)
+        assert parsed == blocks(2)
+        assert stored == metadatas(2)
+
+    def test_parse_with_missing_keys(self):
+        layout = OmapLayout(OBJECT_SIZE, BLOCK_SIZE, IV_SIZE)
+        results = [OpResult(data=b"".join(blocks(2))),
+                   OpResult(kv={layout.omap_key(8): metadatas(2)[1]})]
+        _parsed, stored = layout.parse_read(results, 7, 2)
+        assert stored == [None, metadatas(2)[1]]

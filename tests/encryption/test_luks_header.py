@@ -1,0 +1,125 @@
+"""Tests for the LUKS-style header and key slots."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.encryption.luks import DEFAULT_ITERATIONS, KeySlot, LuksHeader
+from repro.errors import EncryptionFormatError, PassphraseError
+
+
+def make_header(**kwargs):
+    defaults = dict(cipher_suite="aes-xts-256", codec="xts", iv_policy="random",
+                    layout="object-end", block_size=4096, metadata_size=16)
+    defaults.update(kwargs)
+    return LuksHeader(**defaults)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        header = make_header()
+        header.set_volume_key_digest(b"k" * 64, HmacDrbg(b"s"))
+        header.add_key_slot(b"pass", b"k" * 64, iterations=100,
+                            random_source=HmacDrbg(b"s"))
+        parsed = LuksHeader.from_json(header.to_json())
+        assert parsed.cipher_suite == "aes-xts-256"
+        assert parsed.layout == "object-end"
+        assert parsed.metadata_size == 16
+        assert len(parsed.key_slots) == 1
+        assert parsed.digest == header.digest
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(EncryptionFormatError):
+            LuksHeader.from_json(b"not json at all {")
+        with pytest.raises(EncryptionFormatError):
+            LuksHeader.from_json(b"\xff\xfe\x00")
+
+    def test_wrong_version_rejected(self):
+        doc = make_header().to_json().replace(b'"version": 2', b'"version": 9')
+        with pytest.raises(EncryptionFormatError):
+            LuksHeader.from_json(doc)
+
+    def test_missing_field_rejected(self):
+        import json
+        doc = json.loads(make_header().to_json())
+        del doc["layout"]
+        with pytest.raises(EncryptionFormatError):
+            LuksHeader.from_json(json.dumps(doc).encode())
+
+    def test_keyslot_doc_roundtrip(self):
+        slot = KeySlot(salt=b"s" * 32, iterations=77, wrapped_key=b"w" * 40)
+        assert KeySlot.from_doc(slot.to_doc()) == slot
+
+
+class TestKeySlots:
+    def test_unlock_with_correct_passphrase(self):
+        header = make_header()
+        volume_key = bytes(range(64))
+        header.set_volume_key_digest(volume_key, HmacDrbg(b"r"))
+        header.add_key_slot(b"secret", volume_key, iterations=50,
+                            random_source=HmacDrbg(b"r"))
+        assert header.unlock(b"secret") == volume_key
+
+    def test_unlock_with_wrong_passphrase_fails(self):
+        header = make_header()
+        header.set_volume_key_digest(bytes(64), HmacDrbg(b"r"))
+        header.add_key_slot(b"secret", bytes(64), iterations=50,
+                            random_source=HmacDrbg(b"r"))
+        with pytest.raises(PassphraseError):
+            header.unlock(b"wrong")
+
+    def test_multiple_slots_any_unlocks(self):
+        header = make_header()
+        volume_key = bytes(range(64))
+        header.set_volume_key_digest(volume_key, HmacDrbg(b"r"))
+        header.add_key_slot(b"alice", volume_key, 50, HmacDrbg(b"r1"))
+        header.add_key_slot(b"bob", volume_key, 50, HmacDrbg(b"r2"))
+        assert header.unlock(b"alice") == volume_key
+        assert header.unlock(b"bob") == volume_key
+
+    def test_remove_key_slot(self):
+        header = make_header()
+        volume_key = bytes(64)
+        header.set_volume_key_digest(volume_key, HmacDrbg(b"r"))
+        header.add_key_slot(b"alice", volume_key, 50, HmacDrbg(b"r1"))
+        header.add_key_slot(b"bob", volume_key, 50, HmacDrbg(b"r2"))
+        header.remove_key_slot(0)
+        with pytest.raises(PassphraseError):
+            header.unlock(b"alice")
+        assert header.unlock(b"bob") == volume_key
+        with pytest.raises(EncryptionFormatError):
+            header.remove_key_slot(5)
+
+    def test_no_slots_rejected(self):
+        with pytest.raises(EncryptionFormatError):
+            make_header().unlock(b"any")
+
+    def test_empty_passphrase_rejected(self):
+        with pytest.raises(EncryptionFormatError):
+            make_header().add_key_slot(b"", bytes(64))
+
+    def test_bad_volume_key_length_rejected(self):
+        with pytest.raises(EncryptionFormatError):
+            make_header().add_key_slot(b"p", bytes(12))
+
+    def test_default_iterations_used(self):
+        header = make_header()
+        header.set_volume_key_digest(bytes(64), HmacDrbg(b"r"))
+        slot = header.add_key_slot(b"p", bytes(64), random_source=HmacDrbg(b"r"))
+        assert slot.iterations == DEFAULT_ITERATIONS
+
+    def test_digest_detects_foreign_key(self):
+        # A slot from a *different* header (other volume key) must not unlock
+        # this header even if the passphrase matches, thanks to the digest.
+        header_a = make_header()
+        key_a = b"A" * 64
+        header_a.set_volume_key_digest(key_a, HmacDrbg(b"r"))
+        header_a.add_key_slot(b"pw", key_a, 50, HmacDrbg(b"r"))
+
+        header_b = make_header()
+        key_b = b"B" * 64
+        header_b.set_volume_key_digest(key_b, HmacDrbg(b"r2"))
+        header_b.add_key_slot(b"pw", key_b, 50, HmacDrbg(b"r2"))
+
+        header_a.key_slots = header_b.key_slots
+        with pytest.raises(PassphraseError):
+            header_a.unlock(b"pw")

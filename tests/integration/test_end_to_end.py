@@ -1,0 +1,154 @@
+"""Integration tests: the whole stack working together, and the paper's
+experiment shapes reproduced on a reduced sweep."""
+
+import pytest
+
+from repro import api
+from repro.analysis.overhead import LayoutSweep, SweepConfig, overhead_percent
+from repro.errors import PassphraseError
+from repro.util import KIB, MIB
+from repro.workload.runner import WorkloadRunner, prefill_image
+from repro.workload.spec import WorkloadSpec
+
+BLOCK = 4096
+
+
+class TestFullStackLifecycle:
+    def test_create_use_snapshot_reopen_remove(self, cluster):
+        image, info = api.create_encrypted_image(
+            cluster, "lifecycle", 32 * MIB, b"passphrase",
+            encryption_format="object-end", cipher_suite="blake2-xts-sim",
+            random_seed=b"integration")
+        # Scattered writes of different sizes and alignments.
+        payloads = {
+            0: b"boot sector",
+            3 * BLOCK + 17: b"unaligned metadata blob" * 10,
+            4 * MIB - 1000: bytes(range(256)) * 20,
+            17 * MIB: b"Z" * (1 * MIB),
+        }
+        for offset, payload in payloads.items():
+            image.write(offset, payload)
+        for offset, payload in payloads.items():
+            assert image.read(offset, len(payload)) == payload
+
+        image.create_snapshot("checkpoint")
+        image.write(0, b"BOOT SECTOR")
+        image.set_read_snapshot("checkpoint")
+        assert image.read(0, 11) == b"boot sector"
+        image.set_read_snapshot(None)
+        assert image.read(0, 11) == b"BOOT SECTOR"
+
+        reopened, reinfo = api.open_encrypted_image(cluster, "lifecycle",
+                                                    b"passphrase")
+        assert reinfo.layout == info.layout
+        for offset, payload in list(payloads.items())[1:]:
+            assert reopened.read(offset, len(payload)) == payload
+        with pytest.raises(PassphraseError):
+            api.open_encrypted_image(cluster, "lifecycle", b"nope")
+
+        from repro.rbd import remove_image
+        remove_image(cluster.client().open_ioctx("rbd"), "lifecycle")
+        assert cluster.client().open_ioctx("rbd").list_objects("rbd_data.lifecycle") == []
+
+    def test_all_layouts_and_codecs_interoperate(self, cluster):
+        combos = [("object-end", "xts"), ("object-end", "xts-hmac"),
+                  ("object-end", "gcm"), ("omap", "xts"),
+                  ("unaligned", "xts"), ("luks-baseline", "xts"),
+                  ("object-end", "wide-block")]
+        for i, (layout, codec) in enumerate(combos):
+            image, info = api.create_encrypted_image(
+                cluster, f"combo-{i}", 8 * MIB, b"pw", encryption_format=layout,
+                codec=codec, cipher_suite="blake2-xts-sim", random_seed=b"c")
+            payload = f"{layout}/{codec}".encode() * 100
+            image.write(2 * BLOCK + 5, payload)
+            assert image.read(2 * BLOCK + 5, len(payload)) == payload, (layout, codec)
+            reopened, _ = api.open_encrypted_image(cluster, f"combo-{i}", b"pw")
+            assert reopened.read(2 * BLOCK + 5, len(payload)) == payload
+
+    def test_two_images_are_independent(self, cluster):
+        image_a, _ = api.create_encrypted_image(
+            cluster, "tenant-a", 8 * MIB, b"pw-a", cipher_suite="blake2-xts-sim",
+            random_seed=b"a")
+        image_b, _ = api.create_encrypted_image(
+            cluster, "tenant-b", 8 * MIB, b"pw-b", cipher_suite="blake2-xts-sim",
+            random_seed=b"b")
+        image_a.write(0, b"data of tenant A")
+        image_b.write(0, b"data of tenant B")
+        assert image_a.read(0, 16) == b"data of tenant A"
+        assert image_b.read(0, 16) == b"data of tenant B"
+        # Same plaintext at the same LBA yields different ciphertext on disk
+        # because the volume keys differ.
+        from repro.attacks import read_stored_block
+        info_a = api.open_encrypted_image(cluster, "tenant-a", b"pw-a")[1]
+        info_b = api.open_encrypted_image(cluster, "tenant-b", b"pw-b")[1]
+        image_a.write(BLOCK, bytes(BLOCK))
+        image_b.write(BLOCK, bytes(BLOCK))
+        assert read_stored_block(cluster, image_a, info_a, 1).ciphertext != \
+            read_stored_block(cluster, image_b, info_b, 1).ciphertext
+
+    def test_workload_runner_on_all_layouts(self, cluster):
+        runner = WorkloadRunner(cluster)
+        spec = WorkloadSpec(rw="randrw", io_size=16 * KIB, io_count=32,
+                            read_fraction=0.5, seed=77)
+        for layout in ("luks-baseline", "object-end", "omap", "unaligned"):
+            image, _ = api.create_encrypted_image(
+                cluster, f"mixed-{layout}", 16 * MIB, b"pw",
+                encryption_format=layout, cipher_suite="blake2-xts-sim",
+                random_seed=b"mix")
+            prefill_image(image, chunk_size=1 * MIB)
+            result = runner.run(image, spec, layout_name=layout)
+            assert result.bandwidth_mbps > 0
+
+
+class TestExperimentShapes:
+    """Reduced-size versions of the Fig. 3/Fig. 4 shape claims."""
+
+    @pytest.fixture(scope="class")
+    def write_sweep(self):
+        config = SweepConfig(io_sizes=(4 * KIB, 64 * KIB, 2048 * KIB),
+                             image_size=16 * MIB, bytes_per_point=2 * MIB,
+                             max_ios=64)
+        return LayoutSweep(config).run("write")
+
+    @pytest.fixture(scope="class")
+    def read_sweep(self):
+        config = SweepConfig(io_sizes=(64 * KIB, 2048 * KIB),
+                             image_size=16 * MIB, bytes_per_point=2 * MIB,
+                             max_ios=64)
+        return LayoutSweep(config).run("read")
+
+    def test_baseline_wins_every_write_point(self, write_sweep):
+        for layout in ("unaligned", "object-end", "omap"):
+            for io_size in write_sweep.io_sizes():
+                assert write_sweep.bandwidth("luks-baseline", io_size) >= \
+                    write_sweep.bandwidth(layout, io_size) * 0.99
+
+    def test_object_end_overhead_range_matches_paper(self, write_sweep):
+        overheads = [overhead_percent(write_sweep, "object-end", size)
+                     for size in write_sweep.io_sizes()]
+        assert max(overheads) <= 30.0          # paper: up to ~22%
+        assert min(overheads) <= 5.0           # paper: down to ~1%
+        # overhead shrinks as IO grows
+        assert overheads[0] > overheads[-1]
+
+    def test_omap_crossover(self, write_sweep):
+        sizes = write_sweep.io_sizes()
+        assert overhead_percent(write_sweep, "omap", sizes[0]) <= \
+            overhead_percent(write_sweep, "object-end", sizes[0]) + 1.0
+        assert overhead_percent(write_sweep, "omap", sizes[-1]) > \
+            overhead_percent(write_sweep, "object-end", sizes[-1]) + 10.0
+
+    def test_unaligned_worse_than_object_end_at_small_io(self, write_sweep):
+        small = write_sweep.io_sizes()[0]
+        assert overhead_percent(write_sweep, "unaligned", small) >= \
+            overhead_percent(write_sweep, "object-end", small) - 1.0
+
+    def test_reads_stay_near_baseline(self, read_sweep):
+        for layout in ("unaligned", "object-end", "omap"):
+            for io_size in read_sweep.io_sizes():
+                assert overhead_percent(read_sweep, layout, io_size) <= 8.0
+
+    def test_write_bandwidth_scale_plausible(self, write_sweep):
+        large = write_sweep.io_sizes()[-1]
+        baseline = write_sweep.bandwidth("luks-baseline", large)
+        assert 500 < baseline < 3000            # ~1 GB/s scale

@@ -1,0 +1,227 @@
+"""Tests for the LSM key-value store (memtable, SSTables, WAL, compaction)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockdev.device import SimulatedDisk
+from repro.errors import KVClosedError
+from repro.kvstore.lsm import LsmStore
+from repro.kvstore.memtable import MemTable
+from repro.kvstore.sstable import SSTable, merge_tables
+from repro.kvstore.wal import WriteAheadLog, decode_batch, encode_batch
+from repro.sim.costparams import CostParameters
+from repro.sim.ledger import CostLedger, RES_OSD_CPU, RES_OSD_DEVICE
+from repro.util import MIB
+
+
+def make_store(ledger=None, **kwargs):
+    params = CostParameters()
+    device = SimulatedDisk("meta", 256 * MIB, params, ledger)
+    return LsmStore("test-omap", device, params, ledger, **kwargs)
+
+
+class TestMemTable:
+    def test_put_get(self):
+        table = MemTable()
+        table.put(b"k1", b"v1")
+        assert table.get(b"k1") == (True, b"v1")
+        assert table.get(b"missing") == (False, None)
+
+    def test_tombstone(self):
+        table = MemTable()
+        table.put(b"k1", b"v1")
+        table.put(b"k1", None)
+        assert table.get(b"k1") == (True, None)
+
+    def test_scan_sorted_half_open(self):
+        table = MemTable()
+        for key in (b"c", b"a", b"b", b"d"):
+            table.put(key, key.upper())
+        assert [k for k, _ in table.scan(b"a", b"c")] == [b"a", b"b"]
+
+    def test_overwrite_updates_size(self):
+        table = MemTable()
+        table.put(b"k", b"x" * 100)
+        table.put(b"k", b"y" * 10)
+        assert table.approximate_bytes == len(b"k") + 10
+        assert len(table) == 1
+
+    def test_clear(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.clear()
+        assert len(table) == 0
+        assert table.approximate_bytes == 0
+
+
+class TestSSTable:
+    def test_requires_sorted_unique_keys(self):
+        with pytest.raises(ValueError):
+            SSTable([(b"b", b"1"), (b"a", b"2")])
+        with pytest.raises(ValueError):
+            SSTable([(b"a", b"1"), (b"a", b"2")])
+
+    def test_get_and_scan(self):
+        table = SSTable([(b"a", b"1"), (b"c", b"3"), (b"e", None)])
+        assert table.get(b"a") == (True, b"1")
+        assert table.get(b"b") == (False, None)
+        assert table.get(b"e") == (True, None)
+        assert [k for k, _ in table.scan(b"b", b"z")] == [b"c", b"e"]
+
+    def test_key_range_and_size(self):
+        table = SSTable([(b"a", b"11"), (b"z", b"22")])
+        assert table.key_range == (b"a", b"z")
+        assert table.size_bytes == 2 + 4
+        assert SSTable([]).key_range == (None, None)
+
+    def test_merge_prefers_newer_and_drops_tombstones(self):
+        old = SSTable([(b"a", b"old"), (b"b", b"keep")])
+        new = SSTable([(b"a", b"new"), (b"c", None)])
+        merged = merge_tables([new, old], drop_tombstones=True)
+        assert merged.get(b"a") == (True, b"new")
+        assert merged.get(b"b") == (True, b"keep")
+        assert merged.get(b"c") == (False, None)
+
+    def test_merge_keeps_tombstones_when_asked(self):
+        new = SSTable([(b"c", None)])
+        merged = merge_tables([new], drop_tombstones=False)
+        assert merged.get(b"c") == (True, None)
+
+
+class TestWal:
+    def test_encode_decode_roundtrip(self):
+        batch = [(b"k1", b"v1"), (b"k2", None), (b"k3", b"")]
+        assert decode_batch(encode_batch(batch)) == batch
+
+    def test_append_records_and_truncate(self):
+        device = SimulatedDisk("meta", MIB, CostParameters())
+        wal = WriteAheadLog(device, 0, MIB // 2)
+        wal.append(b"record-1")
+        wal.append(b"record-2")
+        assert wal.records() == [b"record-1", b"record-2"]
+        assert wal.bytes_used > 0
+        wal.truncate()
+        assert wal.records() == []
+        assert wal.bytes_used == 0
+
+    def test_append_charges_device(self):
+        ledger = CostLedger()
+        device = SimulatedDisk("meta", MIB, CostParameters(), ledger)
+        wal = WriteAheadLog(device, 0, MIB // 2)
+        wal.append(b"x" * 100)
+        assert ledger.resource(RES_OSD_DEVICE) > 0
+        assert ledger.counter("omap.wal_bytes") > 0
+
+
+class TestLsmStore:
+    def test_put_get_delete(self):
+        store = make_store()
+        store.put(b"key", b"value")
+        assert store.get(b"key").items == [(b"key", b"value")]
+        store.delete(b"key")
+        assert store.get(b"key").items == []
+
+    def test_batch_and_scan(self):
+        store = make_store()
+        store.put_batch([(f"iv.{i:04d}".encode(), bytes([i])) for i in range(20)])
+        result = store.scan(b"iv.0005", b"iv.0010")
+        assert [k for k, _ in result.items] == \
+            [f"iv.{i:04d}".encode() for i in range(5, 10)]
+
+    def test_get_many(self):
+        store = make_store()
+        store.put_batch([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+        result = store.get_many([b"a", b"c", b"zz"])
+        assert result.as_dict() == {b"a": b"1", b"c": b"3"}
+
+    def test_empty_batch_is_noop(self):
+        store = make_store()
+        result = store.put_batch([])
+        assert result.latency_us == 0
+
+    def test_overwrite_visible_after_flush(self):
+        store = make_store()
+        store.put(b"k", b"v1")
+        store.flush()
+        store.put(b"k", b"v2")
+        assert store.get(b"k").items == [(b"k", b"v2")]
+        assert store.scan(b"", b"\xff").as_dict()[b"k"] == b"v2"
+
+    def test_delete_survives_flush_and_compaction(self):
+        store = make_store(max_tables_before_compaction=2)
+        store.put(b"k", b"v")
+        store.flush()
+        store.delete(b"k")
+        store.flush()
+        store.flush()
+        store.compact()
+        assert store.get(b"k").items == []
+        assert store.key_count() == 0
+
+    def test_delete_range(self):
+        store = make_store()
+        store.put_batch([(bytes([i]), b"v") for i in range(10)])
+        store.delete_range(bytes([2]), bytes([5]))
+        remaining = [k for k, _ in store.scan(b"\x00", b"\xff").items]
+        assert remaining == [bytes([i]) for i in (0, 1, 5, 6, 7, 8, 9)]
+
+    def test_automatic_flush_on_threshold(self):
+        store = make_store(memtable_flush_bytes=1024)
+        for i in range(40):
+            store.put(f"key-{i:03d}".encode(), bytes(64))
+        assert store.flush_count >= 1
+        assert store.table_count >= 1
+        # data still visible
+        assert store.get(b"key-000").items
+
+    def test_compaction_bounds_table_count(self):
+        store = make_store(memtable_flush_bytes=256,
+                           max_tables_before_compaction=3)
+        for i in range(200):
+            store.put(f"key-{i:04d}".encode(), bytes(32))
+        assert store.table_count <= 4
+        assert store.compaction_count >= 1
+        assert store.key_count() == 200
+
+    def test_close_prevents_use(self):
+        store = make_store()
+        store.put(b"k", b"v")
+        store.close()
+        with pytest.raises(KVClosedError):
+            store.get(b"k")
+        with pytest.raises(KVClosedError):
+            store.put(b"k2", b"v")
+
+    def test_cost_accounting_write_vs_read(self):
+        ledger = CostLedger()
+        store = make_store(ledger=ledger)
+        store.put_batch([(bytes([i]), bytes(16)) for i in range(100)])
+        write_cpu = ledger.resource(RES_OSD_CPU)
+        before = ledger.resource(RES_OSD_CPU)
+        store.scan(b"\x00", b"\xff")
+        read_cpu = ledger.resource(RES_OSD_CPU) - before
+        # Inserting keys is much more expensive than scanning them back.
+        assert write_cpu > read_cpu * 3
+        assert ledger.counter("omap.keys_written") == 100
+        assert ledger.counter("omap.keys_read") == 100
+
+    def test_per_key_write_cost_scales(self):
+        ledger = CostLedger()
+        store = make_store(ledger=ledger)
+        store.put_batch([(b"one", b"v")])
+        single = ledger.resource(RES_OSD_CPU)
+        before = ledger.resource(RES_OSD_CPU)
+        store.put_batch([(f"k{i:04d}".encode(), b"v") for i in range(1000)])
+        bulk = ledger.resource(RES_OSD_CPU) - before
+        assert bulk > single * 50
+
+    @given(items=st.dictionaries(st.binary(min_size=1, max_size=12),
+                                 st.binary(min_size=0, max_size=40),
+                                 min_size=1, max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_dict_semantics(self, items):
+        store = make_store(memtable_flush_bytes=512)
+        store.put_batch(sorted(items.items()))
+        assert store.scan(b"\x00", b"\xff" * 13).as_dict() == items
+        for key, value in items.items():
+            assert store.get(key).as_dict() == {key: value}

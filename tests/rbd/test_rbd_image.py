@@ -1,0 +1,206 @@
+"""Tests for the RBD image layer: striping, IO, management, snapshots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (ImageExistsError, ImageNotFoundError, RbdError,
+                          SnapshotError)
+from repro.rbd import create_image, open_image, remove_image
+from repro.rbd.striping import header_object_name, map_extent, object_name
+from repro.util import KIB, MIB
+
+
+class TestStriping:
+    def test_single_object_extent(self):
+        extents = map_extent(100, 200, 4 * MIB)
+        assert len(extents) == 1
+        extent = extents[0]
+        assert (extent.object_no, extent.offset, extent.length,
+                extent.buffer_offset) == (0, 100, 200, 0)
+        assert extent.end == 300
+
+    def test_extent_spanning_objects(self):
+        extents = map_extent(4 * MIB - 100, 300, 4 * MIB)
+        assert [(e.object_no, e.offset, e.length, e.buffer_offset)
+                for e in extents] == [(0, 4 * MIB - 100, 100, 0), (1, 0, 200, 100)]
+
+    def test_extent_covering_many_objects(self):
+        extents = map_extent(0, 10 * MIB, 4 * MIB)
+        assert [e.object_no for e in extents] == [0, 1, 2]
+        assert sum(e.length for e in extents) == 10 * MIB
+
+    def test_zero_length(self):
+        assert map_extent(123, 0, 4 * MIB) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(RbdError):
+            map_extent(-1, 10, 4 * MIB)
+
+    def test_object_names(self):
+        assert object_name("img", 0x2a) == "rbd_data.img.000000000000002a"
+        assert header_object_name("img") == "rbd_header.img"
+
+    @given(offset=st.integers(min_value=0, max_value=50 * MIB),
+           length=st.integers(min_value=1, max_value=12 * MIB))
+    @settings(max_examples=30, deadline=None)
+    def test_extents_partition_the_range(self, offset, length):
+        extents = map_extent(offset, length, 4 * MIB)
+        assert sum(e.length for e in extents) == length
+        assert extents[0].buffer_offset == 0
+        position = offset
+        for extent in extents:
+            assert extent.object_no == position // (4 * MIB)
+            assert extent.offset == position % (4 * MIB)
+            assert 0 < extent.length <= 4 * MIB
+            position += extent.length
+
+
+class TestImageLifecycle:
+    def test_create_open_properties(self, ioctx):
+        create_image(ioctx, "img0", 32 * MIB)
+        image = open_image(ioctx, "img0")
+        assert image.size == 32 * MIB
+        assert image.object_size == 4 * MIB
+        assert image.object_count() == 8
+
+    def test_create_with_custom_object_size(self, ioctx):
+        create_image(ioctx, "img-small-obj", 8 * MIB, object_size=1 * MIB)
+        assert open_image(ioctx, "img-small-obj").object_count() == 8
+
+    def test_duplicate_create_rejected(self, ioctx):
+        create_image(ioctx, "dup", 4 * MIB)
+        with pytest.raises(ImageExistsError):
+            create_image(ioctx, "dup", 4 * MIB)
+
+    def test_open_missing_rejected(self, ioctx):
+        with pytest.raises(ImageNotFoundError):
+            open_image(ioctx, "missing")
+
+    def test_invalid_sizes_rejected(self, ioctx):
+        with pytest.raises(RbdError):
+            create_image(ioctx, "bad", 0)
+        with pytest.raises(RbdError):
+            create_image(ioctx, "bad", 4 * MIB, object_size=1000)
+
+    def test_remove_image_deletes_objects(self, cluster, ioctx):
+        create_image(ioctx, "gone", 8 * MIB)
+        image = open_image(ioctx, "gone")
+        image.write(0, bytes(MIB))
+        image.write(5 * MIB, bytes(MIB))
+        remove_image(ioctx, "gone")
+        assert not ioctx.object_exists("rbd_header.gone")
+        assert ioctx.list_objects("rbd_data.gone") == []
+        with pytest.raises(ImageNotFoundError):
+            remove_image(ioctx, "gone")
+
+    def test_resize(self, ioctx):
+        create_image(ioctx, "grow", 8 * MIB)
+        image = open_image(ioctx, "grow")
+        image.resize(16 * MIB)
+        assert open_image(ioctx, "grow").size == 16 * MIB
+        with pytest.raises(RbdError):
+            image.resize(0)
+
+
+class TestImageIO:
+    def test_write_read_roundtrip(self, plain_image):
+        plain_image.write(0, b"hello")
+        assert plain_image.read(0, 5) == b"hello"
+
+    def test_sparse_reads_are_zero(self, plain_image):
+        assert plain_image.read(1 * MIB, 4096) == bytes(4096)
+
+    def test_io_crossing_object_boundary(self, plain_image):
+        payload = bytes(range(256)) * 1024      # 256 KiB
+        plain_image.write(4 * MIB - 100 * KIB, payload)
+        assert plain_image.read(4 * MIB - 100 * KIB, len(payload)) == payload
+
+    def test_overwrite(self, plain_image):
+        plain_image.write(100, b"AAAAAAAAAA")
+        plain_image.write(103, b"bbb")
+        assert plain_image.read(100, 10) == b"AAAbbbAAAA"
+
+    def test_out_of_bounds_rejected(self, plain_image):
+        with pytest.raises(RbdError):
+            plain_image.write(plain_image.size - 4, b"too long")
+        with pytest.raises(RbdError):
+            plain_image.read(plain_image.size, 1)
+        with pytest.raises(RbdError):
+            plain_image.read(-1, 1)
+
+    def test_empty_io(self, plain_image):
+        receipt = plain_image.write(0, b"")
+        assert receipt.latency_us == 0
+        assert plain_image.read(0, 0) == b""
+
+    def test_discard(self, plain_image):
+        plain_image.write(0, b"X" * 8192)
+        plain_image.discard(0, 4096)
+        assert plain_image.read(0, 4096) == bytes(4096)
+        assert plain_image.read(4096, 4096) == b"X" * 4096
+
+    def test_receipts_track_bytes(self, plain_image):
+        receipt = plain_image.write(0, bytes(64 * KIB))
+        assert receipt.bytes_moved == 64 * KIB
+        result = plain_image.read_with_receipt(0, 64 * KIB)
+        assert result.receipt.bytes_moved >= 64 * KIB
+
+    def test_flush_is_noop(self, plain_image):
+        plain_image.flush()
+
+
+class TestImageSnapshots:
+    def test_snapshot_read_back(self, plain_image):
+        plain_image.write(0, b"original")
+        snap = plain_image.create_snapshot("s1")
+        assert snap.name == "s1"
+        plain_image.write(0, b"modified")
+        plain_image.set_read_snapshot("s1")
+        assert plain_image.read(0, 8) == b"original"
+        plain_image.set_read_snapshot(None)
+        assert plain_image.read(0, 8) == b"modified"
+
+    def test_snapshot_listing_and_persistence(self, ioctx, plain_image):
+        plain_image.create_snapshot("a")
+        plain_image.create_snapshot("b")
+        names = [s.name for s in plain_image.list_snapshots()]
+        assert names == ["a", "b"]
+        reopened = open_image(ioctx, plain_image.name)
+        assert [s.name for s in reopened.list_snapshots()] == ["a", "b"]
+
+    def test_duplicate_snapshot_rejected(self, plain_image):
+        plain_image.create_snapshot("s")
+        with pytest.raises(SnapshotError):
+            plain_image.create_snapshot("s")
+
+    def test_remove_snapshot(self, plain_image):
+        plain_image.create_snapshot("s")
+        plain_image.remove_snapshot("s")
+        assert plain_image.list_snapshots() == []
+        with pytest.raises(SnapshotError):
+            plain_image.remove_snapshot("s")
+
+    def test_unknown_snapshot_rejected(self, plain_image):
+        with pytest.raises(SnapshotError):
+            plain_image.set_read_snapshot("nope")
+        with pytest.raises(SnapshotError):
+            plain_image.snapshot_by_name("nope")
+
+    def test_multiple_snapshots_independent(self, plain_image):
+        plain_image.write(0, b"v1")
+        plain_image.create_snapshot("s1")
+        plain_image.write(0, b"v2")
+        plain_image.create_snapshot("s2")
+        plain_image.write(0, b"v3")
+        plain_image.set_read_snapshot("s1")
+        assert plain_image.read(0, 2) == b"v1"
+        plain_image.set_read_snapshot("s2")
+        assert plain_image.read(0, 2) == b"v2"
+        plain_image.set_read_snapshot(None)
+        assert plain_image.read(0, 2) == b"v3"
+
+    def test_read_snapshot_id_property(self, plain_image):
+        assert plain_image.read_snapshot_id is None
+        snap = plain_image.create_snapshot("s")
+        plain_image.set_read_snapshot("s")
+        assert plain_image.read_snapshot_id == snap.snap_id

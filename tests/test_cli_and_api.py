@@ -1,0 +1,104 @@
+"""Tests for the command-line interface and the high-level api module."""
+
+import pytest
+
+from repro import api
+from repro.cli import build_parser, main
+from repro.errors import ImageExistsError
+from repro.util import (MIB, ceil_div, constant_time_compare, format_size,
+                        hexdump, is_power_of_two, parse_size, round_down,
+                        round_up, split_range, xor_bytes)
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sectors_command(self, capsys):
+        assert main(["sectors", "--sizes", "4K,32K"]) == 0
+        out = capsys.readouterr().out
+        assert "4.0KiB" in out and "32.0KiB" in out
+        assert "+100.0%" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--layout", "omap"]) == 0
+        out = capsys.readouterr().out
+        assert "layout=omap" in out
+        assert "crypto.blocks" in out
+
+    def test_sweep_command_small(self, capsys):
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "luks-baseline,object-end",
+                     "--image-size", "16M", "--bytes-per-point", "512K",
+                     "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3b" in out
+        assert "object-end" in out
+        assert "io_size,layout,bandwidth_mbps,iops" in out
+
+
+class TestApiHelpers:
+    def test_make_cluster_shapes(self):
+        cluster = api.make_cluster(osd_count=5, replica_count=2)
+        assert len(cluster.osds) == 5
+        assert cluster.get_pool("rbd").replica_count == 2
+
+    def test_create_encrypted_image_accepts_size_strings(self, cluster):
+        image, info = api.create_encrypted_image(
+            cluster, "str-size", "8M", b"pw", object_size="1M",
+            cipher_suite="blake2-xts-sim")
+        assert image.size == 8 * MIB
+        assert image.object_size == 1 * MIB
+        assert info.layout == "object-end"
+
+    def test_create_plain_image(self, cluster):
+        image = api.create_plain_image(cluster, "plain", 8 * MIB)
+        image.write(0, b"plaintext")
+        assert image.read(0, 9) == b"plaintext"
+
+    def test_duplicate_image_rejected(self, cluster):
+        api.create_plain_image(cluster, "dup", 8 * MIB)
+        with pytest.raises(ImageExistsError):
+            api.create_plain_image(cluster, "dup", 8 * MIB)
+
+
+class TestUtil:
+    def test_xor_bytes(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\x0f") == b"\xf0\xff"
+        with pytest.raises(ValueError):
+            xor_bytes(b"\x00", b"\x00\x00")
+
+    def test_rounding_helpers(self):
+        assert ceil_div(10, 4) == 3
+        assert round_up(10, 4) == 12
+        assert round_down(10, 4) == 8
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_power_of_two(self):
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    def test_split_range(self):
+        pieces = split_range(4090, 20, 4096)
+        assert pieces == [(0, 4090, 6), (1, 0, 14)]
+        with pytest.raises(ValueError):
+            split_range(-1, 10, 4096)
+
+    def test_parse_and_format_size(self):
+        assert parse_size("4K") == 4096
+        assert parse_size("2MiB") == 2 * MIB
+        assert parse_size("512") == 512
+        with pytest.raises(ValueError):
+            parse_size("12Q")
+        assert format_size(4096) == "4.0KiB"
+        assert format_size(10) == "10B"
+
+    def test_hexdump_and_constant_time(self):
+        dump = hexdump(b"hello world!!!!!" * 2)
+        assert "hello world" in dump
+        assert constant_time_compare(b"abc", b"abc")
+        assert not constant_time_compare(b"abc", b"abd")
+        assert not constant_time_compare(b"abc", b"ab")
