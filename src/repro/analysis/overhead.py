@@ -45,6 +45,10 @@ class SweepConfig:
     osd_count: int = 3
     replica_count: int = 3
     journaled: bool = False
+    #: drive the sweep through the batched I/O engine (:mod:`repro.engine`)
+    batched: bool = False
+    #: cap on blocks one object accumulates per engine window (None = no cap)
+    batch_size: Optional[int] = None
     params: Optional[CostParameters] = None
 
     def io_count_for(self, io_size: int) -> int:
@@ -128,7 +132,9 @@ class LayoutSweep:
         return WorkloadSpec(name=f"{rw}-{io_size}", rw=rw, io_size=io_size,
                             queue_depth=config.queue_depth,
                             io_count=config.io_count_for(io_size),
-                            seed=config.seed, prefill=prefill)
+                            seed=config.seed, prefill=prefill,
+                            batched=config.batched,
+                            batch_size=config.batch_size)
 
     def run(self, kind: str) -> SweepResults:
         """Run a sweep; ``kind`` is ``"write"`` or ``"read"``."""

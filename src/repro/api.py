@@ -11,8 +11,10 @@ from __future__ import annotations
 from typing import Optional, Tuple, Union
 
 from .crypto.drbg import HmacDrbg, RandomSource
+from .crypto.suite import DEFAULT_SUITE
 from .encryption.format import (EncryptedImageInfo, EncryptionOptions,
                                 format_encryption, load_encryption)
+from .engine.pipeline import EngineConfig, IoPipeline
 from .rados.cluster import Cluster, ClusterConfig
 from .rbd.image import DEFAULT_OBJECT_SIZE, Image, create_image, open_image
 from .sim.costparams import CostParameters, default_cost_parameters
@@ -53,10 +55,9 @@ def create_encrypted_image(cluster: Cluster, name: str, size: Union[int, str],
     image = open_image(ioctx, name)
     rng: Optional[RandomSource] = HmacDrbg(random_seed) if random_seed else None
     options = EncryptionOptions(layout=encryption_format, codec=codec,
+                                cipher_suite=cipher_suite or DEFAULT_SUITE,
                                 iv_policy=iv_policy, journaled=journaled,
                                 random_source=rng)
-    if cipher_suite is not None:
-        options.cipher_suite = cipher_suite
     info = format_encryption(image, passphrase, options)
     return image, info
 
@@ -78,3 +79,17 @@ def create_plain_image(cluster: Cluster, name: str, size: Union[int, str],
     ioctx = cluster.client().open_ioctx(pool)
     create_image(ioctx, name, _as_bytes(size), _as_bytes(object_size))
     return open_image(ioctx, name)
+
+
+def make_pipeline(image: Image, queue_depth: int = 16,
+                  batch_size: Optional[int] = None) -> IoPipeline:
+    """Wrap an image in the batched I/O engine (:mod:`repro.engine`).
+
+    Up to ``queue_depth`` requests coalesce into one RADOS transaction per
+    object; ``batch_size`` optionally caps the blocks one object may
+    accumulate per window.  Collect per-window cost receipts with
+    ``pipeline.poll()`` (or ``drain()`` at the end); unpolled completions
+    are bounded by merging the oldest into aggregate records.
+    """
+    return IoPipeline(image, EngineConfig(queue_depth=queue_depth,
+                                          batch_size=batch_size))

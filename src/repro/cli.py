@@ -47,6 +47,8 @@ def _parse_layouts(text: Optional[str]) -> Sequence[str]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.batch_size is not None and not args.batched:
+        raise SystemExit("--batch-size only takes effect with --batched")
     config = SweepConfig(
         io_sizes=_parse_sizes(args.sizes),
         layouts=_parse_layouts(args.layouts),
@@ -56,6 +58,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         osd_count=args.osds,
         replica_count=args.replicas,
         journaled=args.journaled,
+        batched=args.batched,
+        batch_size=args.batch_size,
     )
     results = LayoutSweep(config).run(args.kind)
     print(format_bandwidth_table(results))
@@ -125,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--replicas", type=int, default=3)
     sweep.add_argument("--journaled", action="store_true",
                        help="use journal-based consistency (ablation A1)")
+    sweep.add_argument("--batched", action="store_true",
+                       help="drive IO through the batched engine: up to "
+                       "--queue-depth requests coalesce into one RADOS "
+                       "transaction per object")
+    sweep.add_argument("--batch-size", type=int, default=None,
+                       help="cap on blocks per object per engine window")
     sweep.add_argument("--csv", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 

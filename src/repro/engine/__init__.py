@@ -1,0 +1,16 @@
+"""Batched I/O engine: multi-block pipelining from the image API down to
+RADOS transactions.
+
+The engine turns queue depth into batching: requests accumulate in a
+window of up to ``queue_depth`` entries, the window's writes are striped
+and grouped per object, and every object receives its whole share of the
+window as a *single* RADOS transaction (ciphertext runs plus all their
+per-sector metadata, coalesced by the crypto dispatcher).  See
+:mod:`repro.engine.pipeline` for the batching model and the hazard rules
+that keep the batched path plaintext-equivalent to the scalar path (and
+ciphertext-identical for windows that do not interleave across objects).
+"""
+
+from .pipeline import Completion, EngineConfig, IoPipeline, PipelineStats
+
+__all__ = ["Completion", "EngineConfig", "IoPipeline", "PipelineStats"]

@@ -191,6 +191,14 @@ class OSD:
         if self.ledger is not None:
             self.ledger.count("rados.transactions")
             self.ledger.count("rados.write_ops", len(txn.ops))
+            # Per-batch accounting: a transaction carrying several client
+            # extents amortizes its fixed cost (osd_op_cost_us, one network
+            # round trip, one journal commit) over all of them; record how
+            # much batching actually reaches the OSD so the engine's effect
+            # is visible in the ledger.
+            if txn.client_extents is not None and txn.client_extents > 1:
+                self.ledger.count("rados.multi_extent_transactions")
+                self.ledger.count("rados.batched_extents", txn.client_extents)
         return latency
 
     def _validate(self, pool: str, name: str, txn: WriteTransaction,

@@ -7,11 +7,18 @@ formats in :mod:`repro.encryption` provide a ``CryptoObjectDispatcher`` that
 encrypts 4 KiB blocks and persists per-sector metadata according to the
 selected layout; the :class:`~repro.rbd.image.Image` only ever talks to the
 dispatcher interface.
+
+The interface is vectored: next to the per-extent ``write``/``read`` calls
+(the legacy one-transaction-per-extent path) every dispatcher accepts a
+whole per-object batch via ``write_extents``/``read_extents`` and turns it
+into a *single* RADOS transaction / read operation.  The base class
+provides serial fallbacks so a minimal dispatcher only has to implement the
+scalar calls.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 from .striping import object_name
 from ..errors import ObjectNotFoundError
@@ -34,6 +41,35 @@ class ObjectDispatcher:
     def discard(self, object_no: int, offset: int, length: int) -> OpReceipt:
         """Deallocate a range of an object (best effort)."""
         raise NotImplementedError
+
+    def write_extents(self, object_no: int,
+                      extents: Sequence[Tuple[int, bytes]]) -> OpReceipt:
+        """Write a batch of (offset, data) extents to one object.
+
+        The fallback issues one transaction per extent (serial composition);
+        batching dispatchers override this to coalesce the batch into a
+        single transaction.
+        """
+        combined = OpReceipt()
+        for offset, data in extents:
+            combined.extend(self.write(object_no, offset, data))
+        return combined
+
+    def read_extents(self, object_no: int,
+                     extents: Sequence[Tuple[int, int]]) -> Tuple[List[bytes], OpReceipt]:
+        """Read a batch of (offset, length) extents from one object.
+
+        Returns one buffer per requested extent, in order.  The fallback
+        issues one read operation per extent; batching dispatchers override
+        this to fetch the whole batch in a single operation.
+        """
+        pieces: List[bytes] = []
+        combined = OpReceipt()
+        for offset, length in extents:
+            data, receipt = self.read(object_no, offset, length)
+            pieces.append(data)
+            combined.extend(receipt)
+        return pieces, combined
 
     def flush(self) -> None:
         """Flush any buffered state (the simulator writes through)."""
@@ -71,3 +107,30 @@ class RawObjectDispatcher(ObjectDispatcher):
         txn = WriteTransaction().zero(offset, length)
         return self._ioctx.operate_write(self._name(object_no), txn,
                                          object_size_hint=self._object_size)
+
+    def write_extents(self, object_no: int,
+                      extents: Sequence[Tuple[int, bytes]]) -> OpReceipt:
+        extents = [(offset, data) for offset, data in extents if data]
+        if not extents:
+            return OpReceipt()
+        txn = WriteTransaction().write_extents(extents)
+        txn.client_extents = len(extents)
+        return self._ioctx.operate_write(self._name(object_no), txn,
+                                         object_size_hint=self._object_size)
+
+    def read_extents(self, object_no: int,
+                     extents: Sequence[Tuple[int, int]]) -> Tuple[List[bytes], OpReceipt]:
+        if not extents:
+            return [], OpReceipt()
+        readop = ReadOperation().read_extents(extents)
+        try:
+            result = self._ioctx.operate_read(self._name(object_no), readop)
+        except ObjectNotFoundError:
+            return [bytes(length) for _offset, length in extents], OpReceipt()
+        pieces: List[bytes] = []
+        for (_offset, length), op_result in zip(extents, result.results):
+            data = op_result.data
+            if len(data) < length:
+                data = data + bytes(length - len(data))
+            pieces.append(data)
+        return pieces, result.receipt

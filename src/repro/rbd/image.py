@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .dispatcher import ObjectDispatcher, RawObjectDispatcher
 from .striping import header_object_name, map_extent
@@ -116,6 +116,16 @@ class IoResult:
     receipt: OpReceipt
 
 
+def _merge_parallel(total: Optional[OpReceipt],
+                    receipt: OpReceipt) -> OpReceipt:
+    """Fold one per-object receipt into the running parallel composition
+    (object-level pieces of an image IO are issued in parallel)."""
+    if total is None:
+        return receipt
+    total.merge_parallel(receipt)
+    return total
+
+
 class Image:
     """An open RBD image."""
 
@@ -191,7 +201,8 @@ class Image:
 
     # -- data path -------------------------------------------------------------------
 
-    def _check_io(self, offset: int, length: int) -> None:
+    def check_io(self, offset: int, length: int) -> None:
+        """Validate an IO range against the image bounds (raises RbdError)."""
         if offset < 0 or length < 0:
             raise RbdError("offset and length must be non-negative")
         if offset + length > self._header.size:
@@ -201,20 +212,15 @@ class Image:
 
     def write(self, offset: int, data: bytes) -> OpReceipt:
         """Write ``data`` at image byte ``offset``."""
-        self._check_io(offset, len(data))
+        self.check_io(offset, len(data))
         if not data:
             return OpReceipt()
-        combined = OpReceipt()
-        first = True
+        combined: Optional[OpReceipt] = None
         for extent in map_extent(offset, len(data), self._header.object_size):
             piece = data[extent.buffer_offset:extent.buffer_offset + extent.length]
             receipt = self._dispatcher.write(extent.object_no, extent.offset, piece)
-            if first:
-                combined = receipt
-                first = False
-            else:
-                combined.merge_parallel(receipt)
-        return combined
+            combined = _merge_parallel(combined, receipt)
+        return combined or OpReceipt()
 
     def read(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes at image byte ``offset``."""
@@ -222,36 +228,83 @@ class Image:
 
     def read_with_receipt(self, offset: int, length: int) -> IoResult:
         """Read returning both the data and the aggregated cost receipt."""
-        self._check_io(offset, length)
+        self.check_io(offset, length)
         if length == 0:
             return IoResult(data=b"", receipt=OpReceipt())
         pieces: List[bytes] = []
-        combined = OpReceipt()
-        first = True
+        combined: Optional[OpReceipt] = None
         for extent in map_extent(offset, length, self._header.object_size):
             data, receipt = self._dispatcher.read(extent.object_no,
                                                   extent.offset, extent.length)
             pieces.append(data)
-            if first:
-                combined = receipt
-                first = False
-            else:
-                combined.merge_parallel(receipt)
-        return IoResult(data=b"".join(pieces), receipt=combined)
+            combined = _merge_parallel(combined, receipt)
+        return IoResult(data=b"".join(pieces), receipt=combined or OpReceipt())
+
+    # -- vectored data path (batched I/O engine) -------------------------------
+
+    def write_extents(self, extents: Sequence[Tuple[int, bytes]]) -> OpReceipt:
+        """Write several image-level extents as one batched operation.
+
+        All extents are striped onto their objects and each object receives
+        its whole share of the batch as a *single* dispatcher call (one
+        RADOS transaction for batching dispatchers).  Per-object pieces keep
+        the arrival order of ``extents``; objects are issued in parallel,
+        like libRBD AIO.
+        """
+        per_object: Dict[int, List[Tuple[int, bytes]]] = {}
+        for offset, data in extents:
+            self.check_io(offset, len(data))
+            if not data:
+                continue
+            for extent in map_extent(offset, len(data), self._header.object_size):
+                piece = data[extent.buffer_offset:extent.buffer_offset + extent.length]
+                per_object.setdefault(extent.object_no, []).append(
+                    (extent.offset, piece))
+        combined: Optional[OpReceipt] = None
+        for object_no, object_extents in per_object.items():
+            receipt = self._dispatcher.write_extents(object_no, object_extents)
+            combined = _merge_parallel(combined, receipt)
+        return combined or OpReceipt()
+
+    def read_extents(self, extents: Sequence[Tuple[int, int]]) -> Tuple[List[bytes], OpReceipt]:
+        """Read several image-level extents as one batched operation.
+
+        Returns one buffer per requested extent, in order, plus the
+        aggregated receipt.  Each object serves its whole share of the batch
+        through a single dispatcher call (one RADOS read operation for
+        batching dispatchers); objects are read in parallel.
+        """
+        buffers: List[bytearray] = []
+        per_object: Dict[int, List[Tuple[int, int]]] = {}
+        #: (extent index, buffer offset) for each per-object piece, in order
+        placements: Dict[int, List[Tuple[int, int]]] = {}
+        for index, (offset, length) in enumerate(extents):
+            self.check_io(offset, length)
+            buffers.append(bytearray(length))
+            for extent in map_extent(offset, length, self._header.object_size):
+                per_object.setdefault(extent.object_no, []).append(
+                    (extent.offset, extent.length))
+                placements.setdefault(extent.object_no, []).append(
+                    (index, extent.buffer_offset))
+        combined: Optional[OpReceipt] = None
+        for object_no, object_extents in per_object.items():
+            pieces, receipt = self._dispatcher.read_extents(object_no,
+                                                            object_extents)
+            for piece, (index, buffer_offset) in zip(pieces,
+                                                     placements[object_no]):
+                buffers[index][buffer_offset:buffer_offset + len(piece)] = piece
+            combined = _merge_parallel(combined, receipt)
+        return [bytes(buffer) for buffer in buffers], combined or OpReceipt()
 
     def discard(self, offset: int, length: int) -> OpReceipt:
         """Deallocate an image byte range."""
-        self._check_io(offset, length)
-        combined = OpReceipt()
-        first = True
+        self.check_io(offset, length)
+        combined: Optional[OpReceipt] = None
         for extent in map_extent(offset, length, self._header.object_size):
             receipt = self._dispatcher.discard(extent.object_no, extent.offset,
                                                extent.length)
-            if first:
-                combined, first = receipt, False
-            else:
-                combined.merge_parallel(receipt)
-        return combined
+            combined = _merge_parallel(combined, receipt)
+        return combined or OpReceipt()
 
     def flush(self) -> None:
         """Flush the dispatcher (no-op for write-through dispatchers)."""

@@ -72,10 +72,37 @@ class CostLedger:
             raise ValueError("busy time must be non-negative")
         self.resource_us[resource] += microseconds
 
-    def finish_op(self, receipt: OpReceipt) -> None:
-        """Record the completion of one client-visible operation."""
+    def finish_op(self, receipt: OpReceipt, ops: int = 1) -> None:
+        """Record the completion of ``ops`` client-visible operations.
+
+        The batched I/O engine completes a whole window of requests with a
+        single receipt; passing ``ops`` > 1 attributes the window's
+        critical-path latency to the batch once while still counting every
+        request toward IOPS, so batched and per-request runs stay
+        comparable.
+        """
+        if ops <= 0:
+            raise ValueError("ops must be positive")
         self.latency_sum_us += receipt.latency_us
-        self.op_count += 1
+        self.op_count += ops
+
+    def record_batch(self, requests: int, blocks: int) -> None:
+        """Record one flushed engine batch of ``requests`` covering ``blocks``.
+
+        Maintains the ``engine.batches`` / ``engine.batched_requests`` /
+        ``engine.batched_blocks`` counters from which
+        :meth:`mean_batch_blocks` derives the achieved amortization.
+        """
+        self.count("engine.batches")
+        self.count("engine.batched_requests", requests)
+        self.count("engine.batched_blocks", blocks)
+
+    def mean_batch_blocks(self) -> float:
+        """Average blocks per flushed engine batch (0 if none recorded)."""
+        batches = self.counter("engine.batches")
+        if not batches:
+            return 0.0
+        return self.counter("engine.batched_blocks") / batches
 
     # -- inspection -------------------------------------------------------------
 

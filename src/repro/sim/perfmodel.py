@@ -15,6 +15,18 @@ EXPERIMENTS.md next to every figure it produces):
 
 Simulated elapsed time is the maximum of the two bounds; throughput is
 bytes moved divided by that time.
+
+**Batched runs.**  The I/O engine (:mod:`repro.engine`) converts queue
+depth into batching: a window of up to ``QD`` requests completes as *one*
+client-visible operation whose receipt already reflects the whole batch.
+The runner therefore finishes each window with
+``ledger.finish_op(receipt, ops=window_size)`` and estimates with
+``queue_depth=1`` (windows are issued serially); the benefit of depth shows
+up as fewer, larger transactions — the fixed per-transaction cost
+(``osd_op_cost_us``, one round trip, one replication push per replica) is
+paid once per batch and only the per-block costs (device transfer, crypto,
+per-op CPU) scale with the window.  :func:`batch_report` summarizes how
+much amortization a run actually achieved.
 """
 
 from __future__ import annotations
@@ -100,3 +112,32 @@ class PerformanceModel:
             bounding_resource=bounding,
             resource_us=dict(effective),
         )
+
+
+def batch_report(ledger: CostLedger, replica_count: int = 1) -> Dict[str, float]:
+    """Summarize how much transaction amortization a run achieved.
+
+    Returns the engine-side batch counters together with the RADOS-side
+    view (how many transactions carried more than one data extent and the
+    average extents per such transaction), so benchmarks can assert that
+    batching actually reached the OSDs rather than being split back up.
+
+    The raw ``rados.*`` counters record one apply per replica; pass the
+    cluster's ``replica_count`` to normalize them to client-visible
+    transaction counts comparable with the ``engine.*`` counters.
+    """
+    if replica_count <= 0:
+        raise ConfigurationError("replica_count must be positive")
+    batches = ledger.counter("engine.batches")
+    multi = ledger.counter("rados.multi_extent_transactions") / replica_count
+    return {
+        "engine_batches": batches,
+        "engine_batched_requests": ledger.counter("engine.batched_requests"),
+        "engine_mean_batch_blocks": ledger.mean_batch_blocks(),
+        "rados_transactions": (
+            ledger.counter("rados.transactions") / replica_count),
+        "rados_multi_extent_transactions": multi,
+        "rados_mean_extents_per_batch": (
+            ledger.counter("rados.batched_extents") / replica_count / multi
+            if multi else 0.0),
+    }

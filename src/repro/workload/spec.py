@@ -43,6 +43,11 @@ class WorkloadSpec:
     seed: int = 42
     #: write the image sequentially before measuring (needed for reads)
     prefill: bool = False
+    #: drive the IO through the batched engine (:mod:`repro.engine`): up to
+    #: ``queue_depth`` requests coalesce into one RADOS transaction per object
+    batched: bool = False
+    #: cap on blocks one object accumulates per engine window (None = no cap)
+    batch_size: Optional[int] = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -59,6 +64,10 @@ class WorkloadSpec:
             raise WorkloadError("one of io_count or total_bytes is required")
         if not 0.0 <= self.read_fraction <= 1.0:
             raise WorkloadError("read_fraction must be within [0, 1]")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise WorkloadError("batch_size must be positive")
+        if self.batch_size is not None and not self.batched:
+            raise WorkloadError("batch_size only takes effect with batched=True")
 
     @property
     def is_random(self) -> bool:
@@ -76,5 +85,6 @@ class WorkloadSpec:
 
     def describe(self) -> str:
         """Short fio-style description."""
+        engine = " engine=batched" if self.batched else ""
         return (f"{self.name}: rw={self.rw} bs={self.io_size} "
-                f"qd={self.queue_depth} seed={self.seed}")
+                f"qd={self.queue_depth} seed={self.seed}{engine}")

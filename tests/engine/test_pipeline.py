@@ -1,0 +1,235 @@
+"""Unit tests for the batched I/O pipeline and its cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.engine import EngineConfig, IoPipeline
+from repro.errors import ConfigurationError
+from repro.sim.perfmodel import batch_report
+from repro.util import MIB
+from repro.workload.runner import WorkloadRunner
+from repro.workload.spec import WorkloadSpec
+
+BLOCK = 4096
+
+
+class TestEngineConfig:
+    def test_rejects_nonpositive_queue_depth(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(queue_depth=0)
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(batch_size=0)
+
+    def test_spec_rejects_batch_size_without_batched(self):
+        from repro.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(batch_size=4)
+        WorkloadSpec(batch_size=4, batched=True)  # valid combination
+
+
+class TestPipelineBatching:
+    def _pipeline(self, cluster, **config):
+        image = api.create_plain_image(cluster, "pipe", 16 * MIB)
+        return image, IoPipeline(image, EngineConfig(**config))
+
+    def test_window_flushes_at_queue_depth(self, small_cluster):
+        image, pipeline = self._pipeline(small_cluster, queue_depth=4)
+        for i in range(3):
+            pipeline.write(i * BLOCK, b"x" * BLOCK)
+        assert pipeline.poll() == []
+        pipeline.write(3 * BLOCK, b"x" * BLOCK)
+        completions = pipeline.poll()
+        assert len(completions) == 1
+        assert completions[0].requests == 4
+        assert completions[0].kind == "write-batch"
+        assert pipeline.stats.windows == 1
+
+    def test_write_after_write_hazard_flushes(self, small_cluster):
+        image, pipeline = self._pipeline(small_cluster, queue_depth=16)
+        pipeline.write(0, b"a" * BLOCK)
+        pipeline.write(100, b"b" * 10)  # same block: hazard
+        assert pipeline.stats.hazard_flushes == 1
+        assert pipeline.stats.windows == 1
+        pipeline.drain()
+        data = image.read(0, BLOCK)
+        assert data[:100] == b"a" * 100
+        assert data[100:110] == b"b" * 10
+
+    def test_read_barrier_flushes_pending_writes(self, small_cluster):
+        image, pipeline = self._pipeline(small_cluster, queue_depth=16)
+        pipeline.write(0, b"fresh")
+        assert pipeline.read(0, 5) == b"fresh"
+        assert pipeline.stats.read_barrier_flushes == 1
+
+    def test_batch_size_caps_blocks_per_object(self, small_cluster):
+        image, pipeline = self._pipeline(small_cluster, queue_depth=16,
+                                         batch_size=2)
+        for i in range(3):
+            pipeline.write(i * BLOCK, b"x" * BLOCK)
+        assert pipeline.stats.capacity_flushes == 1
+        assert pipeline.stats.windows == 1
+
+    def test_empty_read_extents_preserves_window(self, small_cluster):
+        image, pipeline = self._pipeline(small_cluster, queue_depth=16)
+        pipeline.write(0, b"q" * BLOCK)
+        assert pipeline.read_extents([]) == []
+        assert pipeline.stats.read_barrier_flushes == 0
+        assert pipeline.stats.windows == 0
+
+    def test_oversized_single_write_flushes_alone(self, small_cluster):
+        image, pipeline = self._pipeline(small_cluster, queue_depth=16,
+                                         batch_size=4)
+        pipeline.write(0, b"x" * (8 * BLOCK))  # twice the cap, never split
+        completions = pipeline.poll()
+        assert len(completions) == 1
+        assert completions[0].requests == 1
+        assert pipeline.stats.capacity_flushes == 1
+        assert image.read(0, 8 * BLOCK) == b"x" * (8 * BLOCK)
+
+    def test_mean_window_requests_ignores_reads(self, small_cluster):
+        image, pipeline = self._pipeline(small_cluster, queue_depth=4)
+        for i in range(4):
+            pipeline.write(i * BLOCK, b"w" * BLOCK)
+        for i in range(4):
+            pipeline.read(i * BLOCK, BLOCK)
+        assert pipeline.stats.write_requests == 4
+        assert pipeline.stats.read_requests == 4
+        assert pipeline.stats.requests == 8
+        assert pipeline.stats.mean_window_requests() == 4.0
+
+    def test_scalar_writes_record_no_multi_extent_transactions(
+            self, small_cluster):
+        image, _ = api.create_encrypted_image(
+            small_cluster, "scalar-oe", 8 * MIB, b"pw",
+            encryption_format="object-end", cipher_suite="blake2-xts-sim",
+            random_seed=b"s")
+        before = small_cluster.ledger.snapshot()
+        image.write(0, b"x" * BLOCK)  # object-end: data op + metadata op
+        delta = small_cluster.ledger.diff(before)
+        assert delta.counter("rados.multi_extent_transactions") == 0
+        pipeline = IoPipeline(image, EngineConfig(queue_depth=4))
+        for i in range(4):
+            pipeline.write((i + 1) * BLOCK, b"y" * BLOCK)
+        pipeline.drain()
+        delta = small_cluster.ledger.diff(before)
+        assert delta.counter("rados.multi_extent_transactions") == 1
+        assert delta.counter("rados.batched_extents") == 4
+
+    def test_ledger_batch_counters(self, small_cluster):
+        image, pipeline = self._pipeline(small_cluster, queue_depth=8)
+        for i in range(8):
+            pipeline.write(i * BLOCK, b"x" * BLOCK)
+        ledger = small_cluster.ledger
+        assert ledger.counter("engine.batches") == 1
+        assert ledger.counter("engine.batched_requests") == 8
+        assert ledger.counter("engine.batched_blocks") == 8
+        assert ledger.mean_batch_blocks() == 8
+        report = batch_report(ledger)
+        assert report["engine_batches"] == 1
+        assert report["rados_multi_extent_transactions"] >= 0
+
+    def test_out_of_bounds_write_fails_eagerly_without_losing_window(
+            self, small_cluster):
+        from repro.errors import RbdError
+        image, pipeline = self._pipeline(small_cluster, queue_depth=8)
+        pipeline.write(0, b"good data")
+        with pytest.raises(RbdError):
+            pipeline.write(16 * MIB - 4, b"x" * 100)
+        pipeline.drain()
+        assert image.read(0, 9) == b"good data"
+
+    def test_journaled_batch_counts_one_multi_extent_transaction(
+            self, small_cluster):
+        image, _ = api.create_encrypted_image(
+            small_cluster, "jrnl", 8 * MIB, b"pw",
+            encryption_format="object-end", cipher_suite="blake2-xts-sim",
+            random_seed=b"s", journaled=True)
+        before = small_cluster.ledger.snapshot()
+        pipeline = IoPipeline(image, EngineConfig(queue_depth=8))
+        for i in range(8):
+            pipeline.write(i * BLOCK, bytes([i]) * BLOCK)
+        pipeline.drain()
+        delta = small_cluster.ledger.diff(before)
+        # The journal txn carries placeholder payload, not client extents:
+        # only the main write counts toward the amortization counters.
+        assert delta.counter("rados.multi_extent_transactions") == 1
+        assert delta.counter("rados.batched_extents") == 8
+
+    def test_unpolled_completions_are_bounded(self, small_cluster):
+        from repro.engine.pipeline import MAX_PENDING_COMPLETIONS
+        image, pipeline = self._pipeline(small_cluster, queue_depth=1)
+        writes = MAX_PENDING_COMPLETIONS + 40
+        for i in range(writes):
+            pipeline.write((i % 512) * BLOCK, bytes([i % 256]) * 16)
+        completions = pipeline.drain()
+        assert len(completions) <= MAX_PENDING_COMPLETIONS + 1
+        assert sum(c.requests for c in completions) == writes
+        assert completions[0].kind == "aggregate"
+
+    def test_failed_flush_retains_window_for_retry(self, small_cluster):
+        from repro.errors import RbdError
+        image, pipeline = self._pipeline(small_cluster, queue_depth=16)
+        pipeline.write(8 * MIB, b"near the old end")
+        image.resize(4 * MIB)  # shrink under the queued write
+        with pytest.raises(RbdError):
+            pipeline.flush()
+        image.resize(16 * MIB)  # grow back: the retained window can retry
+        pipeline.drain()
+        assert image.read(8 * MIB, 16) == b"near the old end"
+
+    def test_vectored_image_apis_round_trip(self, small_cluster):
+        image = api.create_plain_image(small_cluster, "vec", 16 * MIB)
+        extents = [(0, b"alpha"), (4 * MIB - 2, b"spans objects"),
+                   (8 * MIB + 17, b"tail")]
+        image.write_extents(extents)
+        datas, receipt = image.read_extents(
+            [(offset, len(data)) for offset, data in extents])
+        assert datas == [data for _offset, data in extents]
+        assert receipt.latency_us > 0
+
+
+class TestRunnerBatchedMode:
+    def test_batched_spec_runs_and_saves_transactions(self, small_cluster):
+        def run(batched):
+            name = f"wl-{batched}"
+            image, _ = api.create_encrypted_image(
+                small_cluster, name, 8 * MIB, b"pw",
+                encryption_format="object-end",
+                cipher_suite="blake2-xts-sim", random_seed=b"runner-seed")
+            runner = WorkloadRunner(small_cluster)
+            spec = WorkloadSpec(rw="write", io_size=BLOCK, queue_depth=16,
+                                io_count=256, batched=batched)
+            return runner.run(image, spec)
+
+        scalar = run(False)
+        batched = run(True)
+        assert batched.counter("rados.transactions") * 4 <= \
+            scalar.counter("rados.transactions")
+        assert batched.counter("engine.batches") > 0
+        assert batched.estimate.bandwidth_mbps > scalar.estimate.bandwidth_mbps
+        # Every request is still counted toward IOPS despite batching, and
+        # latencies stay per-request (amortized over each window) so batched
+        # and unbatched percentiles compare like for like.
+        assert batched.estimate.iops > 0
+        assert len(batched.latencies_us) == 256
+        assert abs(sum(batched.latencies_us)
+                   - batched.estimate.mean_latency_us * 256) < 1e-3 * 256
+
+    def test_batched_randread_matches_plain_results(self, small_cluster):
+        image, _ = api.create_encrypted_image(
+            small_cluster, "rd", 8 * MIB, b"pw",
+            encryption_format="object-end", cipher_suite="blake2-xts-sim",
+            random_seed=b"read-seed")
+        runner = WorkloadRunner(small_cluster)
+        base = WorkloadSpec(rw="randread", io_size=16 * 1024, queue_depth=8,
+                            io_count=64, prefill=True)
+        result = runner.run(image, base)
+        batched = runner.run(image, WorkloadSpec(
+            rw="randread", io_size=16 * 1024, queue_depth=8, io_count=64,
+            batched=True))
+        assert batched.counter("rados.client_read_ops") < \
+            result.counter("rados.client_read_ops")
