@@ -16,6 +16,7 @@ from ..api import create_encrypted_image, make_cluster
 from ..crypto.suite import SIMULATION_SUITE
 from ..errors import ConfigurationError
 from ..sim.costparams import CostParameters, default_cost_parameters
+from ..workload.cluster_runner import ClusterWorkloadRunner
 from ..workload.runner import WorkloadResult, WorkloadRunner, prefill_image
 from ..workload.spec import PAPER_IO_SIZES, WorkloadSpec
 from ..util import KIB, MIB
@@ -49,6 +50,13 @@ class SweepConfig:
     batched: bool = False
     #: cap on blocks one object accumulates per engine window (None = no cap)
     batch_size: Optional[int] = None
+    #: performance model: "analytic" (closed-form fast path) or "events"
+    #: (discrete-event replay — required for contention to be visible);
+    #: ``None`` inherits whatever ``params`` carries (default analytic)
+    sim_mode: Optional[str] = None
+    #: independent client streams per sweep point (one image each, shared
+    #: cluster); >1 runs through the ClusterWorkloadRunner
+    num_clients: int = 1
     params: Optional[CostParameters] = None
 
     def io_count_for(self, io_size: int) -> int:
@@ -68,6 +76,10 @@ class SweepResults:
     def bandwidth(self, layout: str, io_size: int) -> float:
         """Simulated bandwidth (MiB/s) of one point."""
         return self.results[layout][io_size].bandwidth_mbps
+
+    def result(self, layout: str, io_size: int) -> WorkloadResult:
+        """The full measurement of one point (latency percentiles included)."""
+        return self.results[layout][io_size]
 
     def layouts(self) -> List[str]:
         """Layouts present in the results, in configuration order."""
@@ -110,13 +122,23 @@ class LayoutSweep:
     def __init__(self, config: Optional[SweepConfig] = None) -> None:
         self.config = config or SweepConfig()
 
-    def _make_image(self, layout: str, label: str):
+    def _make_cluster(self):
         config = self.config
-        params = (config.params.with_overrides()
-                  if config.params is not None else default_cost_parameters())
-        cluster = make_cluster(osd_count=config.osd_count,
-                               replica_count=config.replica_count,
-                               params=params)
+        base = (config.params if config.params is not None
+                else default_cost_parameters())
+        # with_overrides re-runs validation, so a typo'd sim_mode raises
+        # ConfigurationError here instead of silently running analytic.
+        overrides = ({"sim_mode": config.sim_mode}
+                     if config.sim_mode is not None else {})
+        params = base.with_overrides(**overrides)
+        return make_cluster(osd_count=config.osd_count,
+                            replica_count=config.replica_count,
+                            params=params)
+
+    def _make_image(self, layout: str, label: str, cluster=None):
+        config = self.config
+        if cluster is None:
+            cluster = self._make_cluster()
         image, info = create_encrypted_image(
             cluster, f"bench-{label}", config.image_size,
             passphrase=b"benchmark-passphrase",
@@ -134,7 +156,29 @@ class LayoutSweep:
                             io_count=config.io_count_for(io_size),
                             seed=config.seed, prefill=prefill,
                             batched=config.batched,
-                            batch_size=config.batch_size)
+                            batch_size=config.batch_size,
+                            num_clients=config.num_clients)
+
+    def _run_point(self, kind: str, rw: str, layout: str,
+                   io_size: int) -> WorkloadResult:
+        config = self.config
+        label = f"{kind}-{layout}-{io_size}"
+        spec = self._spec(rw, io_size, prefill=False)
+        if config.num_clients > 1:
+            cluster = self._make_cluster()
+            images = []
+            for client in range(config.num_clients):
+                _cluster, image, _info = self._make_image(
+                    layout, f"{label}-c{client}", cluster=cluster)
+                if kind == "read":
+                    prefill_image(image)
+                images.append(image)
+            return ClusterWorkloadRunner(cluster).run(images, spec,
+                                                      layout_name=layout)
+        cluster, image, _info = self._make_image(layout, label)
+        if kind == "read":
+            prefill_image(image)
+        return WorkloadRunner(cluster).run(image, spec, layout_name=layout)
 
     def run(self, kind: str) -> SweepResults:
         """Run a sweep; ``kind`` is ``"write"`` or ``"read"``."""
@@ -145,13 +189,8 @@ class LayoutSweep:
         for layout in self.config.layouts:
             per_layout: Dict[int, WorkloadResult] = {}
             for io_size in self.config.io_sizes:
-                label = f"{kind}-{layout}-{io_size}"
-                cluster, image, _info = self._make_image(layout, label)
-                runner = WorkloadRunner(cluster)
-                if kind == "read":
-                    prefill_image(image)
-                spec = self._spec(rw, io_size, prefill=False)
-                per_layout[io_size] = runner.run(image, spec, layout_name=layout)
+                per_layout[io_size] = self._run_point(kind, rw, layout,
+                                                      io_size)
             sweep.results[layout] = per_layout
         return sweep
 

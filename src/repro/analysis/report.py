@@ -59,11 +59,41 @@ def format_overhead_table(results: SweepResults,
             f"{ascii_table(headers, rows)}")
 
 
+def format_latency_table(results: SweepResults) -> str:
+    """Latency-percentile table: p50/p95/p99 per IO size and layout.
+
+    Percentiles are per-request completion latencies in microseconds.  On
+    the analytic path they reflect the service-time distribution only; on
+    the event-driven path (``--sim-mode events``) they include queue
+    waiting, which is what makes the tail (p99) grow under contention.
+    """
+    headers = ["IO size", "layout", "p50 us", "p95 us", "p99 us"]
+    rows: List[List[object]] = []
+    mode = "analytic"
+    for io_size in results.io_sizes():
+        for layout in results.layouts():
+            result = results.result(layout, io_size)
+            if not result.latency_percentiles:
+                continue
+            mode = result.estimate.sim_mode
+            rows.append([format_size(io_size), layout,
+                         f"{result.percentile('p50'):.1f}",
+                         f"{result.percentile('p95'):.1f}",
+                         f"{result.percentile('p99'):.1f}"])
+    if not rows:
+        return ""
+    return (f"Per-request completion latency percentiles ({mode} model)\n"
+            f"{ascii_table(headers, rows)}")
+
+
 def to_csv(results: SweepResults) -> str:
-    """CSV form of a sweep (io_size, layout, bandwidth_mbps, iops)."""
-    lines = ["io_size,layout,bandwidth_mbps,iops"]
+    """CSV form of a sweep (bandwidth, IOPS and latency percentiles)."""
+    lines = ["io_size,layout,bandwidth_mbps,iops,p50_us,p95_us,p99_us"]
     for layout in results.layouts():
         for io_size, result in sorted(results.results[layout].items()):
             lines.append(f"{io_size},{layout},{result.bandwidth_mbps:.3f},"
-                         f"{result.iops:.1f}")
+                         f"{result.iops:.1f},"
+                         f"{result.percentile('p50'):.1f},"
+                         f"{result.percentile('p95'):.1f},"
+                         f"{result.percentile('p99'):.1f}")
     return "\n".join(lines)

@@ -21,7 +21,7 @@ from typing import Dict, Optional
 from .trace import IOTrace
 from ..errors import OutOfRangeError
 from ..sim.costparams import CostParameters
-from ..sim.ledger import CostLedger, OpReceipt, RES_OSD_DEVICE
+from ..sim.ledger import CostLedger, RES_OSD_DEVICE
 from ..util import ceil_div
 
 

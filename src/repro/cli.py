@@ -27,9 +27,10 @@ from typing import List, Optional, Sequence
 
 from . import api
 from .analysis.overhead import LayoutSweep, PAPER_LAYOUTS, SweepConfig
-from .analysis.report import (format_bandwidth_table, format_overhead_table,
-                              to_csv)
+from .analysis.report import (format_bandwidth_table, format_latency_table,
+                              format_overhead_table, to_csv)
 from .analysis.sectors import SectorAccessModel, theoretical_overhead_table
+from .sim.costparams import SIM_MODES
 from .util import MIB, format_size, parse_size
 from .workload.spec import PAPER_IO_SIZES
 
@@ -49,6 +50,8 @@ def _parse_layouts(text: Optional[str]) -> Sequence[str]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.batch_size is not None and not args.batched:
         raise SystemExit("--batch-size only takes effect with --batched")
+    if args.num_clients < 1:
+        raise SystemExit("--num-clients must be positive")
     config = SweepConfig(
         io_sizes=_parse_sizes(args.sizes),
         layouts=_parse_layouts(args.layouts),
@@ -60,12 +63,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         journaled=args.journaled,
         batched=args.batched,
         batch_size=args.batch_size,
+        sim_mode=args.sim_mode,
+        num_clients=args.num_clients,
     )
     results = LayoutSweep(config).run(args.kind)
     print(format_bandwidth_table(results))
     print()
     if "luks-baseline" in results.layouts():
         print(format_overhead_table(results))
+    latency_table = format_latency_table(results)
+    if latency_table:
+        print()
+        print(latency_table)
     if args.csv:
         print()
         print(to_csv(results))
@@ -135,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
                        "transaction per object")
     sweep.add_argument("--batch-size", type=int, default=None,
                        help="cap on blocks per object per engine window")
+    sweep.add_argument("--sim-mode", choices=SIM_MODES, default="analytic",
+                       help="performance model: 'analytic' is the closed-"
+                       "form two-bound fast path; 'events' replays the run "
+                       "through the discrete-event engine (per-OSD FIFO "
+                       "queues, replication fan-out, real queue waiting)")
+    sweep.add_argument("--num-clients", type=int, default=1,
+                       help="independent client streams per point, all "
+                       "contending for one cluster (contention needs "
+                       "--sim-mode events to be visible)")
     sweep.add_argument("--csv", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -25,7 +25,7 @@ from typing import Optional, Tuple
 
 from ..crypto.drbg import RandomSource, default_random_source
 from ..crypto.gcm import GCM
-from ..crypto.iv import IVPolicy, Plain64IV, RandomIV, make_iv_policy
+from ..crypto.iv import IVPolicy, make_iv_policy
 from ..crypto.kdf import derive_subkey
 from ..crypto.mac import SectorMac
 from ..crypto.suite import get_suite

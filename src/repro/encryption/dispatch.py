@@ -85,6 +85,9 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         if writing and self._codec.metadata_size:
             cost += params.iv_generation_cost_us * block_count
         self._ledger.busy(RES_CLIENT_CPU, cost)
+        # Route the same microseconds into the event-engine trace so the
+        # replay's client CPU queue sees crypto demand too.
+        self._ledger.attribute_client_cpu(cost)
         self._ledger.count("crypto.blocks", block_count)
         return cost
 

@@ -27,7 +27,7 @@ from typing import Optional
 
 from .codecs import SectorCodec, make_codec
 from .dispatch import CryptoObjectDispatcher, JournaledCryptoObjectDispatcher
-from .layouts import BaselineLayout, MetadataLayout, make_layout
+from .layouts import MetadataLayout, make_layout
 from .luks import DEFAULT_ITERATIONS, LuksHeader
 from ..crypto.drbg import RandomSource, default_random_source
 from ..crypto.suite import DEFAULT_SUITE

@@ -101,6 +101,11 @@ class Completion:
     kind: str               #: "write-batch", "read-batch" or "aggregate"
     receipt: OpReceipt
     requests: int           #: client requests completed by this operation
+    #: RADOS op traces of this operation (populated only while the
+    #: ledger's event-engine tracing is enabled); carried on the
+    #: completion so multi-window polls attribute each window's traces to
+    #: the right client-visible operation.
+    traces: List = field(default_factory=list)
 
 
 @dataclass
@@ -182,7 +187,8 @@ class IoPipeline:
             first.receipt.extend(second.receipt)
             completions[0:2] = [Completion(
                 kind="aggregate", receipt=first.receipt,
-                requests=first.requests + second.requests)]
+                requests=first.requests + second.requests,
+                traces=first.traces + second.traces)]
 
     def _over_capacity(self, touched: Dict[int, Set[int]]) -> bool:
         """Would admitting ``touched`` push an object past ``batch_size``?"""
@@ -254,7 +260,8 @@ class IoPipeline:
         pieces, receipt = self._image.read_extents(extents)
         self.stats.read_requests += len(extents)
         self._push_completion(Completion(kind="read-batch", receipt=receipt,
-                                         requests=len(extents)))
+                                         requests=len(extents),
+                                         traces=self._ledger.take_open_traces()))
         return pieces
 
     def flush(self) -> None:
@@ -276,7 +283,8 @@ class IoPipeline:
         self.stats.write_requests += len(extents)
         self.stats.windows += 1
         self._push_completion(Completion(kind="write-batch", receipt=receipt,
-                                         requests=len(extents)))
+                                         requests=len(extents),
+                                         traces=self._ledger.take_open_traces()))
 
     def poll(self) -> List[Completion]:
         """Drain the completion queue (flushed windows and finished reads)."""

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from .cluster import Cluster, Pool
 from .transaction import OpResult, ReadOperation, WriteTransaction
 from ..errors import ObjectNotFoundError
-from ..sim.ledger import (OpReceipt, RES_CLIENT_CPU, RES_CLIENT_NET,
+from ..sim.ledger import (OpReceipt, OpTrace, RES_CLIENT_CPU, RES_CLIENT_NET,
                           RES_CLUSTER_NET)
 
 
@@ -117,7 +117,10 @@ class IoCtx:
         return self._cluster.placement.osds_for_object(
             self._pool.name, name, self._pool.replica_count)
 
-    def _charge_client(self, payload_bytes: int, response_bytes: int = 0) -> float:
+    def _charge_client(self, payload_bytes: int,
+                       response_bytes: int = 0) -> Tuple[float, float]:
+        """Charge client-side costs; returns (cpu µs, NIC µs) separately so
+        the event engine can queue them on distinct client resources."""
         params = self._cluster.params
         ledger = self._cluster.ledger
         cpu = (params.client_op_cost_us
@@ -126,7 +129,7 @@ class IoCtx:
         ledger.busy(RES_CLIENT_CPU, cpu)
         ledger.busy(RES_CLIENT_NET, net)
         ledger.count("net.client_bytes", payload_bytes + response_bytes)
-        return cpu + net
+        return cpu, net
 
     # -- write path -------------------------------------------------------------------
 
@@ -138,7 +141,8 @@ class IoCtx:
         payload = txn.payload_bytes()
         osd_ids = self._osds_for(name)
 
-        client_us = self._charge_client(payload)
+        client_cpu_us, client_net_us = self._charge_client(payload)
+        client_us = client_cpu_us + client_net_us
         snap_seq = self._snap_context.seq
         snap_ids = self._snap_context.snaps
 
@@ -159,6 +163,20 @@ class IoCtx:
         osd_side = max([primary_latency] + replica_latencies)
         latency = client_us + params.network_round_trip_us + osd_side
         ledger.count("rados.client_write_ops")
+        if ledger.trace_ops:
+            # The OSD layer recorded one visit per replica in dispatch
+            # order (primary first); annotate the replicas with their
+            # replication-network demands for the event engine.
+            visits = ledger.take_osd_visits()
+            push_us = params.cluster_transfer_us(payload)
+            for visit in visits[1:]:
+                visit.hop_us = params.replication_hop_us
+                visit.push_us = push_us
+            ledger.record_op_trace(OpTrace(
+                kind="write", client_cpu_us=client_cpu_us,
+                client_net_us=client_net_us,
+                network_us=params.network_round_trip_us,
+                visits=visits, bytes_moved=payload))
         return OpReceipt(latency_us=latency, bytes_moved=payload)
 
     def remove_object(self, name: str) -> OpReceipt:
@@ -181,9 +199,17 @@ class IoCtx:
         for result in results:
             response_bytes += len(result.data)
             response_bytes += sum(len(k) + len(v) for k, v in result.kv.items())
-        client_us = self._charge_client(0, response_bytes)
-        latency = client_us + params.network_round_trip_us + osd_latency
+        client_cpu_us, client_net_us = self._charge_client(0, response_bytes)
+        latency = (client_cpu_us + client_net_us
+                   + params.network_round_trip_us + osd_latency)
         ledger.count("rados.client_read_ops")
+        if ledger.trace_ops:
+            ledger.record_op_trace(OpTrace(
+                kind="read", client_cpu_us=client_cpu_us,
+                client_net_us=client_net_us,
+                network_us=params.network_round_trip_us,
+                visits=ledger.take_osd_visits(),
+                bytes_moved=response_bytes))
         receipt = OpReceipt(latency_us=latency, bytes_moved=response_bytes)
         return ReadResult(results=results, receipt=receipt)
 

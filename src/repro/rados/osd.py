@@ -32,7 +32,7 @@ from ..blockdev.device import SimulatedDisk
 from ..errors import ObjectNotFoundError, TransactionError
 from ..kvstore.lsm import LsmStore
 from ..sim.costparams import CostParameters
-from ..sim.ledger import CostLedger, RES_OSD_CPU
+from ..sim.ledger import (CostLedger, OsdVisit, RES_OSD_CPU, RES_OSD_DEVICE)
 from ..util import GIB, round_up
 
 
@@ -79,6 +79,31 @@ class OSD:
     def _charge_cpu(self, microseconds: float) -> None:
         if self.ledger is not None:
             self.ledger.busy(RES_OSD_CPU, microseconds)
+
+    # -- event-engine service-time hooks ---------------------------------------
+
+    def _occupancy_now(self) -> float:
+        """Total OSD-side busy time charged to the shared ledger so far."""
+        if self.ledger is None:
+            return 0.0
+        return (self.ledger.resource(RES_OSD_DEVICE)
+                + self.ledger.resource(RES_OSD_CPU))
+
+    def _record_visit(self, occupancy_before: float, latency_us: float) -> None:
+        """Report this call's service demand to the event-engine trace.
+
+        ``service`` is the occupancy this OSD just charged (CPU busy plus
+        device channel time — what a transaction shard is held for);
+        ``latency_us`` is the critical path until the local ack.  The OSD
+        layer runs single-threaded, so the ledger delta during the call is
+        exactly this OSD's demand.
+        """
+        if self.ledger is None or not self.ledger.trace_ops:
+            return
+        service = self._occupancy_now() - occupancy_before
+        self.ledger.record_osd_visit(OsdVisit(
+            osd_id=self.osd_id, service_us=max(0.0, service),
+            latency_us=latency_us))
 
     def _op_cpu_cost(self, payload_bytes: int, op_count: int = 1) -> float:
         params = self.params
@@ -173,6 +198,7 @@ class OSD:
         if not txn:
             raise TransactionError("empty transaction")
         self._validate(pool, name, txn, object_size_hint)
+        occupancy_before = self._occupancy_now()
 
         creates = any(isinstance(op, (OpCreate, OpWrite, OpWriteFull,
                                       OpSetXattr, OpOmapSetKeys, OpTruncate,
@@ -199,6 +225,7 @@ class OSD:
             if txn.client_extents is not None and txn.client_extents > 1:
                 self.ledger.count("rados.multi_extent_transactions")
                 self.ledger.count("rados.batched_extents", txn.client_extents)
+        self._record_visit(occupancy_before, latency)
         return latency
 
     def _validate(self, pool: str, name: str, txn: WriteTransaction,
@@ -270,6 +297,7 @@ class OSD:
             raise ObjectNotFoundError(
                 f"object {pool}/{name} not found on osd.{self.osd_id}")
         clone = obj.clone_for_snap(snap_id) if snap_id is not None else None
+        occupancy_before = self._occupancy_now()
 
         results: List[OpResult] = []
         latencies: List[float] = []
@@ -287,6 +315,7 @@ class OSD:
             self.ledger.count("rados.read_ops", len(readop.ops))
         # Reads inside one operation proceed in parallel on the backend.
         latency = cpu + (max(latencies) if latencies else 0.0)
+        self._record_visit(occupancy_before, latency)
         return results, latency
 
     def _execute_read_op(self, obj: RadosObject, clone: Optional[CloneInfo],

@@ -21,7 +21,7 @@ from .dispatcher import ObjectDispatcher, RawObjectDispatcher
 from .striping import header_object_name, map_extent
 from ..errors import ImageExistsError, ImageNotFoundError, RbdError, SnapshotError
 from ..rados.client import IoCtx, SnapContext
-from ..rados.transaction import ReadOperation, WriteTransaction
+from ..rados.transaction import WriteTransaction
 from ..sim.ledger import OpReceipt
 from ..util import MIB
 

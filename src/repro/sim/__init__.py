@@ -13,11 +13,16 @@ comparisons.
 """
 
 from .clock import SimClock
-from .costparams import CostParameters
-from .ledger import CostLedger, OpReceipt
+from .costparams import CostParameters, SIM_MODES
+from .events import EventLoop
+from .ledger import ClientOpTrace, CostLedger, OpReceipt, OpTrace, OsdVisit
 from .perfmodel import PerformanceModel, PerformanceEstimate
+from .scheduler import (ClusterScheduler, EventSimResult, ServiceQueue,
+                        simulate_client_ops)
 
 __all__ = [
-    "SimClock", "CostParameters", "CostLedger", "OpReceipt",
+    "SimClock", "CostParameters", "SIM_MODES", "CostLedger", "OpReceipt",
+    "OpTrace", "OsdVisit", "ClientOpTrace", "EventLoop", "ServiceQueue",
+    "ClusterScheduler", "EventSimResult", "simulate_client_ops",
     "PerformanceModel", "PerformanceEstimate",
 ]

@@ -29,6 +29,10 @@ from typing import Dict
 
 from ..errors import ConfigurationError
 
+#: valid values of :attr:`CostParameters.sim_mode` (and the CLI's
+#: ``--sim-mode`` flag).
+SIM_MODES = ("analytic", "events")
+
 
 @dataclass
 class CostParameters:
@@ -80,6 +84,12 @@ class CostParameters:
     osd_count: int = 3
     replica_count: int = 3
 
+    #: which performance model converts recorded work into elapsed time:
+    #: "analytic" (closed-form two-bound fast path) or "events" (discrete-
+    #: event replay through per-OSD FIFO queues — the accurate path, and
+    #: the only one that can express multi-client contention).
+    sim_mode: str = "analytic"
+
     #: free-form labels describing the calibration, carried into reports
     notes: Dict[str, str] = field(default_factory=dict)
 
@@ -95,6 +105,9 @@ class CostParameters:
             raise ConfigurationError("osd_shards must be positive")
         if self.wal_group_commit <= 0:
             raise ConfigurationError("wal_group_commit must be positive")
+        if self.sim_mode not in SIM_MODES:
+            raise ConfigurationError(
+                f"sim_mode must be one of {SIM_MODES}, got {self.sim_mode!r}")
         for name in ("device_read_bandwidth_mbps", "device_write_bandwidth_mbps",
                      "client_bandwidth_mbps", "cluster_bandwidth_mbps"):
             if getattr(self, name) <= 0:

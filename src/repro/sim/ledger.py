@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Tuple
 
 
 # Resource names used across the stack.
@@ -51,6 +51,71 @@ class OpReceipt:
         self.bytes_moved += other.bytes_moved
 
 
+@dataclass
+class OsdVisit:
+    """One RADOS operation's stop at one OSD, as seen by the event engine.
+
+    ``service_us`` is the *occupancy* the visit demands of the OSD's shard
+    servers (CPU busy time plus device channel occupancy — the quantity
+    that limits throughput), while ``latency_us`` is the critical-path time
+    until the OSD acknowledges (device latencies included).  ``hop_us`` and
+    ``push_us`` are only non-zero for replica visits: the primary→replica
+    network latency and the backend-network transfer occupancy of the
+    replication push.
+    """
+
+    osd_id: int
+    service_us: float
+    latency_us: float
+    hop_us: float = 0.0
+    push_us: float = 0.0
+
+
+@dataclass
+class OpTrace:
+    """One RADOS-level operation (a write transaction or read op).
+
+    Recorded by :class:`~repro.rados.client.IoCtx` while
+    :attr:`CostLedger.trace_ops` is enabled; replayed by
+    :mod:`repro.sim.scheduler`.  The first entry of ``visits`` is the
+    primary; the rest are replicas (writes only).
+    """
+
+    kind: str                      #: "write" or "read"
+    client_cpu_us: float           #: client dispatch CPU service time
+    client_net_us: float           #: client NIC transfer service time
+    network_us: float              #: request/response round-trip latency
+    visits: List[OsdVisit] = field(default_factory=list)
+    bytes_moved: int = 0
+
+    @property
+    def primary(self) -> OsdVisit:
+        """The primary OSD's visit (first in dispatch order)."""
+        return self.visits[0]
+
+    @property
+    def replicas(self) -> Tuple[OsdVisit, ...]:
+        """Replica visits (empty for reads)."""
+        return tuple(self.visits[1:])
+
+
+@dataclass
+class ClientOpTrace:
+    """One client-visible operation: the RADOS ops it decomposed into.
+
+    A scalar aligned write is one trace; an unaligned write is a
+    read-modify-write chain of two; a flushed engine window covering
+    ``requests`` client requests is however many per-object transactions
+    the flush produced.  The event engine executes the traces of one
+    client op as a serial chain (matching the serial receipt composition
+    of the RMW turn) and amortizes the chain's latency over ``requests``.
+    """
+
+    client: int = 0                #: index of the issuing client stream
+    requests: int = 1              #: client requests this op completes
+    traces: List[OpTrace] = field(default_factory=list)
+
+
 class CostLedger:
     """Accumulates counters and per-resource busy time."""
 
@@ -59,6 +124,17 @@ class CostLedger:
         self.resource_us: Dict[str, float] = defaultdict(float)
         self.latency_sum_us: float = 0.0
         self.op_count: int = 0
+        #: when True, the RADOS layer records an :class:`OpTrace` per
+        #: operation for the event-driven engine (off by default: traces
+        #: cost memory and only the event path reads them).
+        self.trace_ops: bool = False
+        #: client stream the next sealed op belongs to (multi-client runs).
+        self.trace_client: int = 0
+        #: sealed client-visible operations, in completion order.
+        self.client_ops: List[ClientOpTrace] = []
+        self._open_visits: List[OsdVisit] = []
+        self._open_traces: List[OpTrace] = []
+        self._pending_client_cpu_us: float = 0.0
 
     # -- recording ------------------------------------------------------------
 
@@ -85,6 +161,106 @@ class CostLedger:
             raise ValueError("ops must be positive")
         self.latency_sum_us += receipt.latency_us
         self.op_count += ops
+        if self.trace_ops:
+            # Seal even when no RADOS op was recorded (e.g. a sparse read
+            # that never reached an OSD): the event replay must still count
+            # the request, as a zero-cost operation, to keep request totals
+            # and closed-loop pacing consistent with the analytic path.
+            self.client_ops.append(ClientOpTrace(
+                client=self.trace_client, requests=ops,
+                traces=self._open_traces))
+            self._open_traces = []
+
+    # -- event-engine trace capture --------------------------------------------
+
+    def record_osd_visit(self, visit: OsdVisit) -> None:
+        """Attach one OSD's service/latency record to the op being traced.
+
+        Called by the OSD layer (:mod:`repro.rados.osd`) while a
+        transaction or read executes; the client layer drains the visits
+        into the finished :class:`OpTrace`.  No-op unless tracing is on.
+        """
+        if self.trace_ops:
+            self._open_visits.append(visit)
+
+    def take_osd_visits(self) -> List[OsdVisit]:
+        """Drain the visits recorded since the last RADOS op completed."""
+        visits = self._open_visits
+        self._open_visits = []
+        return visits
+
+    def record_op_trace(self, trace: OpTrace) -> None:
+        """Queue a finished RADOS op trace for the next :meth:`finish_op`."""
+        if self.trace_ops:
+            # Client CPU charged before the RADOS call (encrypt-before-
+            # write) was parked in the pending bucket; it belongs to this
+            # op's dispatch work.
+            trace.client_cpu_us += self._pending_client_cpu_us
+            self._pending_client_cpu_us = 0.0
+            self._open_traces.append(trace)
+
+    def attribute_client_cpu(self, microseconds: float) -> None:
+        """Fold client CPU charged outside the RADOS client into a trace.
+
+        The crypto dispatcher charges ``client.cpu`` busy time around its
+        RADOS calls (encrypt before a write, decrypt after a read); the
+        event replay must see that demand on the client CPU queue or
+        encrypted workloads under-model the client.  Decrypt-after-read
+        lands on the just-recorded trace; encrypt-before-write waits for
+        the next one.
+        """
+        if not self.trace_ops:
+            return
+        if self._open_traces:
+            self._open_traces[-1].client_cpu_us += microseconds
+        else:
+            self._pending_client_cpu_us += microseconds
+
+    def take_open_traces(self) -> List[OpTrace]:
+        """Claim the RADOS op traces recorded since the last seal.
+
+        The batched engine uses this to attach a flushed window's traces
+        to its :class:`~repro.engine.pipeline.Completion` directly — a
+        window's flush and its completion are collected at different
+        times, so waiting for :meth:`finish_op` to seal would let another
+        window's traces blend in.
+        """
+        traces = self._open_traces
+        self._open_traces = []
+        return traces
+
+    def restore_op_traces(self, traces: List[OpTrace]) -> None:
+        """Put previously-claimed traces back so the next seal carries them.
+
+        Used when completing a batched-engine window: the pipeline claimed
+        the window's traces at flush time (:meth:`take_open_traces`); the
+        runner restores them just before :meth:`finish_op` so every
+        client-visible operation is sealed through the same path.
+        """
+        if self.trace_ops and traces:
+            self._open_traces.extend(traces)
+
+    def discard_open_traces(self) -> None:
+        """Drop unsealed traces/visits (cleanup after an aborted run).
+
+        An op that fails partway — an RMW read that completed before its
+        write raised, a primary visit recorded before a replica rejected
+        the transaction — leaves entries in the open buffers; clearing
+        them keeps a later run on the same cluster from adopting them.
+        """
+        self._open_visits = []
+        self._open_traces = []
+        self._pending_client_cpu_us = 0.0
+
+    def pop_client_ops(self, since: int = 0) -> List[ClientOpTrace]:
+        """Claim (and remove) client op traces sealed after index ``since``.
+
+        Removal bounds the ledger's memory across repeated event-mode runs
+        on one cluster.
+        """
+        ops = self.client_ops[since:]
+        del self.client_ops[since:]
+        return ops
 
     def record_batch(self, requests: int, blocks: int) -> None:
         """Record one flushed engine batch of ``requests`` covering ``blocks``.
@@ -127,6 +303,7 @@ class CostLedger:
         clone.resource_us = defaultdict(float, self.resource_us)
         clone.latency_sum_us = self.latency_sum_us
         clone.op_count = self.op_count
+        clone.client_ops = list(self.client_ops)
         return clone
 
     def diff(self, since: "CostLedger") -> "CostLedger":
@@ -153,3 +330,7 @@ class CostLedger:
         self.resource_us.clear()
         self.latency_sum_us = 0.0
         self.op_count = 0
+        self.client_ops = []
+        self._open_visits = []
+        self._open_traces = []
+        self._pending_client_cpu_us = 0.0

@@ -1,7 +1,11 @@
-"""Performance model: ledger + queue depth -> simulated elapsed time.
+"""Performance model: recorded work -> simulated elapsed time.
 
-The model is deliberately simple and transparent (it is documented in
-EXPERIMENTS.md next to every figure it produces):
+The model has two paths, selected by :attr:`CostParameters.sim_mode`
+(``--sim-mode`` on the CLI):
+
+**Analytic (fast path, the default).**  A closed-form two-bound estimate,
+deliberately simple and transparent (it is documented in EXPERIMENTS.md
+next to every figure it produces):
 
 * **Resource bound** — each resource (client NIC, client CPU, backend
   network, aggregate OSD devices, aggregate OSD CPUs) has a total busy time
@@ -15,6 +19,18 @@ EXPERIMENTS.md next to every figure it produces):
 
 Simulated elapsed time is the maximum of the two bounds; throughput is
 bytes moved divided by that time.
+
+**Event-driven (accurate path).**  :meth:`PerformanceModel.estimate_events`
+replays the run's recorded operation traces through the discrete-event
+engine (:mod:`repro.sim.events` / :mod:`repro.sim.scheduler`): per-OSD FIFO
+queues with ``osd_shards`` servers, per-client dispatch/NIC queues, a
+shared backend network, and replication fan-out as chained events.  Queue
+*waiting* — which the analytic bounds cannot express — emerges from the
+replay, which is what makes multiple contending clients, latency
+percentiles and tail behaviour meaningful.  For a single client the two
+paths agree closely (the contention the event engine adds is exactly what
+one closed-loop stream cannot generate); the regression suite holds them
+within 15% on the paper's Fig. 3 workloads.
 
 **Batched runs.**  The I/O engine (:mod:`repro.engine`) converts queue
 depth into batching: a window of up to ``QD`` requests completes as *one*
@@ -31,18 +47,31 @@ much amortization a run actually achieved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 from .costparams import CostParameters
-from .ledger import (CostLedger, RES_CLIENT_CPU, RES_CLIENT_NET,
-                     RES_CLUSTER_NET, RES_OSD_CPU, RES_OSD_DEVICE)
+from .ledger import (ClientOpTrace, CostLedger, RES_CLIENT_CPU,
+                     RES_CLIENT_NET, RES_CLUSTER_NET, RES_OSD_CPU,
+                     RES_OSD_DEVICE)
+from .scheduler import simulate_client_ops
 from ..errors import ConfigurationError
+from ..util import percentile
+
+#: percentiles reported alongside every estimate (keys of
+#: :attr:`PerformanceEstimate.latency_percentiles`).
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_percentiles(latencies_us: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 summary of a per-request latency sample."""
+    return {f"p{pct:g}": percentile(latencies_us, pct)
+            for pct in LATENCY_PERCENTILES}
 
 
 @dataclass(frozen=True)
 class PerformanceEstimate:
-    """Outcome of converting a ledger into time/throughput numbers."""
+    """Outcome of converting recorded work into time/throughput numbers."""
 
     elapsed_us: float
     total_bytes: int
@@ -51,11 +80,27 @@ class PerformanceEstimate:
     mean_latency_us: float
     bounding_resource: str
     resource_us: Dict[str, float]
+    #: which model produced the estimate: "analytic" or "events"
+    sim_mode: str = "analytic"
+    #: per-request completion-latency percentiles (p50/p95/p99, µs); from
+    #: receipt latencies on the analytic path, from simulated completion
+    #: timestamps (queue waiting included) on the event path
+    latency_percentiles: Dict[str, float] = field(default_factory=dict)
+
+    def percentile(self, name: str) -> float:
+        """A latency percentile by key ("p50", "p95", "p99"); 0 if absent."""
+        return self.latency_percentiles.get(name, 0.0)
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (f"{self.bandwidth_mbps:8.1f} MiB/s  {self.iops:9.0f} IOPS  "
-                f"lat {self.mean_latency_us:7.1f} us  bound={self.bounding_resource}")
+        text = (f"{self.bandwidth_mbps:8.1f} MiB/s  {self.iops:9.0f} IOPS  "
+                f"lat {self.mean_latency_us:7.1f} us  "
+                f"bound={self.bounding_resource}")
+        if self.latency_percentiles:
+            text += (f"  p50={self.percentile('p50'):.0f}"
+                     f" p95={self.percentile('p95'):.0f}"
+                     f" p99={self.percentile('p99'):.0f} us")
+        return text
 
 
 class PerformanceModel:
@@ -70,8 +115,16 @@ class PerformanceModel:
         return self._params
 
     def estimate(self, ledger: CostLedger, total_bytes: int,
-                 queue_depth: int) -> PerformanceEstimate:
-        """Estimate elapsed time for the activity recorded in ``ledger``."""
+                 queue_depth: int,
+                 latencies_us: Optional[Sequence[float]] = None,
+                 ) -> PerformanceEstimate:
+        """Analytic fast path: two-bound estimate from the ledger.
+
+        ``latencies_us`` optionally supplies the per-request receipt
+        latencies so the estimate carries p50/p95/p99 percentiles (the
+        analytic model has no queueing, so these reflect the service-time
+        distribution only).
+        """
         if queue_depth <= 0:
             raise ConfigurationError("queue depth must be positive")
         params = self._params
@@ -111,6 +164,45 @@ class PerformanceModel:
             mean_latency_us=ledger.mean_latency_us(),
             bounding_resource=bounding,
             resource_us=dict(effective),
+            sim_mode="analytic",
+            latency_percentiles=(latency_percentiles(latencies_us)
+                                 if latencies_us else {}),
+        )
+
+    def estimate_events(self, streams: Sequence[Sequence[ClientOpTrace]],
+                        total_bytes: int,
+                        queue_depth: int) -> PerformanceEstimate:
+        """Accurate path: replay recorded op traces through the event engine.
+
+        ``streams`` holds one trace list per client; every client keeps
+        ``queue_depth`` operations in flight against the shared cluster.
+        Elapsed time is the completion timestamp of the last operation;
+        percentiles come from simulated per-request completion latencies,
+        queue waiting included.
+        """
+        result = simulate_client_ops(self._params, streams, queue_depth)
+        return self.estimate_from_events(result, total_bytes)
+
+    def estimate_from_events(self, result, total_bytes: int,
+                             ) -> PerformanceEstimate:
+        """Convert a finished event replay (:class:`EventSimResult`) into an
+        estimate — split out so callers that also need the replay's raw
+        latency samples run the simulation once."""
+        elapsed = max(result.elapsed_us, 1e-6)
+        bandwidth = total_bytes / (1024 * 1024) / (elapsed / 1e6)
+        iops = result.requests / (elapsed / 1e6) if result.requests else 0.0
+        latencies = result.request_latencies_us
+        mean_latency = (sum(latencies) / len(latencies)) if latencies else 0.0
+        return PerformanceEstimate(
+            elapsed_us=elapsed,
+            total_bytes=total_bytes,
+            bandwidth_mbps=bandwidth,
+            iops=iops,
+            mean_latency_us=mean_latency,
+            bounding_resource=result.bounding_resource,
+            resource_us=dict(result.resource_us),
+            sim_mode="events",
+            latency_percentiles=latency_percentiles(latencies),
         )
 
 

@@ -6,11 +6,27 @@ crypto, storage and workload subsystems.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+import math
+from typing import Iterator, List, Sequence, Tuple
 
 KIB = 1024
 MIB = 1024 * KIB
 GIB = 1024 * MIB
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (``pct`` in [0, 100]; 0.0 for an empty sample).
+
+    The single shared implementation behind both the workload statistics
+    helpers and the performance model's latency percentiles.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:

@@ -12,10 +12,12 @@ model.
 from .spec import IORequest, WorkloadSpec, PAPER_IO_SIZES
 from .generator import generate_requests
 from .runner import WorkloadResult, WorkloadRunner, prefill_image
+from .cluster_runner import ClusterWorkloadResult, ClusterWorkloadRunner
 from .stats import mean, percentile, summarize_latencies
 
 __all__ = [
     "IORequest", "WorkloadSpec", "PAPER_IO_SIZES", "generate_requests",
-    "WorkloadResult", "WorkloadRunner", "prefill_image", "mean", "percentile",
+    "WorkloadResult", "WorkloadRunner", "prefill_image",
+    "ClusterWorkloadResult", "ClusterWorkloadRunner", "mean", "percentile",
     "summarize_latencies",
 ]

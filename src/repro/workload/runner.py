@@ -21,6 +21,7 @@ from ..rados.cluster import Cluster
 from ..rbd.image import Image
 from ..sim.ledger import CostLedger
 from ..sim.perfmodel import PerformanceEstimate, PerformanceModel
+from ..sim.scheduler import simulate_client_ops
 from ..util import MIB
 
 
@@ -60,6 +61,15 @@ class WorkloadResult:
         """Simulated IO operations per second."""
         return self.estimate.iops
 
+    @property
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 per-request completion latency (µs)."""
+        return self.estimate.latency_percentiles
+
+    def percentile(self, name: str) -> float:
+        """One latency percentile by key ("p50", "p95", "p99")."""
+        return self.estimate.percentile(name)
+
     def counter(self, name: str) -> float:
         """A ledger counter measured during the run (0 if absent)."""
         return self.counters.get(name, 0.0)
@@ -68,6 +78,44 @@ class WorkloadResult:
         """One-line summary used by the benchmark output."""
         return (f"{self.layout:14s} {self.spec.rw:9s} bs={self.spec.io_size:>8d} "
                 f"{self.bandwidth_mbps:9.1f} MiB/s  {self.iops:9.0f} IOPS")
+
+
+class BatchedStreamIssuer:
+    """The shared per-request issue policy for pipeline-driven streams.
+
+    Writes flush any pending reads first (the pipeline's read barrier
+    would do it anyway, but batching the reads beforehand keeps read
+    windows intact); reads collect into windows of ``queue_depth`` and
+    travel as one vectored read.  Used by both the single-client runner
+    and the multi-client ClusterWorkloadRunner so the two cannot drift.
+    """
+
+    def __init__(self, pipeline: IoPipeline, spec: WorkloadSpec) -> None:
+        self.pipeline = pipeline
+        self._spec = spec
+        self._pending_reads: List = []
+
+    def issue(self, request, write_buffer: bytes) -> None:
+        """Feed one request to the pipeline under the issue policy."""
+        if request.op == "write":
+            self.flush_reads()
+            self.pipeline.write(request.offset,
+                                write_buffer[:request.length])
+        else:
+            self._pending_reads.append((request.offset, request.length))
+            if len(self._pending_reads) >= self._spec.queue_depth:
+                self.flush_reads()
+
+    def flush_reads(self) -> None:
+        """Issue the collected read window (no-op when empty)."""
+        if self._pending_reads:
+            self.pipeline.read_extents(self._pending_reads)
+            self._pending_reads = []
+
+    def drain(self):
+        """Flush reads and writes; returns the final completions."""
+        self.flush_reads()
+        return self.pipeline.drain()
 
 
 class WorkloadRunner:
@@ -82,6 +130,11 @@ class WorkloadRunner:
         """The cluster whose ledger and parameters the runner uses."""
         return self._cluster
 
+    @property
+    def sim_mode(self) -> str:
+        """Which performance model converts the run into elapsed time."""
+        return getattr(self._cluster.params, "sim_mode", "analytic")
+
     def run(self, image: Image, spec: WorkloadSpec,
             layout_name: Optional[str] = None) -> WorkloadResult:
         """Execute ``spec`` against ``image`` and return the measurements."""
@@ -93,28 +146,47 @@ class WorkloadRunner:
         write_buffer = os.urandom(spec.io_size)
         latencies: List[float] = []
         total_bytes = 0
-
-        if spec.batched:
-            total_bytes = self._run_batched(image, spec, write_buffer,
-                                            latencies)
-        else:
-            for request in generate_requests(spec, image.size):
-                if request.op == "write":
-                    receipt = image.write(request.offset,
-                                          write_buffer[:request.length])
-                else:
-                    receipt = image.read_with_receipt(request.offset,
-                                                      request.length).receipt
-                ledger.finish_op(receipt)
-                latencies.append(receipt.latency_us)
-                total_bytes += request.length
+        events = self.sim_mode == "events"
+        traces_before = len(ledger.client_ops)
+        if events:
+            ledger.trace_ops = True
+        try:
+            if spec.batched:
+                total_bytes = self._run_batched(image, spec, write_buffer,
+                                                latencies)
+            else:
+                for request in generate_requests(spec, image.size):
+                    if request.op == "write":
+                        receipt = image.write(request.offset,
+                                              write_buffer[:request.length])
+                    else:
+                        receipt = image.read_with_receipt(
+                            request.offset, request.length).receipt
+                    ledger.finish_op(receipt)
+                    latencies.append(receipt.latency_us)
+                    total_bytes += request.length
+        finally:
+            if events:
+                ledger.trace_ops = False
+                ledger.discard_open_traces()
 
         delta = ledger.diff(before)
         # Batched windows are issued serially (the window *is* the queue
         # depth), so the Little's-law bound runs at depth 1; unbatched runs
         # keep spec.queue_depth operations in flight.
         model_depth = 1 if spec.batched else spec.queue_depth
-        estimate = self._model.estimate(delta, total_bytes, model_depth)
+        if events:
+            stream = ledger.pop_client_ops(traces_before)
+            sim = simulate_client_ops(self._cluster.params, [stream],
+                                      model_depth)
+            estimate = self._model.estimate_from_events(sim, total_bytes)
+            # Report the simulated completion latencies (queue waiting
+            # included) so latencies_us agrees with the percentiles the
+            # estimate carries, instead of the queueing-free receipts.
+            latencies = list(sim.request_latencies_us)
+        else:
+            estimate = self._model.estimate(delta, total_bytes, model_depth,
+                                            latencies_us=latencies)
         layout = layout_name or self._layout_of(image)
         return WorkloadResult(spec=spec, layout=layout, estimate=estimate,
                               counters=dict(delta.counters),
@@ -126,33 +198,21 @@ class WorkloadRunner:
 
         Writes accumulate in the pipeline's window; consecutive reads are
         collected into a window of the same depth and issued as one
-        vectored read.  Each completed window is one client-visible
-        operation covering all its requests.
+        vectored read (:class:`BatchedStreamIssuer`).  Each completed
+        window is one client-visible operation covering all its requests.
         """
         ledger = self._cluster.ledger
         pipeline = IoPipeline(image, EngineConfig(
             queue_depth=spec.queue_depth, batch_size=spec.batch_size))
-        pending_reads: List = []
+        issuer = BatchedStreamIssuer(pipeline, spec)
         total_bytes = 0
-
-        def flush_reads() -> None:
-            if pending_reads:
-                pipeline.read_extents(pending_reads)
-                pending_reads.clear()
 
         for request in generate_requests(spec, image.size):
             total_bytes += request.length
-            if request.op == "write":
-                flush_reads()
-                pipeline.write(request.offset, write_buffer[:request.length])
-            else:
-                pending_reads.append((request.offset, request.length))
-                if len(pending_reads) >= spec.queue_depth:
-                    flush_reads()
+            issuer.issue(request, write_buffer)
             for completion in pipeline.poll():
                 self._finish_completion(ledger, completion, latencies)
-        flush_reads()
-        for completion in pipeline.drain():
+        for completion in issuer.drain():
             self._finish_completion(ledger, completion, latencies)
         return total_bytes
 
@@ -161,7 +221,14 @@ class WorkloadRunner:
                            latencies: List[float]) -> None:
         """Record a finished window: the batch latency is amortized over its
         requests so ``latencies_us`` stays per-request (comparable with
-        unbatched runs and with the ledger's own mean)."""
+        unbatched runs and with the ledger's own mean).
+
+        Shared by the single- and multi-client runners.  The pipeline
+        claimed each window's event-engine traces at flush time (several
+        windows can complete before one poll); restoring them right before
+        ``finish_op`` seals them under this completion.
+        """
+        ledger.restore_op_traces(completion.traces)
         ledger.finish_op(completion.receipt, ops=completion.requests)
         per_request = completion.receipt.latency_us / completion.requests
         latencies.extend([per_request] * completion.requests)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..errors import WorkloadError
@@ -48,6 +48,11 @@ class WorkloadSpec:
     batched: bool = False
     #: cap on blocks one object accumulates per engine window (None = no cap)
     batch_size: Optional[int] = None
+    #: how many independent client streams issue this job concurrently
+    #: against one shared cluster (each stream keeps ``queue_depth`` ops in
+    #: flight; >1 requires the ClusterWorkloadRunner and the event-driven
+    #: sim mode to mean anything — the analytic model cannot see contention)
+    num_clients: int = 1
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -68,6 +73,8 @@ class WorkloadSpec:
             raise WorkloadError("batch_size must be positive")
         if self.batch_size is not None and not self.batched:
             raise WorkloadError("batch_size only takes effect with batched=True")
+        if self.num_clients <= 0:
+            raise WorkloadError("num_clients must be positive")
 
     @property
     def is_random(self) -> bool:
@@ -83,8 +90,19 @@ class WorkloadSpec:
             return max(1, self.io_count)
         return max(1, int(self.total_bytes) // self.io_size)
 
+    def for_client(self, client: int) -> "WorkloadSpec":
+        """The per-stream job one client of a multi-client run issues.
+
+        Streams are independent (fio's ``numjobs``): same shape, a
+        distinct deterministic seed so the clients do not replay identical
+        offsets in lockstep.
+        """
+        return replace(self, name=f"{self.name}.c{client}",
+                       seed=self.seed + 7919 * client, num_clients=1)
+
     def describe(self) -> str:
         """Short fio-style description."""
         engine = " engine=batched" if self.batched else ""
+        clients = f" clients={self.num_clients}" if self.num_clients > 1 else ""
         return (f"{self.name}: rw={self.rw} bs={self.io_size} "
-                f"qd={self.queue_depth} seed={self.seed}{engine}")
+                f"qd={self.queue_depth} seed={self.seed}{engine}{clients}")

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Sequence
+
+from ..util import percentile
+
+__all__ = ["mean", "percentile", "summarize_latencies",
+           "coefficient_of_variation", "relative_change"]
 
 
 def mean(values: Sequence[float]) -> float:
@@ -12,17 +16,6 @@ def mean(values: Sequence[float]) -> float:
     if not values:
         return 0.0
     return sum(values) / len(values)
-
-
-def percentile(values: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile (``pct`` in [0, 100])."""
-    values = sorted(values)
-    if not values:
-        return 0.0
-    if not 0.0 <= pct <= 100.0:
-        raise ValueError("percentile must be within [0, 100]")
-    rank = max(1, math.ceil(pct / 100.0 * len(values)))
-    return values[min(rank, len(values)) - 1]
 
 
 def summarize_latencies(latencies_us: Sequence[float]) -> Dict[str, float]:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.overhead import (LayoutSweep, SweepConfig, SweepResults,
+from repro.analysis.overhead import (LayoutSweep, SweepConfig,
                                      overhead_percent, quick_sweep_config,
                                      PAPER_LAYOUTS)
 from repro.analysis.report import (ascii_table, format_bandwidth_table,
@@ -122,7 +122,7 @@ class TestSweepAndReports:
     def test_csv_rendering(self, small_sweep):
         csv = to_csv(small_sweep)
         lines = csv.splitlines()
-        assert lines[0] == "io_size,layout,bandwidth_mbps,iops"
+        assert lines[0] == "io_size,layout,bandwidth_mbps,iops,p50_us,p95_us,p99_us"
         assert len(lines) == 1 + 2
 
     def test_ascii_table_alignment(self):

@@ -35,7 +35,59 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Fig. 3b" in out
         assert "object-end" in out
-        assert "io_size,layout,bandwidth_mbps,iops" in out
+        assert "io_size,layout,bandwidth_mbps,iops,p50_us,p95_us,p99_us" in out
+        assert "latency percentiles (analytic model)" in out
+
+    def test_sweep_sim_mode_events(self, capsys):
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "16M",
+                     "--bytes-per-point", "512K", "--sim-mode", "events",
+                     "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "latency percentiles (events model)" in out
+        # percentile columns are populated (non-zero) in the CSV
+        data_line = [line for line in out.splitlines()
+                     if line.startswith("16384,object-end")][0]
+        p50, p95, p99 = (float(v) for v in data_line.split(",")[-3:])
+        assert 0 < p50 <= p95 <= p99
+
+    def test_sweep_sim_mode_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--sim-mode", "bogus"])
+
+    def test_sweep_num_clients_events(self, capsys):
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "16M",
+                     "--bytes-per-point", "256K", "--queue-depth", "4",
+                     "--sim-mode", "events", "--num-clients", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3b" in out
+        assert "p99 us" in out
+
+    def test_sweep_num_clients_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sizes", "16K", "--num-clients", "0"])
+
+    def test_sweep_batched_with_batch_size(self, capsys):
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "16M",
+                     "--bytes-per-point", "512K", "--batched",
+                     "--batch-size", "8", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "object-end" in out
+        assert "16384,object-end" in out
+
+    def test_sweep_batch_size_requires_batched(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sizes", "16K", "--batch-size", "8"])
+
+    def test_sweep_batched_events_combination(self, capsys):
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "16M",
+                     "--bytes-per-point", "256K", "--batched",
+                     "--sim-mode", "events"]) == 0
+        out = capsys.readouterr().out
+        assert "latency percentiles (events model)" in out
 
 
 class TestApiHelpers:
