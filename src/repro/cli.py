@@ -17,6 +17,10 @@ Subcommands
 ``demo``
     A tiny end-to-end demonstration (create an encrypted image, write, read,
     snapshot) printing the cluster's cost-ledger highlights.
+
+The global ``--profile`` flag (before the subcommand) runs any of the above
+under :mod:`cProfile` and prints the top-20 cumulative-time functions, so
+performance work starts from measured hot spots rather than guesses.
 """
 
 from __future__ import annotations
@@ -124,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Reproduction of 'Rethinking Block Storage "
         "Encryption with Virtual Disks' (HotStorage'22)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the command under cProfile and print the "
+                        "top-20 cumulative-time functions (place before the "
+                        "subcommand, e.g. 'repro --profile sweep ...')")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep = sub.add_parser("sweep", help="run the Fig.3/Fig.4 layout comparison")
@@ -170,10 +178,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_profiled(args: argparse.Namespace) -> int:
+    """Run the selected subcommand under cProfile and print a hot-spot
+    summary (top-20 by cumulative time) so perf work starts from data."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    exit_code = profiler.runcall(args.func, args)
+    print()
+    print("profile (top 20 by cumulative time):")
+    pstats.Stats(profiler, stream=sys.stdout) \
+        .strip_dirs().sort_stats("cumulative").print_stats(20)
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.profile:
+        return _run_profiled(args)
     return args.func(args)
 
 

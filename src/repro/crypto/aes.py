@@ -7,18 +7,37 @@ uses the inverse S-box together with precomputed GF(2^8) multiplication
 tables for InvMixColumns.  Correctness is pinned to the FIPS-197 appendix
 vectors in ``tests/crypto/test_aes.py``.
 
-The implementation favours clarity over raw speed: it processes one
-16-byte block per call.  Bulk simulation workloads should use
-:mod:`repro.crypto.fastcipher` instead (see DESIGN.md §2).
+Two paths coexist:
+
+* the **scalar path** (``encrypt_block``/``decrypt_block``) processes one
+  16-byte block per call and favours clarity — it is the reference the
+  batched path is tested against, and
+* the **batched path** (``encrypt_blocks``/``decrypt_blocks``) processes a
+  whole sector (or batch window) of blocks per call by expressing every
+  AES round as a handful of C-level bulk primitives over the entire batch:
+  SubBytes is one :meth:`bytes.translate`, ShiftRows and the MixColumns
+  byte rotations are strided-slice moves, and AddRoundKey/MixColumns XOR
+  folding runs on arbitrary-precision integers covering the whole batch.
+  The per-round work no longer scales with Python bytecode per block,
+  which is what closes most of the gap to :mod:`repro.crypto.fastcipher`
+  for real-cipher experiments (see README "Performance notes").
+
+Both paths are bit-identical; ``tests/crypto/test_batched_kernels.py``
+pins the equivalence on the FIPS-197 vectors and randomized sectors.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from ..errors import DataSizeError, KeySizeError
+from ..util import bounded_cache_get
 
 BLOCK_SIZE = 16
+
+#: below this many blocks the scalar loop beats the batched kernel's fixed
+#: per-call cost (measured crossover is ~7 blocks on CPython 3.11)
+MIN_BATCH_BLOCKS = 8
 
 # ---------------------------------------------------------------------------
 # Table construction (done once at import time).
@@ -100,6 +119,31 @@ RCON: List[int] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80,
 
 _VALID_KEY_SIZES = (16, 24, 32)
 
+# ---------------------------------------------------------------------------
+# Batched-kernel tables: 256-byte translation maps (one bytes.translate call
+# substitutes/multiplies every byte of a whole batch) and the ShiftRows
+# byte-permutation patterns (applied batch-wide with strided slices).
+# ---------------------------------------------------------------------------
+
+#: S-box / inverse S-box as ``bytes.translate`` tables.
+SBOX_TABLE: bytes = bytes(SBOX)
+INV_SBOX_TABLE: bytes = bytes(INV_SBOX)
+#: GF(2^8) doubling (xtime) as a translate table — the only multiplication
+#: forward MixColumns needs once rewritten as ``2*(a0^a1) ^ a1 ^ a2 ^ a3``.
+XTIME_TABLE: bytes = bytes(_xtime(_x) for _x in range(256))
+#: InvMixColumns multiplier tables in translate form.
+MUL9_TABLE: bytes = bytes(MUL9)
+MUL11_TABLE: bytes = bytes(MUL11)
+MUL13_TABLE: bytes = bytes(MUL13)
+MUL14_TABLE: bytes = bytes(MUL14)
+
+#: ShiftRows source index for destination byte ``4*col + row`` of a block
+#: (the state is column-major, exactly as FIPS-197 loads input bytes).
+SHIFT_ROWS_SRC: List[int] = [4 * ((_c + _r) % 4) + _r
+                             for _c in range(4) for _r in range(4)]
+INV_SHIFT_ROWS_SRC: List[int] = [4 * ((_c - _r) % 4) + _r
+                                 for _c in range(4) for _r in range(4)]
+
 
 class AES:
     """AES block cipher for a single fixed key.
@@ -117,6 +161,10 @@ class AES:
         self._key = bytes(key)
         self._round_keys = self._expand_key(self._key)
         self.rounds = len(self._round_keys) // 4 - 1
+        #: per-batch-size tiled round keys (batch-wide integers), built
+        #: lazily by the batched kernels; sector sizes recur, so in practice
+        #: this holds one or two entries per cipher object.
+        self._tiled_keys: Dict[int, List[int]] = {}
 
     @property
     def key(self) -> bytes:
@@ -247,18 +295,132 @@ class AES:
             out[4 * col + 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3]
         return out
 
+    # -- batched kernels ----------------------------------------------------
+
+    def _tiled_round_keys(self, block_count: int) -> List[int]:
+        """Round keys tiled across ``block_count`` blocks, as big integers.
+
+        One XOR of such an integer applies AddRoundKey to the whole batch.
+        """
+        def build() -> List[int]:
+            rk = self._round_keys
+            tiled = []
+            for rnd in range(self.rounds + 1):
+                pattern = b"".join(rk[4 * rnd + i].to_bytes(4, "big")
+                                   for i in range(4))
+                tiled.append(int.from_bytes(pattern * block_count, "big"))
+            return tiled
+
+        return bounded_cache_get(self._tiled_keys, block_count, build)[0]
+
+    def encrypt_blocks(self, data) -> bytes:
+        """ECB-encrypt a batch of 16-byte blocks in one call.
+
+        ``data`` is any bytes-like object whose length is a multiple of 16
+        (a whole sector, or a batch window of sectors).  Output is
+        bit-identical to calling :meth:`encrypt_block` per block; every
+        round runs as a few C-level bulk operations over the entire batch.
+        """
+        size = len(data)
+        if size % BLOCK_SIZE:
+            raise DataSizeError("batch input must be a multiple of 16 bytes")
+        n = size // BLOCK_SIZE
+        if n == 0:
+            return b""
+        if n < MIN_BATCH_BLOCKS:
+            encrypt = self.encrypt_block
+            return b"".join(encrypt(bytes(data[i:i + BLOCK_SIZE]))
+                            for i in range(0, size, BLOCK_SIZE))
+        rk = self._tiled_round_keys(n)
+        shift_src = SHIFT_ROWS_SRC
+        state = (int.from_bytes(data, "big") ^ rk[0]).to_bytes(size, "big")
+        shifted = bytearray(size)
+        rot1 = bytearray(size)
+        rot2 = bytearray(size)
+        rot3 = bytearray(size)
+        for rnd in range(1, self.rounds):
+            subbed = state.translate(SBOX_TABLE)
+            # ShiftRows: row 0 is the identity (one stride-4 move); rows
+            # 1..3 need their 12 stride-16 moves.
+            shifted[0::4] = subbed[0::4]
+            for dst in range(16):
+                src = shift_src[dst]
+                if src != dst:
+                    shifted[dst::16] = subbed[src::16]
+            # MixColumns via out = 2*(a_r ^ a_{r+1}) ^ a_{r+1} ^ a_{r+2}
+            # ^ a_{r+3}: three byte rotations within each column...
+            for row in range(4):
+                rot1[row::4] = shifted[(row + 1) & 3::4]
+                rot2[row::4] = shifted[(row + 2) & 3::4]
+                rot3[row::4] = shifted[(row + 3) & 3::4]
+            shifted_int = int.from_bytes(shifted, "big")
+            rot1_int = int.from_bytes(rot1, "big")
+            # ...one xtime translate of the whole batch...
+            doubled = (shifted_int ^ rot1_int).to_bytes(size, "big") \
+                .translate(XTIME_TABLE)
+            # ...and one batch-wide XOR that also folds in AddRoundKey.
+            state = (int.from_bytes(doubled, "big") ^ rot1_int
+                     ^ int.from_bytes(rot2, "big")
+                     ^ int.from_bytes(rot3, "big")
+                     ^ rk[rnd]).to_bytes(size, "big")
+        subbed = state.translate(SBOX_TABLE)
+        for dst in range(16):
+            shifted[dst::16] = subbed[shift_src[dst]::16]
+        return (int.from_bytes(shifted, "big")
+                ^ rk[self.rounds]).to_bytes(size, "big")
+
+    def decrypt_blocks(self, data) -> bytes:
+        """ECB-decrypt a batch of 16-byte blocks in one call.
+
+        The batched counterpart of :meth:`decrypt_block` (bit-identical);
+        InvMixColumns runs as four translate-table multiplies over the
+        whole batch.
+        """
+        size = len(data)
+        if size % BLOCK_SIZE:
+            raise DataSizeError("batch input must be a multiple of 16 bytes")
+        n = size // BLOCK_SIZE
+        if n == 0:
+            return b""
+        if n < MIN_BATCH_BLOCKS:
+            decrypt = self.decrypt_block
+            return b"".join(decrypt(bytes(data[i:i + BLOCK_SIZE]))
+                            for i in range(0, size, BLOCK_SIZE))
+        rk = self._tiled_round_keys(n)
+        inv_src = INV_SHIFT_ROWS_SRC
+        state = (int.from_bytes(data, "big")
+                 ^ rk[self.rounds]).to_bytes(size, "big")
+        shifted = bytearray(size)
+        rot1 = bytearray(size)
+        rot2 = bytearray(size)
+        rot3 = bytearray(size)
+        for rnd in range(self.rounds - 1, 0, -1):
+            for dst in range(16):
+                shifted[dst::16] = state[inv_src[dst]::16]
+            subbed = shifted.translate(INV_SBOX_TABLE)
+            keyed = (int.from_bytes(subbed, "big")
+                     ^ rk[rnd]).to_bytes(size, "big")
+            for row in range(4):
+                rot1[row::4] = keyed[(row + 1) & 3::4]
+                rot2[row::4] = keyed[(row + 2) & 3::4]
+                rot3[row::4] = keyed[(row + 3) & 3::4]
+            # InvMixColumns: 14*a_r ^ 11*a_{r+1} ^ 13*a_{r+2} ^ 9*a_{r+3}.
+            state = (int.from_bytes(keyed.translate(MUL14_TABLE), "big")
+                     ^ int.from_bytes(rot1.translate(MUL11_TABLE), "big")
+                     ^ int.from_bytes(rot2.translate(MUL13_TABLE), "big")
+                     ^ int.from_bytes(rot3.translate(MUL9_TABLE), "big")
+                     ).to_bytes(size, "big")
+        for dst in range(16):
+            shifted[dst::16] = state[inv_src[dst]::16]
+        subbed = shifted.translate(INV_SBOX_TABLE)
+        return (int.from_bytes(subbed, "big") ^ rk[0]).to_bytes(size, "big")
+
     # -- convenience --------------------------------------------------------
 
     def encrypt_ecb(self, data: bytes) -> bytes:
         """ECB-encrypt a multiple of 16 bytes (building block for modes)."""
-        if len(data) % BLOCK_SIZE:
-            raise DataSizeError("ECB input must be a multiple of 16 bytes")
-        return b"".join(self.encrypt_block(data[i:i + BLOCK_SIZE])
-                        for i in range(0, len(data), BLOCK_SIZE))
+        return self.encrypt_blocks(data)
 
     def decrypt_ecb(self, data: bytes) -> bytes:
         """ECB-decrypt a multiple of 16 bytes."""
-        if len(data) % BLOCK_SIZE:
-            raise DataSizeError("ECB input must be a multiple of 16 bytes")
-        return b"".join(self.decrypt_block(data[i:i + BLOCK_SIZE])
-                        for i in range(0, len(data), BLOCK_SIZE))
+        return self.decrypt_blocks(data)

@@ -31,19 +31,30 @@ class CTR:
         self._wide_counter = wide_counter
 
     def keystream(self, counter_block: bytes, length: int) -> bytes:
-        """Generate ``length`` keystream bytes starting at ``counter_block``."""
+        """Generate ``length`` keystream bytes starting at ``counter_block``.
+
+        All counter blocks are laid out up front and encrypted through one
+        :meth:`~repro.crypto.aes.AES.encrypt_blocks` kernel call, so a whole
+        sector's keystream costs one bulk call instead of one Python call
+        per 16-byte block.
+        """
         if len(counter_block) != BLOCK_SIZE:
             raise IVSizeError("CTR counter block must be 16 bytes")
-        out = bytearray()
-        block = counter_block
-        while len(out) < length:
-            out += self._cipher.encrypt_block(block)
-            if self._wide_counter:
-                value = (int.from_bytes(block, "big") + 1) & ((1 << 128) - 1)
-                block = value.to_bytes(16, "big")
-            else:
-                block = _inc32(block)
-        return bytes(out[:length])
+        if length <= 0:
+            return b""
+        block_count = -(-length // BLOCK_SIZE)
+        if self._wide_counter:
+            start = int.from_bytes(counter_block, "big")
+            mask = (1 << 128) - 1
+            counters = b"".join(((start + i) & mask).to_bytes(16, "big")
+                                for i in range(block_count))
+        else:
+            prefix = bytes(counter_block[:12])
+            start = int.from_bytes(counter_block[12:], "big")
+            counters = b"".join(
+                prefix + ((start + i) & 0xFFFFFFFF).to_bytes(4, "big")
+                for i in range(block_count))
+        return self._cipher.encrypt_blocks(counters)[:length]
 
     def xcrypt(self, counter_block: bytes, data: bytes) -> bytes:
         """Encrypt or decrypt ``data`` (CTR is an involution)."""

@@ -13,9 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from .aes import AES, BLOCK_SIZE
 from .ctr import CTR, _inc32
-from .gf128 import ghash
+from .gf128 import GHashKey, ghash
 from ..errors import AuthenticationError, IVSizeError
 from ..util import constant_time_compare
 
@@ -43,24 +45,39 @@ class GCM:
         self._ctr = CTR(key)
         self._h = self._cipher.encrypt_block(b"\x00" * BLOCK_SIZE)
         self._tag_size = tag_size
+        #: 4-bit windowed GHASH tables, built lazily on first use and
+        #: cached for the life of the cipher object (the table build is
+        #: per-key work; one GCM object encrypts many sectors).
+        self._ghash_key: Optional[GHashKey] = None
 
     @property
     def tag_size(self) -> int:
         """Length of produced/verified tags in bytes."""
         return self._tag_size
 
+    @property
+    def ghash_key(self) -> GHashKey:
+        """The cached windowed-table GHASH key (built on first access)."""
+        if self._ghash_key is None:
+            self._ghash_key = GHashKey(self._h)
+        return self._ghash_key
+
     def _j0(self, nonce: bytes) -> bytes:
         if len(nonce) == NONCE_SIZE:
             return nonce + b"\x00\x00\x00\x01"
-        return ghash(self._h, b"", nonce)
+        return ghash(self._h, b"", nonce, key=self.ghash_key)
 
-    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> GCMResult:
-        """Encrypt and authenticate; returns ciphertext and tag."""
+    def encrypt(self, nonce: bytes, plaintext, aad: bytes = b"") -> GCMResult:
+        """Encrypt and authenticate; returns ciphertext and tag.
+
+        ``plaintext`` is any bytes-like object (the zero-copy write path
+        hands in memoryviews of the caller's buffers).
+        """
         if not nonce:
             raise IVSizeError("GCM nonce must not be empty")
         j0 = self._j0(nonce)
         ciphertext = self._ctr.xcrypt(_inc32(j0), plaintext)
-        full_tag = ghash(self._h, aad, ciphertext)
+        full_tag = ghash(self._h, aad, ciphertext, key=self.ghash_key)
         tag = bytes(a ^ b for a, b in
                     zip(full_tag, self._cipher.encrypt_block(j0)))
         return GCMResult(ciphertext=ciphertext, tag=tag[:self._tag_size])
@@ -71,7 +88,7 @@ class GCM:
         if not nonce:
             raise IVSizeError("GCM nonce must not be empty")
         j0 = self._j0(nonce)
-        full_tag = ghash(self._h, aad, ciphertext)
+        full_tag = ghash(self._h, aad, ciphertext, key=self.ghash_key)
         expected = bytes(a ^ b for a, b in
                          zip(full_tag, self._cipher.encrypt_block(j0)))
         if not constant_time_compare(expected[:self._tag_size], tag):

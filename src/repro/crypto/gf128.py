@@ -14,7 +14,7 @@ evaluation hash used by the HCTR-style wide-block cipher.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List, Optional
 
 MASK128 = (1 << 128) - 1
 
@@ -33,12 +33,54 @@ def xts_mul_alpha(tweak: bytes) -> bytes:
     return value.to_bytes(16, "little")
 
 
+def _xts_fold(value: int) -> int:
+    """Reduce a (<256-bit) polynomial product modulo x^128 + x^7 + x^2 + x + 1.
+
+    In the little-endian-int XTS representation ``x^128 ≡ 0x87``, so the
+    bits above position 127 fold back in as a carry-less multiply by 0x87
+    (three shifted XOR terms plus the value itself).
+    """
+    while value >> 128:
+        high = value >> 128
+        value = (value & MASK128) ^ high ^ (high << 1) ^ (high << 2) \
+            ^ (high << 7)
+    return value
+
+
+def xts_tweak_chain(initial: int, count: int) -> List[int]:
+    """The per-sector tweak chain ``[T, T*alpha, ..., T*alpha^(count-1)]``.
+
+    Operates entirely on little-endian integers: the batched XTS sector
+    path computes the whole chain in one call (three integer ops per
+    sub-block) instead of round-tripping through 16-byte strings per
+    sub-block the way chained :func:`xts_mul_alpha` does.
+    """
+    chain = [0] * count
+    value = initial
+    for i in range(count):
+        chain[i] = value
+        value <<= 1
+        if value >> 128:
+            value = (value & MASK128) ^ 0x87
+    return chain
+
+
 def xts_mul_alpha_pow(tweak: bytes, power: int) -> bytes:
-    """Multiply an XTS tweak by alpha**power (used to jump within a sector)."""
-    result = tweak
-    for _ in range(power):
-        result = xts_mul_alpha(result)
-    return result
+    """Multiply an XTS tweak by alpha**power (used to jump within a sector).
+
+    ``alpha**power`` is the single polynomial term ``x**power``, so the
+    jump is one shift of the whole tweak followed by reduction — O(1) per
+    jump instead of ``power`` chained doublings.
+    """
+    if power < 0:
+        raise ValueError("alpha power must be non-negative")
+    value = int.from_bytes(tweak, "little")
+    # Keep intermediate products under 256 bits so _xts_fold terminates in
+    # a couple of iterations.
+    while power > 120:
+        value = _xts_fold(value << 120)
+        power -= 120
+    return _xts_fold(value << power).to_bytes(16, "little")
 
 
 # ---------------------------------------------------------------------------
@@ -49,7 +91,12 @@ _R = 0xE1000000000000000000000000000000
 
 
 def ghash_mult(x: int, y: int) -> int:
-    """Multiply two field elements in the GHASH representation."""
+    """Multiply two field elements in the GHASH representation.
+
+    Bit-serial reference implementation (128 iterations).  The data path
+    uses :class:`GHashKey`'s 4-bit windowed tables instead; this function
+    remains the correctness oracle the tables are tested against.
+    """
     z = 0
     v = x
     for i in range(127, -1, -1):
@@ -62,30 +109,100 @@ def ghash_mult(x: int, y: int) -> int:
     return z
 
 
-class GHash:
-    """Incremental GHASH universal hash keyed by ``H`` (a 16-byte string)."""
+def _mul_x(value: int) -> int:
+    """Multiply a GHASH field element by x (one halving with reduction)."""
+    if value & 1:
+        return (value >> 1) ^ _R
+    return value >> 1
+
+
+def _build_shift4_table() -> List[int]:
+    """Reduction table for multiplying by x^4: entry ``n`` is the field
+    element contributed by the four low bits ``n`` that fall off the end of
+    a 4-bit right shift."""
+    table = []
+    for nibble in range(16):
+        value = nibble
+        for _ in range(4):
+            value = _mul_x(value)
+        table.append(value)
+    return table
+
+
+#: key-independent x^4 reduction table (16 entries, built at import time)
+_SHIFT4_TABLE: List[int] = _build_shift4_table()
+
+
+class GHashKey:
+    """Per-key 4-bit windowed multiplication tables for GHASH (Shoup).
+
+    Multiplying the accumulator by ``H`` walks the accumulator's 32
+    nibbles with two table lookups and two XORs each, instead of the 128
+    shift-and-conditional-XOR iterations of :func:`ghash_mult`.  The table
+    (16 entries) is built once per key; GCM cipher objects build it lazily
+    and cache it (see :class:`repro.crypto.gcm.GCM`).
+    """
+
+    __slots__ = ("h", "_table")
 
     def __init__(self, h: bytes) -> None:
         if len(h) != 16:
             raise ValueError("GHASH key must be 16 bytes")
+        self.h = int.from_bytes(h, "big")
+        # Within a nibble, bit 3 is the *lowest* power: M[8] = H * x^0,
+        # M[4] = H * x, M[2] = H * x^2, M[1] = H * x^3; other entries are
+        # XOR combinations.
+        table = [0] * 16
+        table[8] = self.h
+        table[4] = _mul_x(table[8])
+        table[2] = _mul_x(table[4])
+        table[1] = _mul_x(table[2])
+        for base in (2, 4, 8):
+            for rest in range(1, base):
+                table[base + rest] = table[base] ^ table[rest]
+        self._table = table
+
+    def mult(self, x: int) -> int:
+        """Return ``x * H`` in the GHASH field (4-bit windowed)."""
+        table = self._table
+        shift4 = _SHIFT4_TABLE
+        z = 0
+        for shift in range(0, 128, 4):
+            z = (z >> 4) ^ shift4[z & 0xF] ^ table[(x >> shift) & 0xF]
+        return z
+
+
+class GHash:
+    """Incremental GHASH universal hash keyed by ``H`` (a 16-byte string).
+
+    Pass a prebuilt :class:`GHashKey` to amortize the windowed-table build
+    across calls (GCM does this); otherwise one is built on the spot.
+    """
+
+    def __init__(self, h: bytes, key: Optional[GHashKey] = None) -> None:
+        if len(h) != 16:
+            raise ValueError("GHASH key must be 16 bytes")
         self._h = int.from_bytes(h, "big")
+        self._key = key if key is not None else GHashKey(h)
         self._y = 0
 
     def update(self, data: bytes) -> "GHash":
         """Absorb data, zero-padded on the right to a 16-byte boundary."""
+        mult = self._key.mult
+        y = self._y
         for off in range(0, len(data), 16):
-            block = data[off:off + 16]
+            block = bytes(data[off:off + 16])
             if len(block) < 16:
                 block = block + b"\x00" * (16 - len(block))
-            self._y = ghash_mult(self._y ^ int.from_bytes(block, "big"),
-                                 self._h)
+            y = mult(y ^ int.from_bytes(block, "big"))
+        self._y = y
         return self
 
     def update_block(self, block: bytes) -> "GHash":
         """Absorb exactly one 16-byte block (no padding applied)."""
         if len(block) != 16:
             raise ValueError("GHASH block must be 16 bytes")
-        self._y = ghash_mult(self._y ^ int.from_bytes(block, "big"), self._h)
+        self._y = self._key.mult(self._y ^ int.from_bytes(block, "big"))
         return self
 
     def digest(self) -> bytes:
@@ -93,9 +210,14 @@ class GHash:
         return self._y.to_bytes(16, "big")
 
 
-def ghash(h: bytes, aad: bytes, ciphertext: bytes) -> bytes:
-    """One-shot GHASH over AAD and ciphertext with the standard length block."""
-    g = GHash(h)
+def ghash(h: bytes, aad: bytes, ciphertext: bytes,
+          key: Optional[GHashKey] = None) -> bytes:
+    """One-shot GHASH over AAD and ciphertext with the standard length block.
+
+    ``key`` is an optional prebuilt :class:`GHashKey` for ``h`` so repeated
+    calls under one cipher key skip the table build.
+    """
+    g = GHash(h, key=key)
     g.update(aad)
     g.update(ciphertext)
     lengths = (len(aad) * 8).to_bytes(8, "big") + (len(ciphertext) * 8).to_bytes(8, "big")
@@ -108,22 +230,25 @@ def ghash(h: bytes, aad: bytes, ciphertext: bytes) -> bytes:
 # ---------------------------------------------------------------------------
 
 
-def poly_hash(h: bytes, chunks: Iterable[bytes]) -> bytes:
+def poly_hash(h: bytes, chunks: Iterable[bytes],
+              key: Optional[GHashKey] = None) -> bytes:
     """Evaluate a polynomial hash of the given 16-byte-padded chunks.
 
     The hash is ``sum_i  m_i * H^(n-i+1)  +  len * H`` computed in the GHASH
     field.  It is *not* GHASH itself but shares the field arithmetic; the
-    wide-block cipher only needs an almost-XOR-universal hash.
+    wide-block cipher only needs an almost-XOR-universal hash.  ``key`` is
+    an optional prebuilt :class:`GHashKey` for ``h`` (the wide-block cipher
+    caches one so the windowed tables are built once per key).
     """
-    hval = int.from_bytes(h, "big")
+    mult = (key if key is not None else GHashKey(h)).mult
     acc = 0
     total_len = 0
     for item in chunks:
         total_len += len(item)
         for off in range(0, len(item), 16):
-            block = item[off:off + 16]
+            block = bytes(item[off:off + 16])
             if len(block) < 16:
                 block = block + b"\x00" * (16 - len(block))
-            acc = ghash_mult(acc ^ int.from_bytes(block, "big"), hval)
-    acc = ghash_mult(acc ^ (total_len * 8), hval)
+            acc = mult(acc ^ int.from_bytes(block, "big"))
+    acc = mult(acc ^ (total_len * 8))
     return acc.to_bytes(16, "big")

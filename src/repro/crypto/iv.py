@@ -29,8 +29,22 @@ from typing import Dict, Optional
 from .aes import AES
 from .drbg import RandomSource, default_random_source
 from ..errors import ConfigurationError
+from ..util import bounded_cache_get
 
 IV_SIZE = 16
+
+#: derived-IV cipher objects, keyed by their derived key.  Expanding an AES
+#: key schedule costs far more than encrypting the one block an ESSIV needs,
+#: and every ``make_codec``/``load_encryption`` call used to rebuild it; the
+#: cache shares one schedule per key across policy instances.
+_DERIVED_CIPHER_CACHE: Dict[bytes, AES] = {}
+_DERIVED_CIPHER_CACHE_MAX = 64
+
+
+def _derived_cipher(key: bytes) -> AES:
+    """Return a cached AES instance for a derived (e.g. ESSIV salt) key."""
+    return bounded_cache_get(_DERIVED_CIPHER_CACHE, key, lambda: AES(key),
+                             _DERIVED_CIPHER_CACHE_MAX)[0]
 
 
 class IVPolicy:
@@ -73,7 +87,12 @@ class Plain64IV(IVPolicy):
 
 
 class EssivIV(IVPolicy):
-    """ESSIV: IV = AES_{SHA256(volume key)}(LBA)."""
+    """ESSIV: IV = AES_{SHA256(volume key)}(LBA).
+
+    The salt cipher is fetched from the per-key cache, so re-deriving the
+    policy (every format/load, one per image) reuses the expanded key
+    schedule instead of rebuilding it.
+    """
 
     name = "essiv"
 
@@ -81,7 +100,7 @@ class EssivIV(IVPolicy):
         if not volume_key:
             raise ConfigurationError("ESSIV requires a volume key")
         salt = hashlib.sha256(volume_key).digest()
-        self._cipher = AES(salt)
+        self._cipher = _derived_cipher(salt)
 
     def iv_for_write(self, lba: int, snapshot_id: int = 0) -> bytes:
         plain = (lba & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little") + b"\x00" * 8

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from .aes import AES, BLOCK_SIZE
 from .ctr import CTR
-from .gf128 import poly_hash
+from .gf128 import GHashKey, poly_hash
 from ..errors import DataSizeError, KeySizeError
 from ..util import xor_bytes
 
@@ -44,16 +44,20 @@ class WideBlockCipher:
             # Derive a 16-byte hash key deterministically from the second half.
             hash_key = self._aes.encrypt_block(hash_key[:16])
         self._hash_key = hash_key
+        # Windowed GHASH tables for the universal hash, built once per key.
+        self._hash_tables = GHashKey(hash_key)
 
-    def _hash(self, tweak: bytes, tail: bytes) -> bytes:
-        return poly_hash(self._hash_key, [tweak, tail])
+    def _hash(self, tweak: bytes, tail) -> bytes:
+        return poly_hash(self._hash_key, [tweak, tail],
+                         key=self._hash_tables)
 
-    def encrypt(self, tweak: bytes, plaintext: bytes) -> bytes:
+    def encrypt(self, tweak: bytes, plaintext) -> bytes:
         """Encrypt a sector (must be longer than one AES block)."""
         if len(plaintext) <= BLOCK_SIZE:
             raise DataSizeError(
                 "wide-block encryption needs more than 16 bytes")
-        head, tail = plaintext[:BLOCK_SIZE], plaintext[BLOCK_SIZE:]
+        view = memoryview(plaintext)
+        head, tail = bytes(view[:BLOCK_SIZE]), view[BLOCK_SIZE:]
         mm = xor_bytes(head, self._hash(tweak, tail))
         cc = self._aes.encrypt_block(mm)
         seed = xor_bytes(mm, cc)

@@ -11,12 +11,26 @@ leak which sub-blocks changed (§2.1 of the paper); see
 
 Ciphertext stealing is implemented, so any input of at least 16 bytes is
 supported (disk sectors are always a multiple of 16).
+
+Two sector paths coexist, selected by the ``batched`` constructor knob:
+
+* the **batched path** (default) computes the whole per-sector tweak chain
+  once in the integer domain (:func:`repro.crypto.gf128.xts_tweak_chain`),
+  applies both tweak maskings as two sector-wide integer XORs and runs the
+  AES layer through :meth:`repro.crypto.aes.AES.encrypt_blocks` — one bulk
+  kernel call per sector instead of one Python call per 16-byte sub-block;
+* the **scalar path** (``batched=False``) chains :func:`xts_mul_alpha` per
+  sub-block exactly as before; it is kept as the reference the equivalence
+  tests and benchmarks compare against.
+
+Both paths are bit-identical for every input size, ciphertext stealing
+included (``tests/crypto/test_batched_kernels.py``).
 """
 
 from __future__ import annotations
 
-from .aes import AES, BLOCK_SIZE
-from .gf128 import xts_mul_alpha
+from .aes import AES, BLOCK_SIZE, MIN_BATCH_BLOCKS
+from .gf128 import xts_mul_alpha, xts_mul_alpha_pow, xts_tweak_chain
 from ..errors import DataSizeError, IVSizeError, KeySizeError
 from ..util import xor_bytes
 
@@ -33,9 +47,12 @@ class XTS:
         The concatenation of the data key and the tweak key.  32 bytes
         selects AES-128-XTS, 64 bytes selects AES-256-XTS (matching the
         ``aes-xts-plain64`` key layout used by LUKS).
+    batched:
+        Use the batched sector kernel (default).  ``False`` selects the
+        scalar one-sub-block-per-call reference path.
     """
 
-    def __init__(self, key: bytes) -> None:
+    def __init__(self, key: bytes, batched: bool = True) -> None:
         if len(key) not in (32, 64):
             raise KeySizeError(
                 f"XTS key must be 32 or 64 bytes (two AES keys), got {len(key)}")
@@ -43,6 +60,7 @@ class XTS:
         self._data_cipher = AES(key[:half])
         self._tweak_cipher = AES(key[half:])
         self._key_size = half
+        self.batched = batched
 
     @property
     def key_size(self) -> int:
@@ -54,18 +72,99 @@ class XTS:
     def _initial_tweak(self, tweak: bytes) -> bytes:
         if len(tweak) != 16:
             raise IVSizeError(f"XTS tweak must be 16 bytes, got {len(tweak)}")
-        return self._tweak_cipher.encrypt_block(tweak)
+        return self._tweak_cipher.encrypt_block(bytes(tweak))
 
-    def _check_length(self, data: bytes) -> None:
+    def _check_length(self, data) -> None:
         if len(data) < SUB_BLOCK_SIZE:
             raise DataSizeError(
                 f"XTS requires at least {SUB_BLOCK_SIZE} bytes, got {len(data)}")
 
     # -- public API ---------------------------------------------------------
 
-    def encrypt(self, tweak: bytes, plaintext: bytes) -> bytes:
-        """Encrypt ``plaintext`` under ``tweak``; output has the same length."""
+    def encrypt(self, tweak: bytes, plaintext) -> bytes:
+        """Encrypt ``plaintext`` under ``tweak``; output has the same length.
+
+        ``plaintext`` is any bytes-like object (the zero-copy write path
+        hands in memoryviews of the caller's buffers).
+        """
         self._check_length(plaintext)
+        if self.batched and len(plaintext) >= MIN_BATCH_BLOCKS * 16:
+            return self._encrypt_batched(tweak, plaintext)
+        return self._encrypt_scalar(tweak, plaintext)
+
+    def decrypt(self, tweak: bytes, ciphertext) -> bytes:
+        """Decrypt ``ciphertext`` under ``tweak``."""
+        self._check_length(ciphertext)
+        if self.batched and len(ciphertext) >= MIN_BATCH_BLOCKS * 16:
+            return self._decrypt_batched(tweak, ciphertext)
+        return self._decrypt_scalar(tweak, ciphertext)
+
+    # -- batched sector path -------------------------------------------------
+
+    def _masks(self, tweak: bytes, data_len: int):
+        """Tweak chain for one sector: (packed masks for the plain sub-
+        blocks, byte tweaks of the ciphertext-stealing pair or ``None``)."""
+        full_blocks, tail = divmod(data_len, SUB_BLOCK_SIZE)
+        count = full_blocks + 1 if tail else full_blocks
+        chain = xts_tweak_chain(
+            int.from_bytes(self._initial_tweak(tweak), "little"), count)
+        limit = full_blocks if tail == 0 else full_blocks - 1
+        packed = b"".join(t.to_bytes(16, "little") for t in chain[:limit])
+        if tail == 0:
+            return packed, None
+        return packed, (chain[limit].to_bytes(16, "little"),
+                        chain[limit + 1].to_bytes(16, "little"))
+
+    def _encrypt_batched(self, tweak: bytes, plaintext) -> bytes:
+        packed, cts_tweaks = self._masks(tweak, len(plaintext))
+        size = len(packed)
+        mask = int.from_bytes(packed, "big")
+        view = memoryview(plaintext)
+        whitened = (int.from_bytes(view[:size], "big")
+                    ^ mask).to_bytes(size, "big")
+        out = (int.from_bytes(self._data_cipher.encrypt_blocks(whitened),
+                              "big") ^ mask).to_bytes(size, "big")
+        if cts_tweaks is None:
+            return out
+        # Ciphertext stealing: encrypt the last full block, then borrow.
+        last_tweak, final_tweak = cts_tweaks
+        enc = self._data_cipher.encrypt_block
+        tail = len(plaintext) - size - SUB_BLOCK_SIZE
+        block = bytes(view[size:size + SUB_BLOCK_SIZE])
+        cc = xor_bytes(enc(xor_bytes(block, last_tweak)), last_tweak)
+        partial = bytes(view[size + SUB_BLOCK_SIZE:])
+        cm = cc[:tail]                      # becomes the final partial output
+        pp = partial + cc[tail:]            # padded with stolen ciphertext
+        cp = xor_bytes(enc(xor_bytes(pp, final_tweak)), final_tweak)
+        return out + cp + cm
+
+    def _decrypt_batched(self, tweak: bytes, ciphertext) -> bytes:
+        packed, cts_tweaks = self._masks(tweak, len(ciphertext))
+        size = len(packed)
+        mask = int.from_bytes(packed, "big")
+        view = memoryview(ciphertext)
+        whitened = (int.from_bytes(view[:size], "big")
+                    ^ mask).to_bytes(size, "big")
+        out = (int.from_bytes(self._data_cipher.decrypt_blocks(whitened),
+                              "big") ^ mask).to_bytes(size, "big")
+        if cts_tweaks is None:
+            return out
+        # Undo ciphertext stealing.  The penultimate on-wire block was
+        # encrypted under the *final* tweak.
+        last_tweak, final_tweak = cts_tweaks
+        dec = self._data_cipher.decrypt_block
+        tail = len(ciphertext) - size - SUB_BLOCK_SIZE
+        cp = bytes(view[size:size + SUB_BLOCK_SIZE])
+        cm = bytes(view[size + SUB_BLOCK_SIZE:])
+        pp = xor_bytes(dec(xor_bytes(cp, final_tweak)), final_tweak)
+        cc = cm + pp[tail:]
+        block = xor_bytes(dec(xor_bytes(cc, last_tweak)), last_tweak)
+        return out + block + pp[:tail]
+
+    # -- scalar reference path -----------------------------------------------
+
+    def _encrypt_scalar(self, tweak: bytes, plaintext) -> bytes:
+        plaintext = bytes(plaintext)
         t = self._initial_tweak(tweak)
         full_blocks, tail = divmod(len(plaintext), SUB_BLOCK_SIZE)
         enc = self._data_cipher.encrypt_block
@@ -96,9 +195,8 @@ class XTS:
         out += cp + cm
         return bytes(out)
 
-    def decrypt(self, tweak: bytes, ciphertext: bytes) -> bytes:
-        """Decrypt ``ciphertext`` under ``tweak``."""
-        self._check_length(ciphertext)
+    def _decrypt_scalar(self, tweak: bytes, ciphertext) -> bytes:
+        ciphertext = bytes(ciphertext)
         t = self._initial_tweak(tweak)
         full_blocks, tail = divmod(len(ciphertext), SUB_BLOCK_SIZE)
         dec = self._data_cipher.decrypt_block
@@ -137,12 +235,11 @@ class XTS:
         Exposed so the security-analysis examples can show that XTS
         sub-blocks are independent: re-encrypting one sub-block in place
         yields exactly the bytes found at that position in the full-sector
-        ciphertext.
+        ciphertext.  The tweak jump is a single alpha-power multiplication
+        rather than ``index`` chained doublings.
         """
         if len(sub_block) != SUB_BLOCK_SIZE:
             raise DataSizeError("sub-block must be 16 bytes")
-        t = self._initial_tweak(tweak)
-        for _ in range(index):
-            t = xts_mul_alpha(t)
+        t = xts_mul_alpha_pow(self._initial_tweak(tweak), index)
         enc = self._data_cipher.encrypt_block
         return xor_bytes(enc(xor_bytes(sub_block, t)), t)

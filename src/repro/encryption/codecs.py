@@ -21,7 +21,7 @@ metadata at all — that is exactly today's LUKS2 baseline.  With the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..crypto.drbg import RandomSource, default_random_source
 from ..crypto.gcm import GCM
@@ -30,7 +30,6 @@ from ..crypto.kdf import derive_subkey
 from ..crypto.mac import SectorMac
 from ..crypto.suite import get_suite
 from ..errors import ConfigurationError, IntegrityError
-from ..util import constant_time_compare
 
 
 @dataclass(frozen=True)
@@ -42,14 +41,20 @@ class EncryptedSector:
 
 
 class SectorCodec:
-    """Interface for sector-granular encryption with optional metadata."""
+    """Interface for sector-granular encryption with optional metadata.
+
+    ``plaintext`` may be any bytes-like object — the zero-copy write path
+    hands codecs memoryviews of the caller's buffers, and the underlying
+    ciphers (batched AES kernels, keystream ciphers) consume buffers
+    directly.  Ciphertext is always returned as ``bytes``.
+    """
 
     #: bytes of per-sector metadata this codec produces (0 = none)
     metadata_size: int = 0
     #: human-readable codec name recorded in the header
     name: str = "abstract"
 
-    def encrypt_sector(self, lba: int, plaintext: bytes,
+    def encrypt_sector(self, lba: int, plaintext,
                        snapshot_id: int = 0) -> EncryptedSector:
         """Encrypt one block addressed by ``lba``."""
         raise NotImplementedError

@@ -23,6 +23,12 @@ Two data paths coexist:
   metadata are coalesced into a *single* :class:`WriteTransaction` (one
   round trip and one fixed transaction cost per object per batch instead of
   one per block).
+
+Both write paths are zero-copy on the plaintext side: extents travel as
+memoryviews from the pipeline down, blocks fully covered by one extent are
+encrypted straight out of the caller's buffer, and only partial boundary
+blocks are assembled in (reused) scratch buffers.  Bytes materialise once,
+when the transaction ops are built.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from ..rados.transaction import ReadOperation, WriteTransaction
 from ..rbd.dispatcher import ObjectDispatcher
 from ..rbd.striping import object_name
 from ..sim.ledger import OpReceipt, RES_CLIENT_CPU
-from ..util import round_down, round_up
+from ..util import ScratchPool, chunked_views, round_down, round_up
 
 
 class CryptoObjectDispatcher(ObjectDispatcher):
@@ -55,6 +61,8 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         self._blocks_per_object = object_size // block_size
         self._params = ioctx.cluster.params
         self._ledger = ioctx.cluster.ledger
+        #: reusable read-modify-write assembly buffers (scalar write path)
+        self._scratch = ScratchPool()
 
     # -- helpers -----------------------------------------------------------------
 
@@ -176,8 +184,8 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         start = offset - first_block * self._block_size
         return raw[start:start + length], receipt
 
-    def write(self, object_no: int, offset: int, data: bytes) -> OpReceipt:
-        if not data:
+    def write(self, object_no: int, offset: int, data) -> OpReceipt:
+        if not len(data):
             return OpReceipt()
         aligned_start = round_down(offset, self._block_size)
         aligned_end = round_up(offset + len(data), self._block_size)
@@ -185,7 +193,12 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         block_count = (aligned_end - aligned_start) // self._block_size
 
         pre_receipt = OpReceipt()
-        buffer = bytearray(aligned_end - aligned_start)
+        # Read-modify-write assembly happens in a reusable scratch buffer;
+        # every byte of the aligned range is overwritten below (read-back
+        # or caller data) so the buffer is borrowed unzeroed.  The codec
+        # consumes it before this method returns, which is what makes the
+        # reuse safe.
+        buffer = self._scratch.take(aligned_end - aligned_start, zero=False)
         head_len = offset - aligned_start
         tail_start = head_len + len(data)
         if head_len or tail_start != len(buffer):
@@ -204,8 +217,7 @@ class CryptoObjectDispatcher(ObjectDispatcher):
 
         ciphertexts: List[bytes] = []
         metadatas: List[bytes] = []
-        for i in range(block_count):
-            block = bytes(buffer[i * self._block_size:(i + 1) * self._block_size])
+        for i, block in enumerate(chunked_views(buffer, self._block_size)):
             lba = self._lba(object_no, first_block + i)
             sector = self._codec.encrypt_sector(lba, block)
             ciphertexts.append(sector.ciphertext)
@@ -232,29 +244,21 @@ class CryptoObjectDispatcher(ObjectDispatcher):
                 // self._block_size) - 1
         return first, last
 
-    def _partial_blocks(self, extents: Sequence[Tuple[int, bytes]]) -> List[int]:
+    def _partial_blocks(
+            self, pieces: Dict[int, List[Tuple[int, memoryview]]]) -> List[int]:
         """Blocks touched by the batch but not fully covered by its data.
 
-        Only extent boundary blocks can be partial; a boundary block still
-        counts as fully covered when the union of *all* extents in the batch
-        covers it, so no stale data is read back unnecessarily.
+        Coverage is judged from the per-block piece map ``write_extents``
+        already built, so the extent-clipping geometry lives in one place.
+        A boundary block still counts as fully covered when the union of
+        *all* pieces covers it, so no stale data is read back
+        unnecessarily.
         """
         block_size = self._block_size
-        candidates = set()
-        for offset, data in extents:
-            first, last = self._touched_blocks(offset, len(data))
-            candidates.add(first)
-            candidates.add(last)
         partial: List[int] = []
-        for block in sorted(candidates):
-            block_start = block * block_size
-            intervals = []
-            for offset, data in extents:
-                start = max(offset, block_start)
-                end = min(offset + len(data), block_start + block_size)
-                if start < end:
-                    intervals.append((start - block_start, end - block_start))
-            intervals.sort()
+        for block in sorted(pieces):
+            intervals = sorted((dst_start, dst_start + len(piece))
+                               for dst_start, piece in pieces[block])
             covered_to = 0
             for start, end in intervals:
                 if start > covered_to:
@@ -273,28 +277,21 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         pass, and the ciphertext runs plus *all* their per-sector metadata
         are coalesced into one atomic transaction (the OSD pays its fixed
         per-transaction cost once for the batch).
+
+        The plaintext path is zero-copy: extents arrive as (or are wrapped
+        into) memoryviews, blocks fully covered by a single extent are
+        sliced straight out of the caller's buffer, and only partial
+        boundary blocks (and the rare overlap) are spliced into a per-block
+        assembly buffer before encryption.
         """
-        extents = [(offset, bytes(data)) for offset, data in extents if data]
+        extents = [(offset, memoryview(data)) for offset, data in extents
+                   if len(data)]
         if not extents:
             return OpReceipt()
         block_size = self._block_size
 
-        touched_set = set()
-        for offset, data in extents:
-            first, last = self._touched_blocks(offset, len(data))
-            touched_set.update(range(first, last + 1))
-        touched = sorted(touched_set)
-
-        # One batched RMW read for every partial boundary block.
-        partial = self._partial_blocks(extents)
-        plaintexts, pre_receipt = self._read_block_runs(
-            object_no, self._contiguous_runs(partial))
-
-        buffers: Dict[int, bytearray] = {}
-        for block in touched:
-            existing = plaintexts.get(block)
-            buffers[block] = (bytearray(existing) if existing is not None
-                              else bytearray(block_size))
+        # Per-block pieces in arrival order: (offset within block, view).
+        pieces: Dict[int, List[Tuple[int, memoryview]]] = {}
         for offset, data in extents:
             first, last = self._touched_blocks(offset, len(data))
             for block in range(first, last + 1):
@@ -302,8 +299,29 @@ class CryptoObjectDispatcher(ObjectDispatcher):
                 dst_start = max(offset, block_start) - block_start
                 src_start = max(block_start - offset, 0)
                 src_end = min(offset + len(data), block_start + block_size) - offset
-                buffers[block][dst_start:dst_start + (src_end - src_start)] = \
-                    data[src_start:src_end]
+                pieces.setdefault(block, []).append(
+                    (dst_start, data[src_start:src_end]))
+        touched = sorted(pieces)
+
+        # One batched RMW read for every partial boundary block.
+        partial = self._partial_blocks(pieces)
+        plaintexts, pre_receipt = self._read_block_runs(
+            object_no, self._contiguous_runs(partial))
+
+        buffers: Dict[int, object] = {}
+        for block in touched:
+            block_pieces = pieces[block]
+            if len(block_pieces) == 1 and len(block_pieces[0][1]) == block_size:
+                # Fully covered by one extent: encrypt the caller's buffer
+                # in place (no copy).
+                buffers[block] = block_pieces[0][1]
+                continue
+            existing = plaintexts.get(block)
+            assembled = (bytearray(existing) if existing is not None
+                         else bytearray(block_size))
+            for dst_start, piece in block_pieces:
+                assembled[dst_start:dst_start + len(piece)] = piece
+            buffers[block] = assembled
 
         # Encrypt each block exactly once, in batch arrival order (extent
         # order, ascending blocks within an extent) so the IV stream matches
@@ -316,7 +334,7 @@ class CryptoObjectDispatcher(ObjectDispatcher):
                 if block in ciphertexts:
                     continue
                 sector = self._codec.encrypt_sector(
-                    self._lba(object_no, block), bytes(buffers[block]))
+                    self._lba(object_no, block), buffers[block])
                 ciphertexts[block] = sector.ciphertext
                 metadatas[block] = sector.metadata
         crypto_us = self._charge_client_crypto(len(touched), writing=True)

@@ -18,6 +18,12 @@ write requests into a *window*.  A window flushes when any of these fires:
   write-after-write hazard, see below), or
 * the caller flushes explicitly.
 
+Queued writes are held as zero-copy read-only views of the caller's
+buffers: nothing is copied at enqueue time, per-object striping slices
+views of views, and the bytes materialise exactly once — when the flushed
+window's RADOS write transactions are built (see
+:meth:`repro.rados.transaction.WriteTransaction.write`).
+
 On flush the queued extents are striped onto their objects and each object
 receives its whole share through ONE dispatcher call —
 :meth:`~repro.rbd.image.Image.write_extents` — which the crypto dispatcher
@@ -60,6 +66,7 @@ from ..errors import ConfigurationError
 from ..rbd.image import Image
 from ..rbd.striping import map_extent
 from ..sim.ledger import OpReceipt
+from ..util import as_readonly_view
 
 DEFAULT_QUEUE_DEPTH = 16
 
@@ -143,7 +150,7 @@ class IoPipeline:
         #: image is encrypted, the device sector size otherwise.
         self._block_size = getattr(dispatcher, "block_size",
                                    image.ioctx.cluster.params.sector_size)
-        self._pending: List[Tuple[int, bytes]] = []
+        self._pending: List[Tuple[int, memoryview]] = []
         self._pending_blocks: Dict[int, Set[int]] = {}
         self._completions: List[Completion] = []
         self.stats = PipelineStats()
@@ -209,8 +216,15 @@ class IoPipeline:
 
     # -- data path ----------------------------------------------------------------
 
-    def write(self, offset: int, data: bytes) -> None:
-        """Queue a write; it commits at the latest on the next flush."""
+    def write(self, offset: int, data) -> None:
+        """Queue a write; it commits at the latest on the next flush.
+
+        ``data`` is any bytes-like object, read-only buffers included; the
+        pipeline keeps a zero-copy view instead of copying up front, and
+        the bytes are materialised exactly once, when the flushed window's
+        RADOS transactions are built.  Like any AIO queue, the caller must
+        not mutate a passed buffer until the window is flushed (``bytes``
+        callers — the common case — are immutable anyway)."""
         # Validate eagerly: a bad extent must fail at the offending call,
         # not poison the whole window at flush time.
         self._image.check_io(offset, len(data))
@@ -223,7 +237,9 @@ class IoPipeline:
         elif self._pending and self._over_capacity(touched):
             self.stats.capacity_flushes += 1
             self.flush()
-        self._pending.append((offset, bytes(data)))
+        # Keep a zero-copy read-only view; the copy this used to make here
+        # (``bytes(data)``) is deferred to transaction build at flush time.
+        self._pending.append((offset, as_readonly_view(data)))
         for object_no, blocks in touched.items():
             self._pending_blocks.setdefault(object_no, set()).update(blocks)
         if len(self._pending) >= self._config.queue_depth:

@@ -14,6 +14,10 @@ so the fixed per-op cost (dispatch, one network round trip, journaling) is
 paid once per batch instead of once per block.  ``write_extents`` merges
 extents that are exactly adjacent into a single positional write, so a
 sequential batch reaches the OSD as one large device write.
+
+The write builders accept any bytes-like payload and are the single point
+where the zero-copy write path (pipeline -> striping -> codec) materialises
+``bytes``; everything upstream passes memoryviews.
 """
 
 from __future__ import annotations
@@ -125,8 +129,13 @@ class WriteTransaction:
         self.ops.append(OpCreate(exclusive))
         return self
 
-    def write(self, offset: int, data: bytes) -> "WriteTransaction":
-        """Append a positional write."""
+    def write(self, offset: int, data) -> "WriteTransaction":
+        """Append a positional write.
+
+        ``data`` is any bytes-like object; this is where the zero-copy
+        write path materialises its single copy (the memoryviews threaded
+        down from the pipeline become immutable transaction payload here).
+        """
         self.ops.append(OpWrite(offset, bytes(data)))
         return self
 

@@ -23,7 +23,7 @@ from ..errors import ImageExistsError, ImageNotFoundError, RbdError, SnapshotErr
 from ..rados.client import IoCtx, SnapContext
 from ..rados.transaction import WriteTransaction
 from ..sim.ledger import OpReceipt
-from ..util import MIB
+from ..util import MIB, as_readonly_view
 
 DEFAULT_OBJECT_SIZE = 4 * MIB
 
@@ -210,14 +210,19 @@ class Image:
                 f"IO [{offset}, {offset + length}) beyond image size "
                 f"{self._header.size}")
 
-    def write(self, offset: int, data: bytes) -> OpReceipt:
-        """Write ``data`` at image byte ``offset``."""
+    def write(self, offset: int, data) -> OpReceipt:
+        """Write ``data`` (any bytes-like object) at image byte ``offset``.
+
+        Per-object pieces are zero-copy views of the caller's buffer; the
+        dispatcher materialises bytes when it builds the RADOS transaction.
+        """
         self.check_io(offset, len(data))
-        if not data:
+        if not len(data):
             return OpReceipt()
+        view = as_readonly_view(data)
         combined: Optional[OpReceipt] = None
         for extent in map_extent(offset, len(data), self._header.object_size):
-            piece = data[extent.buffer_offset:extent.buffer_offset + extent.length]
+            piece = view[extent.buffer_offset:extent.buffer_offset + extent.length]
             receipt = self._dispatcher.write(extent.object_no, extent.offset, piece)
             combined = _merge_parallel(combined, receipt)
         return combined or OpReceipt()
@@ -251,13 +256,14 @@ class Image:
         the arrival order of ``extents``; objects are issued in parallel,
         like libRBD AIO.
         """
-        per_object: Dict[int, List[Tuple[int, bytes]]] = {}
+        per_object: Dict[int, List[Tuple[int, memoryview]]] = {}
         for offset, data in extents:
             self.check_io(offset, len(data))
-            if not data:
+            if not len(data):
                 continue
+            view = as_readonly_view(data)
             for extent in map_extent(offset, len(data), self._header.object_size):
-                piece = data[extent.buffer_offset:extent.buffer_offset + extent.length]
+                piece = view[extent.buffer_offset:extent.buffer_offset + extent.length]
                 per_object.setdefault(extent.object_no, []).append(
                     (extent.offset, piece))
         combined: Optional[OpReceipt] = None

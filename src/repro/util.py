@@ -44,6 +44,79 @@ def chunked(data: bytes, size: int) -> Iterator[bytes]:
         yield data[off:off + size]
 
 
+def bounded_cache_get(cache: dict, key, factory, max_entries: int = 16):
+    """Fetch ``key`` from ``cache``, building it with ``factory`` on a miss.
+
+    Returns ``(value, hit)`` so callers can skip reinitialisation work on
+    fresh entries.  The cache is bounded by wholesale clearing at
+    ``max_entries``: the working sets it serves (sector sizes, batch
+    shapes, derived keys) are tiny and recurring, so anything smarter than
+    clear-all would be wasted machinery.  Shared by the AES tiled-round-key
+    cache, the derived-IV cipher cache and :class:`ScratchPool`.
+    """
+    value = cache.get(key)
+    if value is not None:
+        return value, True
+    if len(cache) >= max_entries:
+        cache.clear()
+    value = cache[key] = factory()
+    return value, False
+
+
+def as_readonly_view(data) -> memoryview:
+    """Wrap any bytes-like object in a read-only :class:`memoryview`.
+
+    Slicing the result never copies, and downstream layers cannot mutate
+    the caller's buffer through it — the contract the zero-copy write path
+    (pipeline -> striping -> codec -> transaction) relies on.
+    """
+    view = memoryview(data)
+    return view if view.readonly else view.toreadonly()
+
+
+def chunked_views(data, size: int) -> Iterator[memoryview]:
+    """Yield successive ``size``-byte chunks of ``data`` as memoryviews.
+
+    The zero-copy counterpart of :func:`chunked`: no chunk copies any
+    bytes, so splitting a sector run into encryption blocks is free.  The
+    last chunk may be short.
+    """
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    view = memoryview(data)
+    for off in range(0, len(view), size):
+        yield view[off:off + size]
+
+
+class ScratchPool:
+    """A tiny pool of reusable scratch bytearrays, keyed by size.
+
+    The read-modify-write path assembles partial encryption blocks in a
+    scratch buffer; allocating a fresh bytearray per block shows up at
+    queue depth 1.  A borrowed buffer is valid until the next ``take`` of
+    the same size — callers must finish consuming (encrypting /
+    materialising) it before borrowing again, which the dispatcher's
+    one-block-at-a-time scalar path guarantees.
+    """
+
+    def __init__(self, max_sizes: int = 8) -> None:
+        self._buffers: dict = {}
+        self._max_sizes = max_sizes
+
+    def take(self, size: int, zero: bool = True) -> bytearray:
+        """Borrow a scratch buffer of exactly ``size`` bytes.
+
+        ``zero=False`` skips clearing for callers that overwrite every
+        byte before reading any (e.g. full read-modify-write assembly).
+        """
+        buf, reused = bounded_cache_get(self._buffers, size,
+                                        lambda: bytearray(size),
+                                        self._max_sizes)
+        if reused and zero:
+            buf[:] = bytes(size)
+        return buf
+
+
 def ceil_div(a: int, b: int) -> int:
     """Integer ceiling division."""
     if b <= 0:

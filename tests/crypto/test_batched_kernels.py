@@ -1,0 +1,224 @@
+"""Batched crypto kernels must be bit-identical to the scalar reference.
+
+The batched kernels (``AES.encrypt_blocks``/``decrypt_blocks``, the batched
+XTS sector path, the bulk CTR keystream and the windowed-table GHASH) are
+pure optimisations: every test here pins their output to the scalar
+one-block-per-call reference on the standard vectors (FIPS-197 Appendix C,
+IEEE 1619 XTS) and on randomized 512 B / 4 KiB sectors — ciphertext
+stealing and GCM tags included.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.aes import AES, MIN_BATCH_BLOCKS
+from repro.crypto.ctr import CTR, _inc32
+from repro.crypto.gcm import GCM
+from repro.crypto.gf128 import (GHashKey, ghash_mult, xts_mul_alpha,
+                                xts_mul_alpha_pow, xts_tweak_chain)
+from repro.crypto.wideblock import WideBlockCipher
+from repro.crypto.xts import XTS
+from repro.errors import DataSizeError
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_VECTORS = [
+    (bytes(range(16)), "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    (bytes(range(24)), "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (bytes(range(32)), "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+def _rand(seed: int, length: int) -> bytes:
+    return bytes(random.Random(seed).getrandbits(8) for _ in range(length))
+
+
+class TestBatchedAesKernels:
+    @pytest.mark.parametrize("key, expected", FIPS_VECTORS)
+    def test_fips_vectors_through_batched_kernel(self, key, expected):
+        """FIPS-197 Appendix C vectors, replicated past the batch cutoff."""
+        n = MIN_BATCH_BLOCKS * 4
+        cipher = AES(key)
+        batch = cipher.encrypt_blocks(FIPS_PLAINTEXT * n)
+        assert batch == bytes.fromhex(expected) * n
+        assert cipher.decrypt_blocks(batch) == FIPS_PLAINTEXT * n
+
+    @pytest.mark.parametrize("key_size", [16, 24, 32])
+    @pytest.mark.parametrize("block_count", [1, 2, 7, 8, 9, 32, 256])
+    def test_batched_equals_scalar(self, key_size, block_count):
+        """Batched output matches per-block scalar calls across the
+        scalar-fallback cutoff and for every key size."""
+        key = _rand(key_size, key_size)
+        cipher = AES(key)
+        data = _rand(block_count, 16 * block_count)
+        scalar = b"".join(cipher.encrypt_block(data[i:i + 16])
+                          for i in range(0, len(data), 16))
+        assert cipher.encrypt_blocks(data) == scalar
+        assert cipher.decrypt_blocks(scalar) == data
+
+    def test_accepts_bytes_like_inputs(self):
+        cipher = AES(bytes(range(32)))
+        data = _rand(1, 16 * 64)
+        expected = cipher.encrypt_blocks(data)
+        assert cipher.encrypt_blocks(bytearray(data)) == expected
+        assert cipher.encrypt_blocks(memoryview(data)) == expected
+        view = memoryview(bytearray(expected)).toreadonly()
+        assert cipher.decrypt_blocks(view) == data
+
+    def test_rejects_ragged_input(self):
+        cipher = AES(bytes(16))
+        with pytest.raises(DataSizeError):
+            cipher.encrypt_blocks(bytes(17))
+        with pytest.raises(DataSizeError):
+            cipher.decrypt_blocks(bytes(255))
+
+    def test_empty_batch(self):
+        cipher = AES(bytes(16))
+        assert cipher.encrypt_blocks(b"") == b""
+        assert cipher.decrypt_blocks(b"") == b""
+
+
+class TestBatchedXtsSectors:
+    def test_ieee_1619_vector_1_batched_path_unaffected(self):
+        # Vector 1 is below the batch cutoff; the 4 KiB replication of the
+        # same keys/tweak must agree between both paths.
+        batched = XTS(bytes(32))
+        scalar = XTS(bytes(32), batched=False)
+        assert batched.encrypt(bytes(16), bytes(32)).hex() == (
+            "917cf69ebd68b2ec9b9fe9a3eadda692"
+            "cd43d2f59598ed858c02c2652fbf922e")
+        sector = bytes(4096)
+        assert batched.encrypt(bytes(16), sector) == \
+            scalar.encrypt(bytes(16), sector)
+
+    @pytest.mark.parametrize("key_size", [32, 64])
+    @pytest.mark.parametrize("sector_size", [512, 4096])
+    def test_randomized_sectors_bit_identical(self, key_size, sector_size):
+        key = _rand(key_size, key_size)
+        batched = XTS(key)
+        scalar = XTS(key, batched=False)
+        for seed in range(3):
+            data = _rand(seed, sector_size)
+            tweak = _rand(1000 + seed, 16)
+            ct = batched.encrypt(tweak, data)
+            assert ct == scalar.encrypt(tweak, data)
+            assert batched.decrypt(tweak, ct) == data
+            assert scalar.decrypt(tweak, ct) == data
+
+    @pytest.mark.parametrize("length", [129, 150, 527, 530, 4100, 4111])
+    def test_ciphertext_stealing_bit_identical(self, length):
+        """Odd lengths exercise ciphertext stealing on the batched path."""
+        key = _rand(9, 64)
+        batched = XTS(key)
+        scalar = XTS(key, batched=False)
+        data = _rand(length, length)
+        tweak = _rand(2, 16)
+        ct = batched.encrypt(tweak, data)
+        assert ct == scalar.encrypt(tweak, data)
+        assert len(ct) == length
+        assert batched.decrypt(tweak, ct) == data
+
+    def test_sub_block_alpha_jump_matches_full_sector(self):
+        cipher = XTS(_rand(3, 64))
+        tweak = _rand(4, 16)
+        sector = _rand(5, 4096)
+        ciphertext = cipher.encrypt(tweak, sector)
+        for index in (0, 1, 17, 255):
+            sub = sector[index * 16:(index + 1) * 16]
+            assert cipher.encrypt_sub_block(tweak, index, sub) == \
+                ciphertext[index * 16:(index + 1) * 16]
+
+
+class TestTweakChain:
+    def test_chain_matches_chained_doublings(self):
+        tweak = _rand(6, 16)
+        chain = xts_tweak_chain(int.from_bytes(tweak, "little"), 300)
+        expected = tweak
+        for value in chain:
+            assert value.to_bytes(16, "little") == expected
+            expected = xts_mul_alpha(expected)
+
+    def test_alpha_power_jump_matches_chained_doublings(self):
+        tweak = _rand(7, 16)
+        expected = tweak
+        for power in range(260):
+            assert xts_mul_alpha_pow(tweak, power) == expected
+            expected = xts_mul_alpha(expected)
+
+    def test_alpha_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            xts_mul_alpha_pow(bytes(16), -1)
+
+
+class TestWindowedGhash:
+    def test_table_mult_matches_bit_serial_reference(self):
+        rng = random.Random(8)
+        for _ in range(64):
+            h = _rand(rng.getrandbits(32), 16)
+            x = rng.getrandbits(128)
+            assert GHashKey(h).mult(x) == \
+                ghash_mult(x, int.from_bytes(h, "big"))
+
+    def test_table_mult_identity_and_zero(self):
+        h = _rand(10, 16)
+        key = GHashKey(h)
+        assert key.mult(0) == 0
+        # Multiplying 1 (the polynomial "1" = int with bit 127 set) by H
+        # must give H itself.
+        assert key.mult(1 << 127) == int.from_bytes(h, "big")
+
+
+class TestBatchedCtrAndGcm:
+    def test_keystream_matches_scalar_reference(self):
+        key = _rand(11, 32)
+        ctr = CTR(key)
+        cipher = AES(key)
+        counter = _rand(12, 16)
+        # Scalar reference: one encrypt_block per counter value.
+        block, reference = counter, b""
+        while len(reference) < 1000:
+            reference += cipher.encrypt_block(block)
+            block = _inc32(block)
+        for length in (0, 1, 16, 100, 1000):
+            assert ctr.keystream(counter, length) == reference[:length]
+
+    def test_wide_counter_keystream_crosses_32bit_boundary(self):
+        key = _rand(13, 32)
+        ctr = CTR(key, wide_counter=True)
+        cipher = AES(key)
+        counter = b"\xff" * 16  # wraps the full 128-bit counter
+        reference = b""
+        value = int.from_bytes(counter, "big")
+        for i in range(20):
+            reference += cipher.encrypt_block(
+                ((value + i) & ((1 << 128) - 1)).to_bytes(16, "big"))
+        assert ctr.keystream(counter, 320) == reference
+
+    @pytest.mark.parametrize("sector_size", [512, 4096])
+    def test_gcm_sector_roundtrip_with_tag(self, sector_size):
+        key = _rand(14, 32)
+        gcm = GCM(key)
+        nonce = _rand(15, 12)
+        aad = b"lba-0042"
+        data = _rand(sector_size, sector_size)
+        result = gcm.encrypt(nonce, data, aad=aad)
+        assert len(result.ciphertext) == sector_size
+        assert len(result.tag) == 16
+        assert gcm.decrypt(nonce, result.ciphertext, result.tag,
+                           aad=aad) == data
+
+    def test_gcm_accepts_memoryview_plaintext(self):
+        gcm = GCM(_rand(16, 32))
+        nonce = _rand(17, 12)
+        data = _rand(18, 4096)
+        from_bytes = gcm.encrypt(nonce, data)
+        from_view = gcm.encrypt(nonce, memoryview(data))
+        assert from_view.ciphertext == from_bytes.ciphertext
+        assert from_view.tag == from_bytes.tag
+
+    def test_wideblock_accepts_memoryview_plaintext(self):
+        cipher = WideBlockCipher(_rand(19, 64))
+        tweak = _rand(20, 16)
+        data = _rand(21, 4096)
+        assert cipher.encrypt(tweak, memoryview(data)) == \
+            cipher.encrypt(tweak, data)

@@ -27,6 +27,14 @@ class TestCli:
         assert "layout=omap" in out
         assert "crypto.blocks" in out
 
+    def test_profile_flag_prints_hotspots(self, capsys):
+        assert main(["--profile", "sectors", "--sizes", "4K"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (top 20 by cumulative time):" in out
+        assert "cumtime" in out
+        # The profiled command's own output still appears.
+        assert "4.0KiB" in out
+
     def test_sweep_command_small(self, capsys):
         assert main(["sweep", "--kind", "write", "--sizes", "16K",
                      "--layouts", "luks-baseline,object-end",
