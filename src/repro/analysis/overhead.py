@@ -57,6 +57,14 @@ class SweepConfig:
     #: independent client streams per sweep point (one image each, shared
     #: cluster); >1 runs through the ClusterWorkloadRunner
     num_clients: int = 1
+    #: client-side block cache mode: None (off), "writethrough", "writeback"
+    cache_mode: Optional[str] = None
+    #: cache capacity in bytes (None = the cache package default)
+    cache_size: Optional[int] = None
+    #: cache eviction policy: "lru" or "arc"
+    cache_policy: str = "lru"
+    #: maximum blocks of sequential-read prefetch (0 = readahead off)
+    readahead: int = 0
     params: Optional[CostParameters] = None
 
     def io_count_for(self, io_size: int) -> int:
@@ -157,7 +165,11 @@ class LayoutSweep:
                             seed=config.seed, prefill=prefill,
                             batched=config.batched,
                             batch_size=config.batch_size,
-                            num_clients=config.num_clients)
+                            num_clients=config.num_clients,
+                            cache_mode=config.cache_mode,
+                            cache_size=config.cache_size,
+                            cache_policy=config.cache_policy,
+                            readahead=config.readahead)
 
     def _run_point(self, kind: str, rw: str, layout: str,
                    io_size: int) -> WorkloadResult:

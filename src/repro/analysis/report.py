@@ -86,6 +86,38 @@ def format_latency_table(results: SweepResults) -> str:
             f"{ascii_table(headers, rows)}")
 
 
+def format_cache_table(results: SweepResults) -> str:
+    """Cache-behaviour table: hit rates, readahead and writeback activity.
+
+    Rendered from the ``cache.*`` ledger counters each cached run leaves
+    behind (:class:`repro.cache.CachedImage`); returns an empty string for
+    uncached sweeps so callers can print unconditionally.
+    """
+    headers = ["IO size", "layout", "read hit%", "write hit%",
+               "readahead", "writebacks", "flushes"]
+    rows: List[List[object]] = []
+    for io_size in results.io_sizes():
+        for layout in results.layouts():
+            result = results.result(layout, io_size)
+            counter = result.counter
+            reads = counter("cache.read_hits") + counter("cache.read_misses")
+            writes = counter("cache.write_hits") + counter("cache.write_misses")
+            if not reads and not writes and not counter("cache.flushes"):
+                continue
+            read_pct = 100.0 * counter("cache.read_hits") / reads if reads else 0.0
+            write_pct = (100.0 * counter("cache.write_hits") / writes
+                         if writes else 0.0)
+            rows.append([format_size(io_size), layout,
+                         f"{read_pct:.1f}", f"{write_pct:.1f}",
+                         f"{counter('cache.readahead_blocks'):.0f}",
+                         f"{counter('cache.writeback_blocks'):.0f}",
+                         f"{counter('cache.flushes'):.0f}"])
+    if not rows:
+        return ""
+    return ("Client-side cache behaviour (hits are blocks served without "
+            f"cluster IO)\n{ascii_table(headers, rows)}")
+
+
 def to_csv(results: SweepResults) -> str:
     """CSV form of a sweep (bandwidth, IOPS and latency percentiles)."""
     lines = ["io_size,layout,bandwidth_mbps,iops,p50_us,p95_us,p99_us"]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, Union
 
+from .cache.config import CacheConfig
+from .cache.image import CachedImage
 from .crypto.drbg import HmacDrbg, RandomSource
 from .crypto.suite import DEFAULT_SUITE
 from .encryption.format import (EncryptedImageInfo, EncryptionOptions,
@@ -19,6 +21,13 @@ from .rados.cluster import Cluster, ClusterConfig
 from .rbd.image import DEFAULT_OBJECT_SIZE, Image, create_image, open_image
 from .sim.costparams import CostParameters, default_cost_parameters
 from .util import parse_size
+
+
+def _as_cache_config(cache: Union[None, str, CacheConfig]) -> Optional[CacheConfig]:
+    """Normalize a cache argument: None, a mode string, or a full config."""
+    if cache is None or isinstance(cache, CacheConfig):
+        return cache
+    return CacheConfig(mode=cache)
 
 
 def make_cluster(osd_count: int = 3, replica_count: int = 3,
@@ -44,11 +53,16 @@ def create_encrypted_image(cluster: Cluster, name: str, size: Union[int, str],
                            pool: str = "rbd",
                            random_seed: Optional[bytes] = None,
                            journaled: bool = False,
+                           cache: Union[None, str, CacheConfig] = None,
                            ) -> Tuple[Image, EncryptedImageInfo]:
     """Create an image, format it for encryption and return it unlocked.
 
     ``encryption_format`` selects the per-sector metadata layout
     (``luks-baseline``, ``unaligned``, ``object-end`` or ``omap``).
+    ``cache`` optionally enables the client-side block cache: pass a mode
+    string (``"writeback"`` / ``"writethrough"``) or a full
+    :class:`~repro.cache.CacheConfig`; the returned image is then a
+    :class:`~repro.cache.CachedImage` with the same data-path surface.
     """
     ioctx = cluster.client().open_ioctx(pool)
     create_image(ioctx, name, _as_bytes(size), _as_bytes(object_size))
@@ -59,16 +73,24 @@ def create_encrypted_image(cluster: Cluster, name: str, size: Union[int, str],
                                 iv_policy=iv_policy, journaled=journaled,
                                 random_source=rng)
     info = format_encryption(image, passphrase, options)
+    cache_config = _as_cache_config(cache)
+    if cache_config is not None:
+        return CachedImage(image, cache_config), info
     return image, info
 
 
 def open_encrypted_image(cluster: Cluster, name: str, passphrase: bytes,
                          pool: str = "rbd",
-                         journaled: bool = False) -> Tuple[Image, EncryptedImageInfo]:
-    """Open and unlock an existing encrypted image."""
+                         journaled: bool = False,
+                         cache: Union[None, str, CacheConfig] = None,
+                         ) -> Tuple[Image, EncryptedImageInfo]:
+    """Open and unlock an existing encrypted image (optionally cached)."""
     ioctx = cluster.client().open_ioctx(pool)
     image = open_image(ioctx, name)
     info = load_encryption(image, passphrase, journaled=journaled)
+    cache_config = _as_cache_config(cache)
+    if cache_config is not None:
+        return CachedImage(image, cache_config), info
     return image, info
 
 
@@ -82,14 +104,22 @@ def create_plain_image(cluster: Cluster, name: str, size: Union[int, str],
 
 
 def make_pipeline(image: Image, queue_depth: int = 16,
-                  batch_size: Optional[int] = None) -> IoPipeline:
+                  batch_size: Optional[int] = None,
+                  cache: Union[None, str, CacheConfig] = None) -> IoPipeline:
     """Wrap an image in the batched I/O engine (:mod:`repro.engine`).
 
     Up to ``queue_depth`` requests coalesce into one RADOS transaction per
     object; ``batch_size`` optionally caps the blocks one object may
-    accumulate per window.  Collect per-window cost receipts with
-    ``pipeline.poll()`` (or ``drain()`` at the end); unpolled completions
-    are bounded by merging the oldest into aggregate records.
+    accumulate per window.  ``cache`` slots the client-side block cache
+    (:class:`~repro.cache.CachedImage`) between the pipeline and the
+    image: a mode string or a :class:`~repro.cache.CacheConfig` (an image
+    that is already cached is used as-is).  Collect per-window cost
+    receipts with ``pipeline.poll()`` (or ``drain()`` at the end);
+    unpolled completions are bounded by merging the oldest into aggregate
+    records.
     """
+    cache_config = _as_cache_config(cache)
+    if cache_config is not None and not isinstance(image, CachedImage):
+        image = CachedImage(image, cache_config)
     return IoPipeline(image, EngineConfig(queue_depth=queue_depth,
                                           batch_size=batch_size))

@@ -1,0 +1,100 @@
+"""Configuration and statistics of the client-side block cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..errors import ConfigurationError
+from ..util import MIB, parse_size
+
+#: valid values of :attr:`CacheConfig.mode` (and the CLI's ``--cache-mode``).
+CACHE_MODES = ("writethrough", "writeback")
+
+#: valid values of :attr:`CacheConfig.policy`.
+CACHE_POLICIES = ("lru", "arc")
+
+DEFAULT_CACHE_SIZE = 8 * MIB
+
+
+@dataclass
+class CacheConfig:
+    """Knobs of the client-side block cache (:class:`~repro.cache.CachedImage`).
+
+    ``mode`` selects the write policy:
+
+    * ``writethrough`` — every write is forwarded to the cluster before it
+      acknowledges (the RADOS state is bit-identical to the uncached path,
+      including the IV stream); the cache only absorbs subsequent reads.
+    * ``writeback`` — writes land in the cache and acknowledge at the cost
+      of a client-side copy; dirty blocks reach the cluster coalesced into
+      multi-block transactions when the dirty ratio is exceeded, when a
+      dirty block is evicted, or at a flush barrier.
+    """
+
+    #: write policy: "writethrough" or "writeback"
+    mode: str = "writeback"
+    #: cache capacity in bytes (rounded down to whole blocks, minimum one)
+    size: Union[int, str] = DEFAULT_CACHE_SIZE
+    #: eviction policy: "lru" or "arc"
+    policy: str = "lru"
+    #: maximum blocks prefetched ahead of a detected sequential read stream
+    #: (0 disables readahead)
+    readahead_blocks: int = 0
+    #: consecutive sequential reads required before readahead kicks in
+    readahead_trigger: int = 2
+    #: writeback starts once dirty blocks exceed this fraction of capacity
+    #: (writeback mode only; 1.0 defers all writeback to eviction/flush)
+    dirty_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in CACHE_MODES:
+            raise ConfigurationError(
+                f"cache mode must be one of {CACHE_MODES}, got {self.mode!r}")
+        if isinstance(self.size, str):
+            self.size = parse_size(self.size)
+        if self.size <= 0:
+            raise ConfigurationError("cache size must be positive")
+        if self.policy not in CACHE_POLICIES:
+            raise ConfigurationError(
+                f"cache policy must be one of {CACHE_POLICIES}, "
+                f"got {self.policy!r}")
+        if self.readahead_blocks < 0:
+            raise ConfigurationError("readahead_blocks must be >= 0")
+        if self.readahead_trigger < 1:
+            raise ConfigurationError("readahead_trigger must be >= 1")
+        if not 0.0 < self.dirty_ratio <= 1.0:
+            raise ConfigurationError("dirty_ratio must be within (0, 1]")
+
+    def capacity_blocks(self, block_size: int) -> int:
+        """Whole cache blocks the configured byte size holds (at least 1)."""
+        return max(1, int(self.size) // block_size)
+
+
+@dataclass
+class CacheStats:
+    """Counters the cache keeps about itself (mirrored into the ledger)."""
+
+    read_hits: int = 0          #: blocks served from the cache
+    read_misses: int = 0        #: blocks fetched from the cluster on demand
+    fill_reads: int = 0         #: blocks read-filled for partial writeback
+    write_hits: int = 0         #: written blocks that were already resident
+    write_misses: int = 0       #: written blocks that were not resident
+    readahead_blocks: int = 0   #: blocks prefetched by readahead
+    readahead_hits: int = 0     #: prefetched blocks later served as hits
+    writeback_blocks: int = 0   #: dirty blocks written back to the cluster
+    writebacks: int = 0         #: writeback operations (vectored flushes)
+    evictions: int = 0          #: blocks dropped to make room
+    dirty_evictions: int = 0    #: evictions that forced a writeback first
+    flushes: int = 0            #: explicit flush barriers
+    counters: dict = field(default_factory=dict)
+
+    def read_hit_rate(self) -> float:
+        """Fraction of read blocks served from the cache (0 when no reads)."""
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+    def write_hit_rate(self) -> float:
+        """Fraction of written blocks already resident (0 when no writes)."""
+        total = self.write_hits + self.write_misses
+        return self.write_hits / total if total else 0.0

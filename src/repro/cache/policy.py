@@ -1,0 +1,158 @@
+"""Eviction policies of the block cache: LRU and ARC.
+
+A policy tracks *which* resident blocks to keep; it never sees block
+contents or dirty state (a dirty victim is written back by the cache
+before it is dropped).  Both policies are deterministic: the same access
+sequence always produces the same eviction sequence, which is what makes
+cached benchmark baselines reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+
+class EvictionPolicy:
+    """Interface the cache drives: residency bookkeeping + victim choice."""
+
+    def touch(self, key: int) -> None:
+        """Record a hit on a resident block."""
+        raise NotImplementedError
+
+    def admit(self, key: int) -> None:
+        """Record the insertion of a newly resident block."""
+        raise NotImplementedError
+
+    def evict(self) -> int:
+        """Choose a resident victim, remove it and return its key."""
+        raise NotImplementedError
+
+    def remove(self, key: int) -> None:
+        """Forget a resident block (invalidation, discard)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class LruPolicy(EvictionPolicy):
+    """Classic least-recently-used over one recency list."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def touch(self, key: int) -> None:
+        self._order.move_to_end(key)
+
+    def admit(self, key: int) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def evict(self) -> int:
+        if not self._order:
+            raise ConfigurationError("cannot evict from an empty cache")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def remove(self, key: int) -> None:
+        self._order.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class ArcPolicy(EvictionPolicy):
+    """Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+
+    Resident blocks live in ``T1`` (seen once) or ``T2`` (seen at least
+    twice); the ghost lists ``B1``/``B2`` remember recently evicted keys
+    and steer the adaptation target ``p`` (the desired size of ``T1``):
+    a ghost hit in ``B1`` means the recency side was evicted too eagerly
+    (grow ``p``), a ghost hit in ``B2`` means the frequency side was
+    (shrink ``p``).  Scan-resistant where plain LRU is not: a single
+    sequential sweep cannot flush the frequently re-used working set out
+    of ``T2``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("ARC capacity must be positive")
+        self._c = capacity
+        self._p = 0.0
+        self._t1: "OrderedDict[int, None]" = OrderedDict()
+        self._t2: "OrderedDict[int, None]" = OrderedDict()
+        self._b1: "OrderedDict[int, None]" = OrderedDict()
+        self._b2: "OrderedDict[int, None]" = OrderedDict()
+
+    # -- interface -------------------------------------------------------------
+
+    def touch(self, key: int) -> None:
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+        elif key in self._t2:
+            self._t2.move_to_end(key)
+
+    def admit(self, key: int) -> None:
+        if key in self._b1:
+            # Ghost hit on the recency side: adapt toward recency.
+            self._p = min(float(self._c),
+                          self._p + max(1.0, len(self._b2) / max(1, len(self._b1))))
+            del self._b1[key]
+            self._t2[key] = None
+        elif key in self._b2:
+            # Ghost hit on the frequency side: adapt toward frequency.
+            self._p = max(0.0,
+                          self._p - max(1.0, len(self._b1) / max(1, len(self._b2))))
+            del self._b2[key]
+            self._t2[key] = None
+        else:
+            self._t1[key] = None
+            self._trim_ghosts()
+
+    def evict(self) -> int:
+        victim = self._replace()
+        if victim is None:
+            raise ConfigurationError("cannot evict from an empty cache")
+        return victim
+
+    def remove(self, key: int) -> None:
+        for lst in (self._t1, self._t2, self._b1, self._b2):
+            lst.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    # -- ARC internals ---------------------------------------------------------
+
+    def _replace(self) -> Optional[int]:
+        """ARC's REPLACE: evict from T1 while it exceeds the target p."""
+        if self._t1 and (len(self._t1) > self._p or not self._t2):
+            key, _ = self._t1.popitem(last=False)
+            self._b1[key] = None
+        elif self._t2:
+            key, _ = self._t2.popitem(last=False)
+            self._b2[key] = None
+        else:
+            return None
+        self._trim_ghosts()
+        return key
+
+    def _trim_ghosts(self) -> None:
+        """Bound each ghost list to the cache capacity."""
+        while len(self._b1) > self._c:
+            self._b1.popitem(last=False)
+        while len(self._b2) > self._c:
+            self._b2.popitem(last=False)
+
+
+def make_policy(name: str, capacity: int) -> EvictionPolicy:
+    """Instantiate a policy by its configuration name."""
+    if name == "lru":
+        return LruPolicy()
+    if name == "arc":
+        return ArcPolicy(capacity)
+    raise ConfigurationError(f"unknown cache policy {name!r}")

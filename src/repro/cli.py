@@ -31,9 +31,11 @@ from typing import List, Optional, Sequence
 
 from . import api
 from .analysis.overhead import LayoutSweep, PAPER_LAYOUTS, SweepConfig
-from .analysis.report import (format_bandwidth_table, format_latency_table,
-                              format_overhead_table, to_csv)
+from .analysis.report import (format_bandwidth_table, format_cache_table,
+                              format_latency_table, format_overhead_table,
+                              to_csv)
 from .analysis.sectors import SectorAccessModel, theoretical_overhead_table
+from .cache.config import CACHE_MODES, CACHE_POLICIES
 from .sim.costparams import SIM_MODES
 from .util import MIB, format_size, parse_size
 from .workload.spec import PAPER_IO_SIZES
@@ -56,6 +58,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--batch-size only takes effect with --batched")
     if args.num_clients < 1:
         raise SystemExit("--num-clients must be positive")
+    if args.cache_mode is None and (args.cache_size or args.readahead
+                                    or args.cache_policy != "lru"):
+        raise SystemExit("--cache-size/--readahead/--cache-policy only take "
+                         "effect with --cache-mode")
     config = SweepConfig(
         io_sizes=_parse_sizes(args.sizes),
         layouts=_parse_layouts(args.layouts),
@@ -69,6 +75,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         sim_mode=args.sim_mode,
         num_clients=args.num_clients,
+        cache_mode=args.cache_mode,
+        cache_size=(parse_size(args.cache_size) if args.cache_size else None),
+        cache_policy=args.cache_policy,
+        readahead=args.readahead,
     )
     results = LayoutSweep(config).run(args.kind)
     print(format_bandwidth_table(results))
@@ -79,6 +89,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if latency_table:
         print()
         print(latency_table)
+    cache_table = format_cache_table(results)
+    if cache_table:
+        print()
+        print(cache_table)
     if args.csv:
         print()
         print(to_csv(results))
@@ -161,6 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="independent client streams per point, all "
                        "contending for one cluster (contention needs "
                        "--sim-mode events to be visible)")
+    sweep.add_argument("--cache-mode", choices=CACHE_MODES, default=None,
+                       help="client-side block cache: 'writethrough' keeps "
+                       "the RADOS write stream identical and absorbs reads; "
+                       "'writeback' also coalesces dirty blocks into the "
+                       "multi-block transaction path")
+    sweep.add_argument("--cache-size", default=None,
+                       help="cache capacity per client (e.g. 8M; default "
+                       "from repro.cache)")
+    sweep.add_argument("--readahead", type=int, default=0,
+                       help="max blocks of sequential-read prefetch "
+                       "(0 = off)")
+    sweep.add_argument("--cache-policy", choices=CACHE_POLICIES,
+                       default="lru", help="cache eviction policy")
     sweep.add_argument("--csv", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 

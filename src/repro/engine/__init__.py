@@ -9,6 +9,27 @@ per-sector metadata, coalesced by the crypto dispatcher).  See
 :mod:`repro.engine.pipeline` for the batching model and the hazard rules
 that keep the batched path plaintext-equivalent to the scalar path (and
 ciphertext-identical for windows that do not interleave across objects).
+
+Contracts every consumer may rely on:
+
+* **Zero-copy / don't-mutate-until-flush** — ``IoPipeline.write`` keeps a
+  read-only :class:`memoryview` of the caller's buffer instead of
+  copying; like any AIO queue, the caller must not mutate a passed buffer
+  until the window flushes (``bytes`` callers are immutable anyway).
+  Bytes materialise exactly once, when the flushed window's RADOS
+  transactions are built.  (The client-side cache above the engine,
+  :mod:`repro.cache`, copies at admission and re-establishes this
+  contract below itself on the writeback path.)
+* **Flush ordering** — a window's writes commit in arrival order within
+  each object; reads act as barriers (every queued write flushes first),
+  and a failed flush leaves the window queued so the caller can retry.
+* **Hazard rule** — two queued writes never share an encryption block
+  (including RMW-completed boundary blocks), so each block is encrypted
+  exactly once per window and the batched path stays plaintext-equivalent
+  to issuing the same requests one transaction at a time.
+* **Determinism** — given the same request stream and a deterministic
+  random source, windowing decisions and therefore the transaction
+  stream are reproducible.
 """
 
 from .pipeline import Completion, EngineConfig, IoPipeline, PipelineStats

@@ -10,6 +10,26 @@ performed into a :class:`~repro.sim.ledger.CostLedger`, and
 estimated elapsed time using bottleneck analysis plus a queue-depth latency
 bound.  See DESIGN.md §2 for why this substitution preserves the paper's
 comparisons.
+
+Contracts every consumer may rely on:
+
+* **Determinism** — both performance models are pure functions of the
+  recorded work: the analytic two-bound estimate reads only the ledger
+  delta, and the event-driven replay (:mod:`repro.sim.scheduler`)
+  processes the recorded :class:`~repro.sim.ledger.ClientOpTrace` streams
+  through an explicitly ordered event loop with deterministic
+  tie-breaking.  Same run, same seeds → bit-identical estimates; this is
+  what makes the committed ``BENCH_*.json`` baselines gateable in CI.
+* **Ledger completeness** — every simulated component charges *all* of
+  its work (counters and resource busy time) before its call returns;
+  snapshots/diffs of the ledger therefore bracket a run exactly.
+* **Single-use schedulers** — a :class:`ClusterScheduler` replays exactly
+  one run; its queues accumulate state, so build a fresh one per replay
+  (:func:`simulate_client_ops` does).
+* **Trace hygiene** — op traces are only recorded while
+  ``ledger.trace_ops`` is on; unsealed traces must be either sealed by
+  ``finish_op`` or dropped with ``discard_open_traces`` before the next
+  run on the same cluster.
 """
 
 from .clock import SimClock

@@ -79,6 +79,9 @@ class CostParameters:
     client_op_cost_us: float = 12.0          #: per-IO client dispatch cost
     crypto_block_cost_us: float = 0.8        #: AES-NI cost per 4 KiB block
     iv_generation_cost_us: float = 0.15      #: DRBG cost per random IV
+    #: client CPU cost of one block-cache lookup + copy (charged once per
+    #: cached operation by :class:`repro.cache.CachedImage`)
+    cache_hit_cost_us: float = 2.0
 
     # --- cluster shape --------------------------------------------------------
     osd_count: int = 3

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 
 from .generator import generate_request_list
 from .runner import (BatchedStreamIssuer, WorkloadResult, WorkloadRunner,
-                     prefill_image)
+                     finish_cache_flush, prefill_image, wrap_in_cache)
 from .spec import WorkloadSpec
 from ..engine.pipeline import EngineConfig, IoPipeline
 from ..errors import WorkloadError
@@ -62,7 +62,10 @@ class _ClientStream:
 
     def __init__(self, index: int, image: Image, spec: WorkloadSpec) -> None:
         self.index = index
-        self.image = image
+        # Each client stream owns its cache (client-side caching), wrapped
+        # around its own image.
+        self.image = wrap_in_cache(image, spec)
+        self.cached = self.image if self.image is not image else None
         self.spec = spec
         self.requests = generate_request_list(spec, image.size)
         self.cursor = 0
@@ -71,7 +74,7 @@ class _ClientStream:
         self.total_bytes = 0
         self.issuer: Optional[BatchedStreamIssuer] = None
         if spec.batched:
-            pipeline = IoPipeline(image, EngineConfig(
+            pipeline = IoPipeline(self.image, EngineConfig(
                 queue_depth=spec.queue_depth, batch_size=spec.batch_size))
             self.issuer = BatchedStreamIssuer(pipeline, spec)
 
@@ -198,12 +201,15 @@ class ClusterWorkloadRunner:
         stream.latencies.append(receipt.latency_us)
 
     def _finish_stream(self, stream: _ClientStream) -> None:
-        """Drain an exhausted stream's pipeline (no-op for scalar streams)."""
-        if stream.issuer is None:
-            return
-        self._cluster.ledger.trace_client = stream.index
-        for completion in stream.issuer.drain():
-            self._finish_completion(stream, completion)
+        """Drain an exhausted stream: pipeline first, then its cache."""
+        ledger = self._cluster.ledger
+        if stream.issuer is not None:
+            ledger.trace_client = stream.index
+            for completion in stream.issuer.drain():
+                self._finish_completion(stream, completion)
+        if stream.cached is not None:
+            ledger.trace_client = stream.index
+            finish_cache_flush(ledger, stream.cached, stream.latencies)
 
     def _finish_completion(self, stream: _ClientStream, completion) -> None:
         ledger = self._cluster.ledger

@@ -25,6 +25,27 @@ from ..sim.scheduler import simulate_client_ops
 from ..util import MIB
 
 
+def wrap_in_cache(image: Image, spec: WorkloadSpec):
+    """Wrap ``image`` in the spec's client-side cache (no-op when off)."""
+    config = spec.cache_config()
+    if config is None:
+        return image
+    from ..cache.image import CachedImage
+    return CachedImage(image, config)
+
+
+def finish_cache_flush(ledger: CostLedger, cached, latencies: List[float]) -> None:
+    """Issue a cached run's final flush barrier and account it.
+
+    The flush is one client-visible operation (fio's ``end_fsync``); runs
+    that left no dirty blocks record nothing.
+    """
+    receipt = cached.flush()
+    if receipt.latency_us or receipt.bytes_moved:
+        ledger.finish_op(receipt)
+        latencies.append(receipt.latency_us)
+
+
 def prefill_image(image: Image, chunk_size: int = MIB,
                   pattern_seed: int = 7) -> None:
     """Write the whole image once so later reads hit real (encrypted) data.
@@ -140,6 +161,9 @@ class WorkloadRunner:
         """Execute ``spec`` against ``image`` and return the measurements."""
         if spec.prefill:
             prefill_image(image)
+        # The cache (if requested) wraps the image *after* the prefill so
+        # measurements start from a cold cache, like a freshly mapped disk.
+        io_image = wrap_in_cache(image, spec)
 
         ledger = self._cluster.ledger
         before = ledger.snapshot()
@@ -152,19 +176,24 @@ class WorkloadRunner:
             ledger.trace_ops = True
         try:
             if spec.batched:
-                total_bytes = self._run_batched(image, spec, write_buffer,
+                total_bytes = self._run_batched(io_image, spec, write_buffer,
                                                 latencies)
             else:
-                for request in generate_requests(spec, image.size):
+                for request in generate_requests(spec, io_image.size):
                     if request.op == "write":
-                        receipt = image.write(request.offset,
-                                              write_buffer[:request.length])
+                        receipt = io_image.write(request.offset,
+                                                 write_buffer[:request.length])
                     else:
-                        receipt = image.read_with_receipt(
+                        receipt = io_image.read_with_receipt(
                             request.offset, request.length).receipt
                     ledger.finish_op(receipt)
                     latencies.append(receipt.latency_us)
                     total_bytes += request.length
+            if io_image is not image:
+                # End-of-run flush barrier: dirty writeback blocks reach
+                # the cluster inside the measured window, accounted as one
+                # final client-visible operation (like fio's end_fsync).
+                finish_cache_flush(ledger, io_image, latencies)
         finally:
             if events:
                 ledger.trace_ops = False

@@ -53,6 +53,15 @@ class WorkloadSpec:
     #: flight; >1 requires the ClusterWorkloadRunner and the event-driven
     #: sim mode to mean anything — the analytic model cannot see contention)
     num_clients: int = 1
+    #: client-side block cache mode: None (off), "writethrough" or
+    #: "writeback" (each client stream gets its own cache)
+    cache_mode: Optional[str] = None
+    #: cache capacity in bytes (None = the cache package default)
+    cache_size: Optional[int] = None
+    #: cache eviction policy: "lru" or "arc"
+    cache_policy: str = "lru"
+    #: maximum blocks of sequential-read prefetch (0 = readahead off)
+    readahead: int = 0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -75,6 +84,25 @@ class WorkloadSpec:
             raise WorkloadError("batch_size only takes effect with batched=True")
         if self.num_clients <= 0:
             raise WorkloadError("num_clients must be positive")
+        from ..cache.config import CACHE_MODES, CACHE_POLICIES
+        if self.cache_mode is not None and self.cache_mode not in CACHE_MODES:
+            raise WorkloadError(
+                f"cache_mode must be None or one of {CACHE_MODES}")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise WorkloadError(
+                f"cache_policy must be one of {CACHE_POLICIES}")
+        if isinstance(self.cache_size, str):
+            self.cache_size = parse_size(self.cache_size)
+        if self.cache_size is not None and self.cache_size <= 0:
+            raise WorkloadError("cache_size must be positive")
+        if self.readahead < 0:
+            raise WorkloadError("readahead must be >= 0")
+        if self.cache_mode is None and (self.cache_size is not None
+                                        or self.readahead
+                                        or self.cache_policy != "lru"):
+            raise WorkloadError(
+                "cache_size/readahead/cache_policy only take effect with "
+                "a cache_mode")
 
     @property
     def is_random(self) -> bool:
@@ -100,9 +128,22 @@ class WorkloadSpec:
         return replace(self, name=f"{self.name}.c{client}",
                        seed=self.seed + 7919 * client, num_clients=1)
 
+    def cache_config(self):
+        """The :class:`~repro.cache.CacheConfig` this spec asks for
+        (``None`` when caching is off)."""
+        if self.cache_mode is None:
+            return None
+        from ..cache.config import CacheConfig, DEFAULT_CACHE_SIZE
+        return CacheConfig(mode=self.cache_mode,
+                           size=self.cache_size or DEFAULT_CACHE_SIZE,
+                           policy=self.cache_policy,
+                           readahead_blocks=self.readahead)
+
     def describe(self) -> str:
         """Short fio-style description."""
         engine = " engine=batched" if self.batched else ""
         clients = f" clients={self.num_clients}" if self.num_clients > 1 else ""
+        cache = f" cache={self.cache_mode}" if self.cache_mode else ""
         return (f"{self.name}: rw={self.rw} bs={self.io_size} "
-                f"qd={self.queue_depth} seed={self.seed}{engine}{clients}")
+                f"qd={self.queue_depth} seed={self.seed}{engine}{clients}"
+                f"{cache}")

@@ -97,6 +97,40 @@ class TestCli:
         out = capsys.readouterr().out
         assert "latency percentiles (events model)" in out
 
+    def test_sweep_cache_writeback_prints_cache_table(self, capsys):
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "16M",
+                     "--bytes-per-point", "512K", "--cache-mode", "writeback",
+                     "--cache-size", "16M"]) == 0
+        out = capsys.readouterr().out
+        assert "Client-side cache behaviour" in out
+        assert "write hit%" in out
+
+    def test_sweep_cache_readahead_writethrough(self, capsys):
+        assert main(["sweep", "--kind", "read", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "16M",
+                     "--bytes-per-point", "512K", "--cache-mode",
+                     "writethrough", "--readahead", "8",
+                     "--cache-policy", "arc"]) == 0
+        out = capsys.readouterr().out
+        assert "Client-side cache behaviour" in out
+
+    def test_sweep_cache_knobs_require_cache_mode(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sizes", "16K", "--cache-size", "8M"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sizes", "16K", "--readahead", "4"])
+
+    def test_sweep_rejects_unknown_cache_mode(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sizes", "16K", "--cache-mode", "writearound"])
+
+    def test_uncached_sweep_prints_no_cache_table(self, capsys):
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "16M",
+                     "--bytes-per-point", "256K"]) == 0
+        assert "Client-side cache behaviour" not in capsys.readouterr().out
+
 
 class TestApiHelpers:
     def test_make_cluster_shapes(self):
@@ -121,6 +155,33 @@ class TestApiHelpers:
         api.create_plain_image(cluster, "dup", 8 * MIB)
         with pytest.raises(ImageExistsError):
             api.create_plain_image(cluster, "dup", 8 * MIB)
+
+    def test_create_encrypted_image_with_cache(self, cluster):
+        from repro.cache import CacheConfig, CachedImage
+        image, _info = api.create_encrypted_image(
+            cluster, "cached-vol", "8M", b"pw",
+            cipher_suite="blake2-xts-sim", cache="writeback")
+        assert isinstance(image, CachedImage)
+        image.write(0, b"via the cache")
+        assert image.read(0, 13) == b"via the cache"
+        image.flush()
+        reopened, _ = api.open_encrypted_image(
+            cluster, "cached-vol", b"pw",
+            cache=CacheConfig(mode="writethrough", size="2M"))
+        assert isinstance(reopened, CachedImage)
+        assert reopened.read(0, 13) == b"via the cache"
+
+    def test_make_pipeline_with_cache(self, cluster):
+        image, _info = api.create_encrypted_image(
+            cluster, "piped-vol", "8M", b"pw", cipher_suite="blake2-xts-sim")
+        pipeline = api.make_pipeline(image, queue_depth=4, cache="writeback")
+        from repro.cache import CachedImage
+        assert isinstance(pipeline.image, CachedImage)
+        for i in range(8):
+            pipeline.write(i * 4096, bytes([i]) * 4096)
+        pipeline.drain()
+        pipeline.image.flush()
+        assert image.read(4096, 4096) == b"\x01" * 4096
 
 
 class TestUtil:

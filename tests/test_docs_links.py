@@ -1,0 +1,62 @@
+"""Documentation link checker: internal references must resolve.
+
+Scans the README, ROADMAP and everything under ``docs/`` for
+``[text](target)`` links and ``path``-like inline-code references to
+repository files, and asserts that the targets exist (relative to the
+document or to the repo root).  External (``http``/``https``/``mailto``)
+links are out of scope — CI cannot rely on the network — as are pure
+anchors.  ISSUE/SNIPPETS/PAPERS are excluded: they quote external
+material and forward-looking task text.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [p for p in (REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md",
+                 REPO_ROOT / "CHANGES.md") if p.exists()]
+    + list((REPO_ROOT / "docs").glob("**/*.md")))
+
+#: [text](target) — excluding images' srcsets and reference-style noise
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+#: `path/to/file.py`-style inline-code references to repository files
+_CODE_PATH = re.compile(
+    r"`((?:src|tests|benchmarks|examples|docs)/[A-Za-z0-9_./-]+"
+    r"\.(?:py|md|json|yml|toml))`")
+
+
+def _targets(path: Path):
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+    for match in _CODE_PATH.finditer(text):
+        yield match.group(1)
+
+
+def test_doc_files_exist():
+    assert DOC_FILES, "no Markdown documentation found"
+    assert any(p.name == "ARCHITECTURE.md" for p in DOC_FILES), (
+        "docs/ARCHITECTURE.md is missing")
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_internal_links_resolve(doc: Path):
+    broken = []
+    for target in _targets(doc):
+        if not target:
+            continue
+        if not ((doc.parent / target).exists()
+                or (REPO_ROOT / target).exists()):
+            broken.append(target)
+    assert not broken, (
+        f"{doc.relative_to(REPO_ROOT)} has broken internal links: {broken}")

@@ -1,0 +1,41 @@
+"""Smoke test: every script in examples/ must run cleanly.
+
+Examples are the first code new users execute; a refactor that breaks one
+is a release blocker even when the library tests pass.  Each script runs
+in a subprocess with ``src`` on the path (the documented no-install way)
+and must exit 0 without writing to stderr.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ directory is empty"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    result = subprocess.run(
+        [sys.executable, str(script)], cwd=str(REPO_ROOT), env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, timeout=300)
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"stderr:\n{result.stderr.decode(errors='replace')}")
+    assert not result.stderr.strip(), (
+        f"{script.name} wrote to stderr:\n"
+        f"{result.stderr.decode(errors='replace')}")
+    assert result.stdout.strip(), f"{script.name} printed nothing"
