@@ -65,6 +65,15 @@ class SweepConfig:
     cache_policy: str = "lru"
     #: maximum blocks of sequential-read prefetch (0 = readahead off)
     readahead: int = 0
+    #: layers between each sweep image and a shared golden image (0 = the
+    #: classic standalone-image sweep; >= 1 clones every client's image
+    #: off one prefilled, protected golden snapshot — the boot-storm shape)
+    clone_depth: int = 0
+    #: name of the golden parent image when ``clone_depth`` > 0
+    clone_of: str = "golden"
+    #: flatten every clone before measuring (isolates chain-descent cost:
+    #: a flattened clone should perform like a standalone image)
+    flatten: bool = False
     params: Optional[CostParameters] = None
 
     def io_count_for(self, io_size: int) -> int:
@@ -169,13 +178,24 @@ class LayoutSweep:
                             cache_mode=config.cache_mode,
                             cache_size=config.cache_size,
                             cache_policy=config.cache_policy,
-                            readahead=config.readahead)
+                            readahead=config.readahead,
+                            parent_image=(config.clone_of
+                                          if config.clone_depth else None),
+                            clone_depth=config.clone_depth)
 
     def _run_point(self, kind: str, rw: str, layout: str,
                    io_size: int) -> WorkloadResult:
         config = self.config
         label = f"{kind}-{layout}-{io_size}"
         spec = self._spec(rw, io_size, prefill=False)
+        if config.clone_depth > 0:
+            cluster = self._make_cluster()
+            images = self._clone_images(layout, label, cluster)
+            if config.num_clients > 1:
+                return ClusterWorkloadRunner(cluster).run(images, spec,
+                                                          layout_name=layout)
+            return WorkloadRunner(cluster).run(images[0], spec,
+                                               layout_name=layout)
         if config.num_clients > 1:
             cluster = self._make_cluster()
             images = []
@@ -191,6 +211,34 @@ class LayoutSweep:
         if kind == "read":
             prefill_image(image)
         return WorkloadRunner(cluster).run(image, spec, layout_name=layout)
+
+    def _clone_images(self, layout: str, label: str, cluster):
+        """Build the clone fan-out for one sweep point: a prefilled golden
+        image per (cluster, layout), a ``clone_depth``-deep chain per
+        client, every layer under its own passphrase; reads then exercise
+        chain descent, writes exercise copyup.  ``flatten`` migrates each
+        chain down first, turning the point into a standalone-image
+        control measurement."""
+        from ..clone import clone_fanout
+
+        config = self.config
+        golden_name = f"{config.clone_of}-{label}"
+        cluster, golden, _info = self._make_image(layout, golden_name,
+                                                  cluster=cluster)
+        prefill_image(golden)
+        golden.create_snapshot("base")
+        golden.protect_snapshot("base")
+        clones = clone_fanout(
+            cluster, f"bench-{golden_name}", "base",
+            count=max(1, config.num_clients),
+            passphrase_for=lambda i, d: f"clone-{i}-{d}".encode("utf-8"),
+            parent_passphrase=b"benchmark-passphrase",
+            clone_depth=config.clone_depth,
+            random_seed_prefix=f"sweep-{label}".encode("utf-8"))
+        if config.flatten:
+            for image in clones:
+                image.flatten()
+        return clones
 
     def run(self, kind: str) -> SweepResults:
         """Run a sweep; ``kind`` is ``"write"`` or ``"read"``."""

@@ -10,8 +10,12 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, Union
 
+from typing import List, Sequence
+
 from .cache.config import CacheConfig
 from .cache.image import CachedImage
+from .clone import chain as _clone_chain
+from .clone.layered import LayeredImage
 from .crypto.drbg import HmacDrbg, RandomSource
 from .crypto.suite import DEFAULT_SUITE
 from .encryption.format import (EncryptedImageInfo, EncryptionOptions,
@@ -92,6 +96,58 @@ def open_encrypted_image(cluster: Cluster, name: str, passphrase: bytes,
     if cache_config is not None:
         return CachedImage(image, cache_config), info
     return image, info
+
+
+def clone_encrypted_image(cluster: Cluster, parent_name: str, snap_name: str,
+                          clone_name: str, passphrase: bytes,
+                          parent_passphrase: Union[bytes, Sequence[bytes]],
+                          encryption_format: Optional[str] = None,
+                          codec: Optional[str] = None,
+                          cipher_suite: Optional[str] = None,
+                          random_seed: Optional[bytes] = None,
+                          pool: str = "rbd",
+                          cache: Union[None, str, CacheConfig] = None,
+                          ) -> Tuple[LayeredImage, EncryptedImageInfo]:
+    """Clone ``parent@snap`` into a COW child with its *own* passphrase.
+
+    The child carries an independent LUKS header and volume key: reads of
+    unwritten ranges descend the parent chain (decrypting each layer with
+    its own key), first writes copy the backing object up re-encrypted
+    under the child's key, and neither layer's key decrypts the other
+    layer's writes (:mod:`repro.attacks.clone_key_isolation`).  Format
+    parameters default to the parent layer's; the parent snapshot is
+    protected automatically.  ``parent_passphrase`` may be a list (nearest
+    ancestor first) for chains of independently keyed layers.  ``cache``
+    wraps the clone in a client-side block cache, exactly as in
+    :func:`create_encrypted_image`.
+    """
+    image, info = _clone_chain.clone_encrypted_image(
+        cluster, parent_name, snap_name, clone_name, passphrase,
+        parent_passphrase, encryption_format=encryption_format, codec=codec,
+        cipher_suite=cipher_suite, random_seed=random_seed, pool=pool)
+    cache_config = _as_cache_config(cache)
+    if cache_config is not None:
+        return CachedImage(image, cache_config), info
+    return image, info
+
+
+def open_layered_image(cluster: Cluster, name: str,
+                       passphrases: Union[None, bytes, Sequence[bytes]] = None,
+                       pool: str = "rbd",
+                       cache: Union[None, str, CacheConfig] = None,
+                       ) -> Tuple[LayeredImage, List[Optional[EncryptedImageInfo]]]:
+    """Open an image with its whole clone chain unlocked layer by layer.
+
+    ``passphrases`` is one secret per layer, the child's first (a single
+    ``bytes`` applies to every encrypted layer); the returned info list is
+    per layer, child first, with ``None`` for plaintext layers.
+    """
+    image, infos = _clone_chain.open_layered_image(cluster, name, passphrases,
+                                                   pool=pool)
+    cache_config = _as_cache_config(cache)
+    if cache_config is not None:
+        return CachedImage(image, cache_config), infos
+    return image, infos
 
 
 def create_plain_image(cluster: Cluster, name: str, size: Union[int, str],

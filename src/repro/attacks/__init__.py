@@ -12,16 +12,25 @@ that per-sector random IVs eliminate:
   older version (or moved across snapshots) without detection unless a MAC
   is stored (§1, §2.2).
 * :mod:`repro.attacks.snapshot_leak` — with snapshots, equal ciphertexts
-  across versions reveal which blocks did not change (§1 "Virtual Disks").
+  across versions reveal which blocks did not change (§1 "Virtual Disks");
+  extended to clone chains, where per-layer keys close the channel.
+* :mod:`repro.attacks.clone_key_isolation` — a clone child's independent
+  volume key decrypts nothing the parent wrote and vice versa (the
+  layered-encryption guarantee of librbd's clone support).
 """
 
+from .clone_key_isolation import (CloneKeyIsolationReport, DecryptionAttempt,
+                                  attempt_decrypt, key_isolation_report)
 from .mix_and_match import forge_mixed_ciphertext, splice_sub_blocks
 from .replay import StoredBlock, read_stored_block, replay_stored_block
-from .snapshot_leak import compare_snapshots, unchanged_blocks
+from .snapshot_leak import (compare_clone_layers, compare_snapshots,
+                            unchanged_blocks)
 from .xts_overwrite import changed_sub_blocks, overwrite_leakage_report
 
 __all__ = [
     "forge_mixed_ciphertext", "splice_sub_blocks", "StoredBlock",
     "read_stored_block", "replay_stored_block", "compare_snapshots",
-    "unchanged_blocks", "changed_sub_blocks", "overwrite_leakage_report",
+    "compare_clone_layers", "unchanged_blocks", "changed_sub_blocks",
+    "overwrite_leakage_report", "CloneKeyIsolationReport",
+    "DecryptionAttempt", "attempt_decrypt", "key_isolation_report",
 ]

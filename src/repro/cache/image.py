@@ -314,7 +314,14 @@ class CachedImage:
     def _read_blocks_raw(self, blocks: Sequence[int]
                          ) -> Tuple[Dict[int, bytearray], OpReceipt]:
         """Read whole blocks from the inner image (one vectored call) into
-        local buffers, without touching cache residency."""
+        local buffers, without touching cache residency.
+
+        The read is pinned to the image *head*: cached blocks always
+        describe head state, and the write path's read-fill must complete
+        partial blocks from the head even while a read-snapshot is set
+        (reads themselves bypass the cache in that state, so this path
+        never fetches snapshot data).
+        """
         block_size = self._block_size
         image_size = self._image.size
         runs = self._contiguous_runs(sorted(blocks))
@@ -324,7 +331,14 @@ class CachedImage:
             # The image tail may be a partial block; clamp the last extent.
             length = min(count * block_size, image_size - offset)
             fetch_extents.append((offset, length))
-        pieces, receipt = self._image.read_extents(fetch_extents)
+        saved_snap = self._image.read_snapshot_id
+        if saved_snap is not None:
+            self._image.set_read_snapshot_id(None)
+        try:
+            pieces, receipt = self._image.read_extents(fetch_extents)
+        finally:
+            if saved_snap is not None:
+                self._image.set_read_snapshot_id(saved_snap)
         out: Dict[int, bytearray] = {}
         for (start, count), piece in zip(runs, pieces):
             for i in range(count):
@@ -574,3 +588,18 @@ class CachedImage:
         last_valid = (new_size - 1) // self._block_size
         for block in [b for b in self._blocks if b > last_valid]:
             self._drop(block)
+
+    def protect_snapshot(self, snap_name: str):
+        """Protect after a flush barrier: a snapshot about to become a
+        clone parent must hold every acknowledged write."""
+        self.flush()
+        return self._image.protect_snapshot(snap_name)
+
+    def flatten(self) -> OpReceipt:
+        """Flatten (clone children only) after a flush barrier, so the
+        migration sees the child's acknowledged writes and skips their
+        objects instead of overwriting them with parent data."""
+        flush_receipt = self.flush()
+        receipt = self._image.flatten()
+        flush_receipt.extend(receipt)
+        return flush_receipt

@@ -62,6 +62,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                     or args.cache_policy != "lru"):
         raise SystemExit("--cache-size/--readahead/--cache-policy only take "
                          "effect with --cache-mode")
+    clone_depth = args.clone_depth
+    if clone_depth is None:
+        clone_depth = 1 if args.clone_of else 0
+    if clone_depth < 0:
+        raise SystemExit("--clone-depth must be >= 0")
+    if args.clone_of and clone_depth == 0:
+        raise SystemExit("--clone-of requires --clone-depth >= 1")
+    if args.flatten and clone_depth == 0:
+        raise SystemExit("--flatten only takes effect with "
+                         "--clone-of/--clone-depth")
     config = SweepConfig(
         io_sizes=_parse_sizes(args.sizes),
         layouts=_parse_layouts(args.layouts),
@@ -79,6 +89,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_size=(parse_size(args.cache_size) if args.cache_size else None),
         cache_policy=args.cache_policy,
         readahead=args.readahead,
+        clone_depth=clone_depth,
+        clone_of=args.clone_of or "golden",
+        flatten=args.flatten,
     )
     results = LayoutSweep(config).run(args.kind)
     print(format_bandwidth_table(results))
@@ -188,6 +201,19 @@ def build_parser() -> argparse.ArgumentParser:
                        "(0 = off)")
     sweep.add_argument("--cache-policy", choices=CACHE_POLICIES,
                        default="lru", help="cache eviction policy")
+    sweep.add_argument("--clone-of", default=None, metavar="NAME",
+                       help="run every sweep image as a COW clone of one "
+                       "prefilled golden image of this name (implies "
+                       "--clone-depth 1): reads descend the layered chain, "
+                       "first writes pay librbd-style copyup, and every "
+                       "layer carries its own encryption key")
+    sweep.add_argument("--clone-depth", type=int, default=None,
+                       help="layers between each image and the golden "
+                       "parent (>= 1; requires or implies --clone-of)")
+    sweep.add_argument("--flatten", action="store_true",
+                       help="flatten every clone before measuring (control "
+                       "run: a flattened clone performs like a standalone "
+                       "image)")
     sweep.add_argument("--csv", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 

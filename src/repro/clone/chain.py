@@ -1,0 +1,247 @@
+"""Clone chain management: snapshot protect, clone, open, flatten.
+
+This is the reproduction of librbd's layering + layered-encryption flow
+(the authors' upstream Ceph contribution): a *protected* snapshot of a
+golden image becomes the parent of copy-on-write children, each child may
+carry its **own** LUKS header — and therefore its own volume key and
+passphrase — and opening a clone walks the parent chain, unlocking every
+layer with its own secret so reads decrypt layer by layer.
+
+Typical use::
+
+    from repro import api
+
+    cluster = api.make_cluster()
+    golden, _ = api.create_encrypted_image(cluster, "golden", "64M",
+                                           passphrase=b"fleet-secret")
+    golden.write(0, b"base OS image ...")
+    golden.create_snapshot("v1")
+
+    child, info = api.clone_encrypted_image(
+        cluster, "golden", "v1", "vm-0",
+        passphrase=b"vm-0-secret", parent_passphrase=b"fleet-secret")
+    child.read(0, 16)            # served from the parent, transparently
+    child.write(0, b"vm-0 data") # copyup: re-encrypted under vm-0's key
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .layered import CloneLayer, LayeredImage
+from ..encryption.format import (EncryptedImageInfo, EncryptionOptions,
+                                 format_encryption, has_encryption,
+                                 load_encryption)
+from ..errors import CloneError
+from ..rados.client import IoCtx
+from ..rados.cluster import Cluster
+from ..rbd.image import Image, ParentRef, create_image, open_image
+
+
+def _as_passphrase_list(value: Union[None, bytes, Sequence[bytes]]
+                        ) -> List[bytes]:
+    if value is None:
+        return []
+    if isinstance(value, (bytes, bytearray)):
+        return [bytes(value)]
+    return [bytes(item) for item in value]
+
+
+def clone_image(parent: Image, snap_name: str, ioctx: IoCtx,
+                clone_name: str) -> Image:
+    """Create a copy-on-write child of ``parent@snap_name``.
+
+    The snapshot must be protected first (:meth:`Image.protect_snapshot`);
+    the child inherits the parent's size and object size (object-granular
+    copyup requires matching striping) and records the parent reference in
+    its header.  The returned image is the bare child — wrap it in a
+    :class:`LayeredImage` (or use :func:`open_layered_image` /
+    ``api.clone_encrypted_image``) to get chain-descending reads.
+    """
+    snap = parent.snapshot_by_name(snap_name)
+    if not snap.protected:
+        raise CloneError(
+            f"snapshot {snap_name!r} of {parent.name!r} must be protected "
+            f"before cloning")
+    # The child mirrors the parent *at the snapshot*: a parent resized
+    # between protect and clone must not change what the clone sees.
+    snap_size = snap.size if snap.size is not None else parent.size
+    create_image(ioctx, clone_name, snap_size, parent.object_size)
+    child = open_image(ioctx, clone_name)
+    child.set_parent(ParentRef(image=parent.name, snap_id=snap.snap_id,
+                               snap_name=snap_name, overlap=snap_size))
+    parent.register_child(snap.snap_id, clone_name)
+    ioctx.cluster.ledger.count("clone.clones_created")
+    return child
+
+
+def build_layers(cluster: Cluster, child: Image,
+                 passphrases: Sequence[bytes] = (),
+                 pool: str = "rbd") -> Tuple[List[CloneLayer],
+                                             List[Optional[EncryptedImageInfo]]]:
+    """Walk ``child``'s ancestor chain, unlocking each layer.
+
+    Every layer is opened on its own IoCtx (so snapshot read routing
+    cannot leak across handles), format detection runs per layer
+    (:func:`has_encryption` — encrypted and plaintext layers may mix), and
+    ``passphrases[i]`` unlocks ancestor ``i`` (nearest parent first).
+    When fewer passphrases than encrypted ancestors are given the last one
+    is reused for the remainder, mirroring librbd's encryption-load
+    semantics for uniform chains.
+    """
+    passphrases = _as_passphrase_list(passphrases)
+    layers: List[CloneLayer] = []
+    infos: List[Optional[EncryptedImageInfo]] = []
+    ref = child.parent_ref
+    index = 0
+    seen = {child.name}
+    while ref is not None:
+        if ref.image in seen:
+            raise CloneError(f"clone chain of {child.name!r} contains a "
+                             f"cycle at {ref.image!r}")
+        seen.add(ref.image)
+        layer_ioctx = cluster.client().open_ioctx(pool)
+        layer_image = open_image(layer_ioctx, ref.image)
+        info: Optional[EncryptedImageInfo] = None
+        if has_encryption(layer_image):
+            if not passphrases:
+                raise CloneError(
+                    f"ancestor {ref.image!r} is encrypted but no passphrase "
+                    f"was provided for it")
+            passphrase = passphrases[min(index, len(passphrases) - 1)]
+            info = load_encryption(layer_image, passphrase)
+        layers.append(CloneLayer(image=layer_image, snap_id=ref.snap_id,
+                                 overlap=ref.overlap))
+        infos.append(info)
+        ref = layer_image.parent_ref
+        index += 1
+    return layers, infos
+
+
+def open_layered_image(cluster: Cluster, name: str,
+                       passphrases: Union[None, bytes, Sequence[bytes]] = None,
+                       pool: str = "rbd"
+                       ) -> Tuple[LayeredImage,
+                                  List[Optional[EncryptedImageInfo]]]:
+    """Open an image together with its whole ancestor chain.
+
+    ``passphrases`` lists one secret per layer, the child's first (a
+    single ``bytes`` value is applied to every encrypted layer).  Returns
+    the :class:`LayeredImage` and the per-layer unlock infos, child first
+    (``None`` entries for plaintext layers).  Works on non-clones too —
+    the chain is simply empty.
+    """
+    secrets = _as_passphrase_list(passphrases)
+    ioctx = cluster.client().open_ioctx(pool)
+    child = open_image(ioctx, name)
+    child_info: Optional[EncryptedImageInfo] = None
+    if has_encryption(child):
+        if not secrets:
+            raise CloneError(
+                f"image {name!r} is encrypted but no passphrase was provided")
+        child_info = load_encryption(child, secrets[0])
+    layers, layer_infos = build_layers(cluster, child,
+                                       secrets[1:] or secrets, pool=pool)
+    return LayeredImage(child, layers), [child_info] + layer_infos
+
+
+def clone_encrypted_image(cluster: Cluster, parent_name: str, snap_name: str,
+                          clone_name: str, passphrase: bytes,
+                          parent_passphrase: Union[bytes, Sequence[bytes]],
+                          encryption_format: Optional[str] = None,
+                          codec: Optional[str] = None,
+                          cipher_suite: Optional[str] = None,
+                          iv_policy: Optional[str] = None,
+                          random_seed: Optional[bytes] = None,
+                          pool: str = "rbd",
+                          ) -> Tuple[LayeredImage, EncryptedImageInfo]:
+    """Clone ``parent@snap`` into an independently keyed encrypted child.
+
+    The child gets its *own* LUKS header, volume key and passphrase —
+    compromising one layer's key reveals nothing another layer wrote (see
+    :mod:`repro.attacks.clone_key_isolation`).  Format parameters default
+    to the parent layer's (layout/codec/suite inheritance); the parent
+    snapshot is protected automatically if it is not yet.
+    """
+    from ..crypto.drbg import HmacDrbg
+    from ..crypto.suite import DEFAULT_SUITE
+
+    parent_ioctx = cluster.client().open_ioctx(pool)
+    parent = open_image(parent_ioctx, parent_name)
+    snap = parent.snapshot_by_name(snap_name)
+    if not snap.protected:
+        parent.protect_snapshot(snap_name)
+
+    parent_secrets = _as_passphrase_list(parent_passphrase)
+    if not parent_secrets:
+        raise CloneError("parent_passphrase is required to read the chain")
+    child_ioctx = cluster.client().open_ioctx(pool)
+    child = clone_image(parent, snap_name, child_ioctx, clone_name)
+    # One chain walk unlocks every ancestor exactly once (one KDF per
+    # layer); the nearest encrypted ancestor's info then supplies the
+    # format defaults the child inherits.
+    layers, layer_infos = build_layers(cluster, child, parent_secrets,
+                                       pool=pool)
+    inherited = next((info for info in layer_infos if info is not None), None)
+    if inherited is not None:
+        encryption_format = encryption_format or inherited.layout
+        codec = codec or inherited.codec
+        cipher_suite = cipher_suite or inherited.cipher_suite
+        iv_policy = iv_policy or inherited.iv_policy
+    elif encryption_format is None:
+        encryption_format = "object-end"
+    rng = HmacDrbg(random_seed) if random_seed else None
+    options = EncryptionOptions(layout=encryption_format, codec=codec or "xts",
+                                cipher_suite=cipher_suite or DEFAULT_SUITE,
+                                iv_policy=iv_policy, random_source=rng)
+    info = format_encryption(child, passphrase, options)
+    return LayeredImage(child, layers), info
+
+
+def flatten_image(cluster: Cluster, name: str,
+                  passphrases: Union[None, bytes, Sequence[bytes]] = None,
+                  pool: str = "rbd") -> LayeredImage:
+    """Open a clone, migrate all parent data down, detach it, return it."""
+    layered, _infos = open_layered_image(cluster, name, passphrases, pool=pool)
+    layered.flatten()
+    return layered
+
+
+def clone_fanout(cluster: Cluster, parent_name: str, snap_name: str,
+                 count: int, passphrase_for, parent_passphrase: bytes,
+                 clone_depth: int = 1, name_format: str = "{parent}-clone{i}",
+                 random_seed_prefix: bytes = b"fanout",
+                 pool: str = "rbd") -> List[LayeredImage]:
+    """Build the golden-image fan-out: ``count`` chains off one parent.
+
+    Each chain is ``clone_depth`` layers deep (depth 1 = direct children);
+    intermediate layers are snapshotted/protected per chain, and every
+    layer gets its own passphrase from ``passphrase_for(client, depth)``.
+    This is the boot-storm shape the benchmarks and the
+    ``--clone-of``/``--clone-depth`` CLI options drive.
+    """
+    if clone_depth < 1:
+        raise CloneError("clone_depth must be >= 1")
+    clones: List[LayeredImage] = []
+    for i in range(count):
+        chain_parent, chain_snap = parent_name, snap_name
+        secrets = [parent_passphrase]
+        layered: Optional[LayeredImage] = None
+        for depth in range(1, clone_depth + 1):
+            child_name = name_format.format(parent=parent_name, i=i)
+            if depth < clone_depth:
+                child_name = f"{child_name}.d{depth}"
+            secret = passphrase_for(i, depth)
+            layered, _info = clone_encrypted_image(
+                cluster, chain_parent, chain_snap, child_name,
+                passphrase=secret,
+                parent_passphrase=list(reversed(secrets)),
+                random_seed=random_seed_prefix + f"-{i}-{depth}".encode(),
+                pool=pool)
+            secrets.append(secret)
+            if depth < clone_depth:
+                layered.create_snapshot("base")
+                layered.image.protect_snapshot("base")
+                chain_parent, chain_snap = child_name, "base"
+        clones.append(layered)
+    return clones

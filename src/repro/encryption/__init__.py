@@ -19,8 +19,8 @@ from .codecs import (GcmCodec, MacXtsCodec, SectorCodec, WideBlockCodec,
                      XtsCodec, make_codec)
 from .dispatch import CryptoObjectDispatcher, JournaledCryptoObjectDispatcher
 from .format import (EncryptionOptions, EncryptedImageInfo, add_passphrase,
-                     format_encryption, load_encryption, remove_passphrase,
-                     DEFAULT_BLOCK_SIZE)
+                     format_encryption, has_encryption, load_encryption,
+                     remove_passphrase, DEFAULT_BLOCK_SIZE)
 from .layouts import (BaselineLayout, LAYOUT_NAMES, MetadataLayout,
                       ObjectEndLayout, OmapLayout, UnalignedLayout,
                       make_layout)
@@ -30,7 +30,8 @@ __all__ = [
     "SectorCodec", "XtsCodec", "MacXtsCodec", "GcmCodec", "WideBlockCodec",
     "make_codec", "CryptoObjectDispatcher", "JournaledCryptoObjectDispatcher",
     "EncryptionOptions", "EncryptedImageInfo", "add_passphrase",
-    "format_encryption", "load_encryption", "remove_passphrase",
+    "format_encryption", "has_encryption", "load_encryption",
+    "remove_passphrase",
     "DEFAULT_BLOCK_SIZE", "MetadataLayout",
     "BaselineLayout", "UnalignedLayout", "ObjectEndLayout", "OmapLayout",
     "make_layout", "LAYOUT_NAMES", "KeySlot", "LuksHeader",

@@ -128,13 +128,20 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         return runs
 
     def _read_block_runs(self, object_no: int,
-                         runs: Sequence[Tuple[int, int]]
+                         runs: Sequence[Tuple[int, int]],
+                         from_head: bool = False
                          ) -> Tuple[Dict[int, bytes], OpReceipt]:
         """Read and decrypt several contiguous runs with ONE read operation.
 
         Returns a block-index -> plaintext map.  This is the batched
         read-modify-write primitive: all partial blocks of a whole batch
         cost a single round trip to the object's primary OSD.
+
+        ``from_head`` pins the read to the object head even while the
+        IoCtx routes reads to a snapshot: writes always land on the head,
+        so their read-modify-write must complete partial blocks from head
+        state or bytes outside the write would be reverted to the
+        snapshot's content.
         """
         if not runs:
             return {}, OpReceipt()
@@ -145,12 +152,18 @@ class CryptoObjectDispatcher(ObjectDispatcher):
             self._layout.build_read(readop, first_block, block_count)
             slices.append((ops_before, len(readop)))
         total_blocks = sum(count for _first, count in runs)
+        saved_snap = self._ioctx.read_snap if from_head else None
+        if saved_snap is not None:
+            self._ioctx.snap_set_read(None)
         try:
             result = self._ioctx.operate_read(self._name(object_no), readop)
         except ObjectNotFoundError:
             return ({first + i: bytes(self._block_size)
                      for first, count in runs for i in range(count)},
                     OpReceipt())
+        finally:
+            if saved_snap is not None:
+                self._ioctx.snap_set_read(saved_snap)
         plaintexts: Dict[int, bytes] = {}
         for (first_block, block_count), (start, end) in zip(runs, slices):
             ciphertexts, metadatas = self._layout.parse_read(
@@ -164,10 +177,11 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         return plaintexts, receipt
 
     def _read_blocks(self, object_no: int, first_block: int,
-                     block_count: int) -> Tuple[List[bytes], OpReceipt]:
+                     block_count: int,
+                     from_head: bool = False) -> Tuple[List[bytes], OpReceipt]:
         """Read and decrypt a contiguous run of blocks."""
         plaintexts, receipt = self._read_block_runs(
-            object_no, [(first_block, block_count)])
+            object_no, [(first_block, block_count)], from_head=from_head)
         return ([plaintexts[first_block + i] for i in range(block_count)],
                 receipt)
 
@@ -204,13 +218,15 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         if head_len or tail_start != len(buffer):
             # Encryption-layer read-modify-write of the partial head/tail blocks.
             if head_len:
-                head_blocks, receipt = self._read_blocks(object_no, first_block, 1)
+                head_blocks, receipt = self._read_blocks(object_no, first_block,
+                                                         1, from_head=True)
                 buffer[0:self._block_size] = head_blocks[0]
                 pre_receipt.extend(receipt)
             if tail_start != len(buffer):
                 last = first_block + block_count - 1
                 if not head_len or last != first_block:
-                    tail_blocks, receipt = self._read_blocks(object_no, last, 1)
+                    tail_blocks, receipt = self._read_blocks(object_no, last, 1,
+                                                             from_head=True)
                     buffer[-self._block_size:] = tail_blocks[0]
                     pre_receipt.extend(receipt)
         buffer[head_len:tail_start] = data
@@ -306,7 +322,7 @@ class CryptoObjectDispatcher(ObjectDispatcher):
         # One batched RMW read for every partial boundary block.
         partial = self._partial_blocks(pieces)
         plaintexts, pre_receipt = self._read_block_runs(
-            object_no, self._contiguous_runs(partial))
+            object_no, self._contiguous_runs(partial), from_head=True)
 
         buffers: Dict[int, object] = {}
         for block in touched:

@@ -191,6 +191,16 @@ def format_encryption(image: Image, passphrase: bytes,
     return _install(image, header, volume_key, options.journaled, rng)
 
 
+def has_encryption(image: Image) -> bool:
+    """True when the image carries an encryption header.
+
+    The clone machinery uses this to walk a layered chain: each layer owns
+    (or lacks) its *own* header, so format detection is per layer — an
+    encrypted child can sit on a plaintext parent and vice versa.
+    """
+    return image.ioctx.object_exists(crypto_header_object(image.name))
+
+
 def load_encryption(image: Image, passphrase: bytes,
                     journaled: bool = False,
                     random_source: Optional[RandomSource] = None) -> EncryptedImageInfo:

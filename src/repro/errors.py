@@ -96,6 +96,10 @@ class ImageBusyError(RbdError):
     """The image is open in a mode that conflicts with the request."""
 
 
+class CloneError(RbdError):
+    """A clone operation (clone/flatten/chain walk) is invalid."""
+
+
 class EncryptionFormatError(ReproError):
     """An encryption format header is malformed or unsupported."""
 

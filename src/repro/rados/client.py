@@ -103,6 +103,11 @@ class IoCtx:
         """Read from a snapshot id (``None`` reads the head)."""
         self._read_snap = snap_id
 
+    @property
+    def read_snap(self) -> Optional[int]:
+        """Snapshot id reads are currently routed to (``None`` = head)."""
+        return self._read_snap
+
     def create_self_managed_snap(self) -> int:
         """Allocate a new snapshot id from the pool."""
         return self._pool.new_snapshot_id()

@@ -10,10 +10,12 @@ per-sector metadata layout is in use.
 """
 
 from .dispatcher import ObjectDispatcher, RawObjectDispatcher
-from .image import Image, ImageSnapshot, create_image, open_image, remove_image
+from .image import (Image, ImageSnapshot, ParentRef, create_image, open_image,
+                    remove_image)
 from .striping import ObjectExtent, map_extent
 
 __all__ = [
     "ObjectDispatcher", "RawObjectDispatcher", "Image", "ImageSnapshot",
-    "create_image", "open_image", "remove_image", "ObjectExtent", "map_extent",
+    "ParentRef", "create_image", "open_image", "remove_image", "ObjectExtent",
+    "map_extent",
 ]

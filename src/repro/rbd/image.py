@@ -14,7 +14,7 @@ issued in parallel, which is how libRBD behaves with AIO.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .dispatcher import ObjectDispatcher, RawObjectDispatcher
@@ -34,6 +34,34 @@ class ImageSnapshot:
 
     snap_id: int
     name: str
+    #: protected snapshots cannot be removed and are the only ones that
+    #: may serve as clone parents (librbd's ``snap protect``)
+    protected: bool = False
+    #: image size when the snapshot was taken (``None`` on entries written
+    #: before this field existed; clones then fall back to the head size)
+    size: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ParentRef:
+    """A clone child's reference to its parent (image, snapshot) layer."""
+
+    image: str       #: parent image name
+    snap_id: int     #: parent snapshot id the clone was taken from
+    snap_name: str   #: snapshot name at clone time (for display/debugging)
+    overlap: int     #: bytes of the child covered by the parent (clone-time size)
+
+    def to_doc(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {"image": self.image, "snap_id": self.snap_id,
+                "snap_name": self.snap_name, "overlap": self.overlap}
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "ParentRef":
+        """Parse the JSON form."""
+        return cls(image=doc["image"], snap_id=int(doc["snap_id"]),
+                   snap_name=doc.get("snap_name", ""),
+                   overlap=int(doc["overlap"]))
 
 
 @dataclass
@@ -45,6 +73,10 @@ class ImageHeader:
     object_size: int
     snapshots: List[ImageSnapshot]
     encryption: Optional[Dict[str, object]] = None
+    #: set on clone children: the (image, snapshot) layer below this one
+    parent: Optional[ParentRef] = None
+    #: set on clone parents: ``[{"snap_id": ..., "image": child_name}, ...]``
+    children: List[Dict[str, object]] = field(default_factory=list)
 
     def to_json(self) -> bytes:
         """Serialize to the on-disk JSON form."""
@@ -52,22 +84,32 @@ class ImageHeader:
             "image_id": self.image_id,
             "size": self.size,
             "object_size": self.object_size,
-            "snapshots": [{"id": s.snap_id, "name": s.name}
+            "snapshots": [{"id": s.snap_id, "name": s.name,
+                           "protected": s.protected, "size": s.size}
                           for s in self.snapshots],
             "encryption": self.encryption,
+            "parent": self.parent.to_doc() if self.parent else None,
+            "children": self.children,
         }).encode("utf-8")
 
     @classmethod
     def from_json(cls, raw: bytes) -> "ImageHeader":
         """Parse the on-disk JSON form."""
         doc = json.loads(raw.decode("utf-8"))
+        parent_doc = doc.get("parent")
         return cls(
             image_id=doc["image_id"],
             size=int(doc["size"]),
             object_size=int(doc["object_size"]),
-            snapshots=[ImageSnapshot(int(s["id"]), s["name"])
+            snapshots=[ImageSnapshot(
+                           int(s["id"]), s["name"],
+                           bool(s.get("protected", False)),
+                           int(s["size"]) if s.get("size") is not None
+                           else None)
                        for s in doc.get("snapshots", [])],
             encryption=doc.get("encryption"),
+            parent=ParentRef.from_doc(parent_doc) if parent_doc else None,
+            children=list(doc.get("children", [])),
         )
 
 
@@ -93,11 +135,24 @@ def open_image(ioctx: IoCtx, name: str) -> "Image":
 
 
 def remove_image(ioctx: IoCtx, name: str) -> None:
-    """Remove an image: header, data objects and crypto header if present."""
+    """Remove an image: header, data objects and crypto header if present.
+
+    Refuses to remove an image that still has clone children (they would
+    lose their backing layer); a clone child deregisters itself from its
+    parent's header on removal.
+    """
     header_name = header_object_name(name)
     if not ioctx.object_exists(header_name):
         raise ImageNotFoundError(f"image {name!r} does not exist")
     image = Image(ioctx, name)
+    if image.header.children:
+        children = sorted({c["image"] for c in image.header.children})
+        raise RbdError(
+            f"image {name!r} still has clone children {children}; "
+            f"flatten or remove them first")
+    if image.header.parent is not None:
+        parent = Image(ioctx, image.header.parent.image)
+        parent.deregister_child(image.header.parent.snap_id, name)
     for object_no in range(image.object_count()):
         data_name = image.data_object_name(object_no)
         if ioctx.object_exists(data_name):
@@ -341,21 +396,64 @@ class Image:
         if any(s.name == snap_name for s in self._header.snapshots):
             raise SnapshotError(f"snapshot {snap_name!r} already exists")
         snap_id = self._ioctx.create_self_managed_snap()
-        snapshot = ImageSnapshot(snap_id=snap_id, name=snap_name)
+        snapshot = ImageSnapshot(snap_id=snap_id, name=snap_name,
+                                 size=self._header.size)
         self._header.snapshots.append(snapshot)
         self._save_header()
         self._refresh_snap_context()
         return snapshot
 
     def remove_snapshot(self, snap_name: str) -> None:
-        """Remove a snapshot from the table and release its id."""
+        """Remove a snapshot from the table and release its id.
+
+        Protected snapshots — and snapshots that still back clone children
+        — refuse removal: deleting them would orphan the chain state the
+        clones read through.  Unprotect (which itself refuses while
+        children exist) before removing.
+        """
         for i, snap in enumerate(self._header.snapshots):
             if snap.name == snap_name:
+                children = self.children_of_snapshot(snap.snap_id)
+                if children:
+                    raise SnapshotError(
+                        f"snapshot {snap_name!r} still backs clone children "
+                        f"{children}; flatten or remove them first")
+                if snap.protected:
+                    raise SnapshotError(
+                        f"snapshot {snap_name!r} is protected; unprotect it "
+                        f"before removing")
                 self._ioctx.remove_self_managed_snap(snap.snap_id)
                 del self._header.snapshots[i]
                 self._save_header()
                 self._refresh_snap_context()
                 return
+        raise SnapshotError(f"snapshot {snap_name!r} does not exist")
+
+    def protect_snapshot(self, snap_name: str) -> ImageSnapshot:
+        """Mark a snapshot protected so it can serve as a clone parent."""
+        for i, snap in enumerate(self._header.snapshots):
+            if snap.name == snap_name:
+                if not snap.protected:
+                    snap = replace(snap, protected=True)
+                    self._header.snapshots[i] = snap
+                    self._save_header()
+                return snap
+        raise SnapshotError(f"snapshot {snap_name!r} does not exist")
+
+    def unprotect_snapshot(self, snap_name: str) -> ImageSnapshot:
+        """Clear a snapshot's protection (refused while clones depend on it)."""
+        for i, snap in enumerate(self._header.snapshots):
+            if snap.name == snap_name:
+                children = self.children_of_snapshot(snap.snap_id)
+                if children:
+                    raise SnapshotError(
+                        f"snapshot {snap_name!r} still backs clone children "
+                        f"{children}; flatten or remove them first")
+                if snap.protected:
+                    snap = replace(snap, protected=False)
+                    self._header.snapshots[i] = snap
+                    self._save_header()
+                return snap
         raise SnapshotError(f"snapshot {snap_name!r} does not exist")
 
     def snapshot_by_name(self, snap_name: str) -> ImageSnapshot:
@@ -368,14 +466,55 @@ class Image:
     def set_read_snapshot(self, snap_name: Optional[str]) -> None:
         """Route subsequent reads to a snapshot (``None`` reads the head)."""
         if snap_name is None:
-            self._read_snap_id = None
-            self._ioctx.snap_set_read(None)
+            self.set_read_snapshot_id(None)
             return
-        snap = self.snapshot_by_name(snap_name)
-        self._read_snap_id = snap.snap_id
-        self._ioctx.snap_set_read(snap.snap_id)
+        self.set_read_snapshot_id(self.snapshot_by_name(snap_name).snap_id)
+
+    def set_read_snapshot_id(self, snap_id: Optional[int]) -> None:
+        """Route reads to a snapshot *id* directly.
+
+        Used by the clone machinery (a child records its parent's snapshot
+        by id) and to save/restore read routing around head-targeted reads.
+        The id is not validated against the snapshot table: clone parents
+        legitimately route to ids the child image never listed.
+        """
+        self._read_snap_id = snap_id
+        self._ioctx.snap_set_read(snap_id)
 
     @property
     def read_snapshot_id(self) -> Optional[int]:
         """Snapshot id reads are currently routed to (``None`` = head)."""
         return self._read_snap_id
+
+    # -- clone chain bookkeeping ------------------------------------------------
+
+    @property
+    def parent_ref(self) -> Optional[ParentRef]:
+        """This image's parent layer (``None`` unless it is a clone child)."""
+        return self._header.parent
+
+    def set_parent(self, ref: Optional[ParentRef]) -> None:
+        """Record (or, on flatten, clear) the parent layer reference."""
+        self._header.parent = ref
+        self._save_header()
+
+    def children_of_snapshot(self, snap_id: int) -> List[str]:
+        """Names of clone children backed by one of this image's snapshots."""
+        return sorted(c["image"] for c in self._header.children
+                      if int(c["snap_id"]) == snap_id)
+
+    def register_child(self, snap_id: int, child_name: str) -> None:
+        """Record a new clone child under the given snapshot."""
+        entry = {"snap_id": snap_id, "image": child_name}
+        if entry not in self._header.children:
+            self._header.children.append(entry)
+            self._save_header()
+
+    def deregister_child(self, snap_id: int, child_name: str) -> None:
+        """Drop a clone child record (after flatten or child removal)."""
+        before = len(self._header.children)
+        self._header.children = [
+            c for c in self._header.children
+            if not (int(c["snap_id"]) == snap_id and c["image"] == child_name)]
+        if len(self._header.children) != before:
+            self._save_header()

@@ -62,6 +62,14 @@ class WorkloadSpec:
     cache_policy: str = "lru"
     #: maximum blocks of sequential-read prefetch (0 = readahead off)
     readahead: int = 0
+    #: name of the golden image this job's images are clones of (None =
+    #: standalone images); image construction is done by the harness
+    #: (:func:`repro.clone.clone_fanout`, ``SweepConfig``), the spec only
+    #: carries the scenario shape so runs stay self-describing
+    parent_image: Optional[str] = None
+    #: layers between each client's image and the golden image (0 = not a
+    #: clone scenario; >= 1 requires ``parent_image``)
+    clone_depth: int = 0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -103,6 +111,12 @@ class WorkloadSpec:
             raise WorkloadError(
                 "cache_size/readahead/cache_policy only take effect with "
                 "a cache_mode")
+        if self.clone_depth < 0:
+            raise WorkloadError("clone_depth must be >= 0")
+        if self.clone_depth and not self.parent_image:
+            raise WorkloadError("clone_depth requires a parent_image")
+        if self.parent_image and not self.clone_depth:
+            self.clone_depth = 1
 
     @property
     def is_random(self) -> bool:
@@ -144,6 +158,8 @@ class WorkloadSpec:
         engine = " engine=batched" if self.batched else ""
         clients = f" clients={self.num_clients}" if self.num_clients > 1 else ""
         cache = f" cache={self.cache_mode}" if self.cache_mode else ""
+        clone = (f" clone-of={self.parent_image} depth={self.clone_depth}"
+                 if self.parent_image else "")
         return (f"{self.name}: rw={self.rw} bs={self.io_size} "
                 f"qd={self.queue_depth} seed={self.seed}{engine}{clients}"
-                f"{cache}")
+                f"{cache}{clone}")

@@ -260,6 +260,66 @@ def test_crash_free_flush_ordering():
             f"durable state diverged after flush round {round_no}")
 
 
+@pytest.mark.parametrize("mode", ["writethrough", "writeback"])
+def test_snapshot_reads_bypass_cached_head_blocks(mode):
+    """Regression: while a read-snapshot is set, reads must serve the
+    snapshot's data even for blocks the cache holds post-snapshot copies
+    of (resident or dirty) — the cache describes the head, not the snap."""
+    image_size = 1 * MIB
+    cluster, cached = _make_image("object-end", "snap-bypass", image_size,
+                                  object_size=1 * MIB,
+                                  cache=CacheConfig(mode=mode, size=2 * MIB))
+    cached.write(0, b"A" * BLOCK)
+    cached.create_snapshot("s1")            # flush barrier
+    cached.write(0, b"B" * BLOCK)           # post-snapshot, cache-resident
+    cached.set_read_snapshot("s1")
+    assert cached.read(0, BLOCK) == b"A" * BLOCK, (
+        f"{mode}: snapshot read served a post-snapshot cached block")
+    assert cached.read_with_receipt(0, 16).data == b"A" * 16
+    cached.set_read_snapshot(None)
+    assert cached.read(0, BLOCK) == b"B" * BLOCK
+    # The uncached image sees the same two views.
+    fresh, _ = api.open_encrypted_image(cluster, "snap-bypass", b"pw")
+    fresh.set_read_snapshot("s1")
+    assert fresh.read(0, BLOCK) == b"A" * BLOCK
+
+
+def test_writes_during_snapshot_read_fill_from_head():
+    """Regression: the writeback read-fill (and the crypto dispatcher's
+    RMW) must complete partial blocks from the *head* while a
+    read-snapshot is set, or bytes outside the write revert to snapshot
+    content on flush."""
+    image_size = 1 * MIB
+    plain_cluster, plain_image = _make_image("object-end", "snap-rmw",
+                                             image_size, object_size=1 * MIB)
+    cached_cluster, cached_image = _make_image(
+        "object-end", "snap-rmw", image_size, object_size=1 * MIB,
+        cache=CacheConfig(mode="writeback", size=2 * MIB))
+
+    for image in (plain_image, cached_image):
+        image.write(0, b"A" * BLOCK)
+        if image is cached_image:
+            image.flush()
+            image.invalidate()      # force a cold read-fill below
+        image.create_snapshot("s1")
+        image.write(0, b"B" * BLOCK)
+        if image is cached_image:
+            image.flush()
+            image.invalidate()
+        image.set_read_snapshot("s1")
+        image.write(100, b"XY")     # partial write while snap-read active
+        image.set_read_snapshot(None)
+        if image is cached_image:
+            image.flush()
+
+    for label, image in (("uncached", plain_image), ("cached", cached_image)):
+        head = image.read(0, BLOCK)
+        assert head[100:102] == b"XY", label
+        assert head[:100] == b"B" * 100, (
+            f"{label}: RMW pulled pre-snapshot bytes into the head")
+        assert head[102:] == b"B" * (BLOCK - 102), label
+
+
 def test_cache_off_is_todays_path():
     """With no cache configured the wrapper is absent: same object graph,
     same ledger counters as the pre-cache code path."""

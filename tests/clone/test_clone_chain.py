@@ -1,0 +1,416 @@
+"""Clone chain mechanics: protect, clone, COW reads, copyup, flatten."""
+
+import pytest
+
+from repro import api
+from repro.clone import (LayeredImage, clone_image, flatten_image,
+                         open_layered_image)
+from repro.errors import CloneError, RbdError, SnapshotError
+from repro.rbd import create_image, open_image, remove_image
+from repro.util import KIB, MIB
+
+BLOCK = 4096
+
+
+@pytest.fixture
+def cluster():
+    return api.make_cluster(osd_count=1, replica_count=1)
+
+
+def _make_parent(cluster, name="golden", size=4 * MIB, object_size=1 * MIB,
+                 passphrase=b"parent-pw"):
+    image, info = api.create_encrypted_image(
+        cluster, name, size, passphrase, cipher_suite="blake2-xts-sim",
+        object_size=object_size, random_seed=b"parent-seed")
+    return image, info
+
+
+class TestCloneCreation:
+    def test_clone_requires_protected_snapshot(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.create_snapshot("s1")
+        ioctx = cluster.client().open_ioctx("rbd")
+        with pytest.raises(CloneError):
+            clone_image(parent, "s1", ioctx, "child")
+        parent.protect_snapshot("s1")
+        child = clone_image(parent, "s1", ioctx, "child")
+        assert child.parent_ref.image == "golden"
+        assert child.parent_ref.overlap == parent.size
+        assert parent.children_of_snapshot(
+            parent.snapshot_by_name("s1").snap_id) == ["child"]
+
+    def test_clone_inherits_geometry(self, cluster):
+        parent, _ = _make_parent(cluster, size=6 * MIB, object_size=2 * MIB)
+        parent.create_snapshot("s")
+        parent.protect_snapshot("s")
+        ioctx = cluster.client().open_ioctx("rbd")
+        child = clone_image(parent, "s", ioctx, "child")
+        assert child.size == 6 * MIB
+        assert child.object_size == 2 * MIB
+
+    def test_api_clone_auto_protects(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"hello")
+        parent.create_snapshot("s")
+        child, _info = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        reopened = open_image(cluster.client().open_ioctx("rbd"), "golden")
+        assert reopened.snapshot_by_name("s").protected
+        assert child.read(0, 5) == b"hello"
+
+
+class TestLayeredReads:
+    def test_unwritten_reads_descend_to_parent(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"A" * (8 * KIB))
+        parent.write(3 * MIB, b"tail-data")
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        assert child.read(0, 8 * KIB) == b"A" * (8 * KIB)
+        assert child.read(3 * MIB, 9) == b"tail-data"
+        # Whole-chain misses read as zeros.
+        assert child.read(2 * MIB, 16) == bytes(16)
+        assert cluster.ledger.counter("clone.parent_reads") >= 2
+
+    def test_parent_view_is_frozen_at_snapshot(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"frozen-at-snap")
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        # Post-snapshot parent writes must not show through the clone.
+        parent.write(0, b"MUTATED-AFTER!")
+        assert child.read(0, 14) == b"frozen-at-snap"
+
+    def test_vectored_reads_mix_layers(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"P" * BLOCK)
+        parent.write(1 * MIB, b"Q" * BLOCK)
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        child.write(1 * MIB, b"C" * BLOCK)     # copyup of object 1
+        pieces, receipt = child.read_extents(
+            [(0, BLOCK), (1 * MIB, BLOCK), (2 * MIB, 64)])
+        assert pieces[0] == b"P" * BLOCK       # parent layer
+        assert pieces[1] == b"C" * BLOCK       # child layer
+        assert pieces[2] == bytes(64)          # whole-chain miss
+        assert receipt.latency_us > 0
+
+
+    def test_vectored_chain_reads_batch_per_layer(self, cluster):
+        """A vectored read window over a fresh clone groups its
+        chain-served pieces into one parent round trip per layer, not
+        one per piece."""
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"R" * (64 * KIB))
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        before = cluster.ledger.counter("rados.client_read_ops")
+        pieces, _receipt = child.read_extents(
+            [(0, BLOCK), (2 * BLOCK, BLOCK), (4 * BLOCK, BLOCK),
+             (6 * BLOCK, BLOCK)])
+        assert pieces == [b"R" * BLOCK] * 4
+        ops = cluster.ledger.counter("rados.client_read_ops") - before
+        # One child presence stat + one layer presence stat + ONE vectored
+        # parent data read for all four pieces.
+        assert ops <= 3, f"chain pieces were not batched ({ops:.0f} ops)"
+        assert cluster.ledger.counter("clone.parent_reads") == 4
+
+
+class TestCopyup:
+    def test_first_write_copies_up_whole_object(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, bytes(range(256)) * 16)     # 4 KiB pattern
+        parent.write(512 * KIB, b"Z" * BLOCK)
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        before = cluster.ledger.counter("rados.transactions")
+        child.write(100, b"!!")
+        assert cluster.ledger.counter("clone.copyups") == 1
+        # Copyup is ONE transaction carrying the whole backing object.
+        assert cluster.ledger.counter("rados.transactions") == before + 1
+        # Unwritten bytes of the object now come from the child's copy.
+        expected = bytearray((bytes(range(256)) * 16))
+        expected[100:102] = b"!!"
+        assert child.read(0, BLOCK) == bytes(expected)
+        assert child.read(512 * KIB, BLOCK) == b"Z" * BLOCK
+
+    def test_second_write_skips_copyup(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"x" * BLOCK)
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        child.write(0, b"1" * 100)
+        child.write(200, b"2" * 100)
+        assert cluster.ledger.counter("clone.copyups") == 1
+
+    def test_write_to_unbacked_object_is_plain(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.create_snapshot("s")     # parent entirely sparse
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        child.write(0, b"fresh")
+        assert cluster.ledger.counter("clone.copyups") == 0
+        assert child.read(0, 5) == b"fresh"
+        assert child.read(BLOCK, 16) == bytes(16)
+
+    def test_discard_of_backed_object_does_not_resurrect(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"S" * (2 * BLOCK))
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        child.discard(0, BLOCK)
+        assert child.read(0, BLOCK) == bytes(BLOCK)
+        assert child.read(BLOCK, BLOCK) == b"S" * BLOCK
+
+    def test_copyup_then_write_matches_flatten_then_write(self, cluster):
+        """Acceptance: copyup-then-write and flatten-then-write leave the
+        same plaintext at the RADOS level, and the same data-object names;
+        both clones reopen standalone-correct."""
+        parent, _ = _make_parent(cluster)
+        for off in range(0, 4 * MIB, 64 * KIB):
+            parent.write(off, bytes([off % 251 or 1]) * (4 * KIB))
+        parent.create_snapshot("s")
+        a, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "clone-a", passphrase=b"pw-a",
+            parent_passphrase=b"parent-pw", random_seed=b"a")
+        b, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "clone-b", passphrase=b"pw-b",
+            parent_passphrase=b"parent-pw", random_seed=b"b")
+        b.flatten()
+        writes = [(17, b"copyup-vs-flatten"), (1 * MIB + 5, b"second-object"),
+                  (3 * MIB - 7, b"boundary!")]
+        for off, payload in writes:
+            a.write(off, payload)
+            b.write(off, payload)
+        assert a.read(0, 4 * MIB) == b.read(0, 4 * MIB)
+        ioctx = cluster.client().open_ioctx("rbd")
+        names_a = {n.split(".", 2)[2] for n in ioctx.list_objects("rbd_data.clone-a")}
+        names_b = {n.split(".", 2)[2] for n in ioctx.list_objects("rbd_data.clone-b")}
+        assert names_a <= names_b  # flatten materialized every backed object
+        # Reopen both with only their own passphrase chains.
+        a2, _ = open_layered_image(cluster, "clone-a", [b"pw-a", b"parent-pw"])
+        b2, _ = api.open_encrypted_image(cluster, "clone-b", b"pw-b")
+        assert a2.read(0, 4 * MIB) == b2.read(0, 4 * MIB)
+
+    def test_copyup_vs_flatten_bit_identical_stored_bytes(self, cluster):
+        """Acceptance (bit-level): with a deterministic-IV format and the
+        same child volume key, copyup-then-write and flatten-then-write
+        leave *bit-identical* stored bytes in every object the copyup
+        path materialized."""
+        parent, _ = api.create_encrypted_image(
+            cluster, "det-golden", 2 * MIB, b"parent-pw",
+            encryption_format="luks-baseline", cipher_suite="blake2-xts-sim",
+            object_size=1 * MIB, random_seed=b"det-parent")
+        parent.write(0, b"D" * (32 * KIB))
+        parent.write(1 * MIB, b"E" * (32 * KIB))
+        parent.create_snapshot("s")
+        # Same passphrase AND same format seed => same child volume key.
+        a, _ = api.clone_encrypted_image(
+            cluster, "det-golden", "s", "det-a", passphrase=b"pw",
+            parent_passphrase=b"parent-pw", random_seed=b"same-key")
+        b, _ = api.clone_encrypted_image(
+            cluster, "det-golden", "s", "det-b", passphrase=b"pw",
+            parent_passphrase=b"parent-pw", random_seed=b"same-key")
+        b.flatten()
+        for off, payload in ((5, b"copyup-write"), (BLOCK + 3, b"more")):
+            a.write(off, payload)
+            b.write(off, payload)
+        ioctx = cluster.client().open_ioctx("rbd")
+        for name_a in ioctx.list_objects("rbd_data.det-a"):
+            name_b = name_a.replace("rbd_data.det-a", "rbd_data.det-b")
+            size_a, size_b = ioctx.stat(name_a), ioctx.stat(name_b)
+            assert size_a == size_b
+            assert (ioctx.read(name_a, 0, size_a).data
+                    == ioctx.read(name_b, 0, size_b).data), (
+                f"stored bytes of {name_a} diverge between copyup and "
+                f"flatten paths")
+
+
+class TestDepthChains:
+    def _chain(self, cluster, depth=3):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"layer0")
+        parent.create_snapshot("s")
+        name, snap = "golden", "s"
+        passphrases = [b"parent-pw"]
+        image = None
+        for d in range(1, depth + 1):
+            pw = f"pw-{d}".encode()
+            image, _ = api.clone_encrypted_image(
+                cluster, name, snap, f"c{d}", passphrase=pw,
+                parent_passphrase=list(reversed(passphrases)),
+                random_seed=f"c{d}".encode())
+            image.write(d * 64 * KIB, f"layer{d}".encode())
+            passphrases.append(pw)
+            if d < depth:
+                image.create_snapshot("s")
+                image.image.protect_snapshot("s")
+                name, snap = f"c{d}", "s"
+        return image, passphrases
+
+    def test_depth_three_reads_every_layer(self, cluster):
+        leaf, passphrases = self._chain(cluster, depth=3)
+        assert leaf.clone_depth == 3
+        assert leaf.read(0, 6) == b"layer0"
+        for d in range(1, 4):
+            assert leaf.read(d * 64 * KIB, 6) == f"layer{d}".encode()
+
+    def test_reopen_depth_three_with_per_layer_passphrases(self, cluster):
+        leaf, passphrases = self._chain(cluster, depth=3)
+        del leaf
+        reopened, infos = open_layered_image(
+            cluster, "c3", list(reversed(passphrases)))
+        assert isinstance(reopened, LayeredImage)
+        assert reopened.clone_depth == 3
+        assert len(infos) == 4 and all(i is not None for i in infos)
+        assert reopened.read(0, 6) == b"layer0"
+        assert reopened.read(2 * 64 * KIB, 6) == b"layer2"
+
+    def test_flatten_depth_three(self, cluster):
+        leaf, passphrases = self._chain(cluster, depth=3)
+        leaf.flatten()
+        assert leaf.clone_depth == 0
+        assert leaf.read(0, 6) == b"layer0"
+        assert leaf.read(3 * 64 * KIB, 6) == b"layer3"
+        # Standalone reopen: no chain, no parent passphrases needed.
+        alone, _ = api.open_encrypted_image(cluster, "c3", b"pw-3")
+        assert alone.read(0, 6) == b"layer0"
+
+
+class TestFlattenBookkeeping:
+    def test_flatten_detaches_and_allows_parent_cleanup(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"data")
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        snap_id = parent.snapshot_by_name("s").snap_id
+        with pytest.raises(SnapshotError):
+            open_image(cluster.client().open_ioctx("rbd"),
+                       "golden").unprotect_snapshot("s")
+        child.flatten()
+        fresh = open_image(cluster.client().open_ioctx("rbd"), "golden")
+        assert fresh.children_of_snapshot(snap_id) == []
+        fresh.unprotect_snapshot("s")
+        fresh.remove_snapshot("s")
+
+    def test_flatten_helper_roundtrip(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(100, b"via-helper")
+        parent.create_snapshot("s")
+        api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        flattened = flatten_image(cluster, "child",
+                                  [b"child-pw", b"parent-pw"])
+        assert flattened.clone_depth == 0
+        assert flattened.read(100, 10) == b"via-helper"
+
+    def test_remove_image_guards_chain(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        ioctx = cluster.client().open_ioctx("rbd")
+        with pytest.raises(RbdError):
+            remove_image(ioctx, "golden")
+        # Removing the child deregisters it; the parent is then removable.
+        remove_image(ioctx, "child")
+        fresh = open_image(cluster.client().open_ioctx("rbd"), "golden")
+        fresh.unprotect_snapshot("s")
+        fresh.remove_snapshot("s")
+        remove_image(ioctx, "golden")
+
+    def test_child_snapshot_before_copyup_descends_to_parent(self, cluster):
+        """Regression: reading a *child* snapshot taken before a copyup
+        must descend to the parent — the copyup left an empty preserved
+        clone at that snapshot, not child data."""
+        parent, _ = _make_parent(cluster)
+        parent.write(0, b"parent-data")
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        child.create_snapshot("before-copyup")
+        child.write(0, b"CHILD")                 # copyup materializes obj 0
+        child.set_read_snapshot("before-copyup")
+        assert child.read(0, 11) == b"parent-data"
+        child.set_read_snapshot(None)
+        assert child.read(0, 11) == b"CHILD" + b"parent-data"[5:]
+        # A fresh handle (cold presence caches) agrees.
+        fresh, _ = open_layered_image(cluster, "child",
+                                      [b"child-pw", b"parent-pw"])
+        fresh.set_read_snapshot("before-copyup")
+        assert fresh.read(0, 11) == b"parent-data"
+
+    def test_parent_resize_between_protect_and_clone(self, cluster):
+        """Regression: the clone mirrors the parent *at the snapshot* —
+        a parent shrunk (or grown) after protect must not change the
+        child's size or hide snapshot-covered data."""
+        parent, _ = _make_parent(cluster)
+        parent.write(3 * MIB, b"deep-data")
+        parent.create_snapshot("s")
+        parent.protect_snapshot("s")
+        parent.resize(2 * MIB)
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "shrunk-child", passphrase=b"pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        assert child.size == 4 * MIB
+        assert child.read(3 * MIB, 9) == b"deep-data"
+        parent.resize(8 * MIB)
+        parent.write(5 * MIB, b"post-snap")
+        grown, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "grown-child", passphrase=b"pw2",
+            parent_passphrase=b"parent-pw", random_seed=b"c2")
+        assert grown.size == 4 * MIB             # snapshot-time size
+
+    def test_resize_shrink_clips_overlap(self, cluster):
+        parent, _ = _make_parent(cluster)
+        parent.write(3 * MIB, b"beyond")
+        parent.create_snapshot("s")
+        child, _ = api.clone_encrypted_image(
+            cluster, "golden", "s", "child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        child.resize(2 * MIB)
+        child.resize(4 * MIB)
+        # Shrinking clipped the overlap for good: the regrown range no
+        # longer exposes parent data.
+        assert child.read(3 * MIB, 6) == bytes(6)
+
+
+class TestPlainClones:
+    def test_plaintext_chain(self, cluster):
+        """Clone layering is independent of encryption: plaintext parent,
+        plaintext child."""
+        ioctx = cluster.client().open_ioctx("rbd")
+        create_image(ioctx, "plain-golden", 2 * MIB, object_size=1 * MIB)
+        parent = open_image(ioctx, "plain-golden")
+        parent.write(0, b"plain-parent")
+        parent.create_snapshot("s")
+        parent.protect_snapshot("s")
+        child = clone_image(parent, "s",
+                            cluster.client().open_ioctx("rbd"), "plain-child")
+        layered, infos = open_layered_image(cluster, "plain-child")
+        assert infos == [None, None]
+        assert layered.read(0, 12) == b"plain-parent"
+        layered.write(0, b"CHILD")
+        assert layered.read(0, 12) == b"CHILD" + b"plain-parent"[5:]
+        assert cluster.ledger.counter("clone.copyups") == 1

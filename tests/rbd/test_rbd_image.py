@@ -204,3 +204,54 @@ class TestImageSnapshots:
         snap = plain_image.create_snapshot("s")
         plain_image.set_read_snapshot("s")
         assert plain_image.read_snapshot_id == snap.snap_id
+
+
+class TestSnapshotProtection:
+    def test_remove_protected_snapshot_refused(self, ioctx, plain_image):
+        """Regression: removing a protected snapshot must raise instead of
+        silently orphaning clone chain state."""
+        plain_image.create_snapshot("s")
+        plain_image.protect_snapshot("s")
+        with pytest.raises(SnapshotError):
+            plain_image.remove_snapshot("s")
+        # Still present, still protected — including after a reopen.
+        assert plain_image.snapshot_by_name("s").protected
+        reopened = open_image(ioctx, plain_image.name)
+        assert reopened.snapshot_by_name("s").protected
+        with pytest.raises(SnapshotError):
+            reopened.remove_snapshot("s")
+
+    def test_unprotect_then_remove(self, plain_image):
+        plain_image.create_snapshot("s")
+        plain_image.protect_snapshot("s")
+        plain_image.unprotect_snapshot("s")
+        plain_image.remove_snapshot("s")
+        assert plain_image.list_snapshots() == []
+
+    def test_protect_unknown_snapshot_rejected(self, plain_image):
+        with pytest.raises(SnapshotError):
+            plain_image.protect_snapshot("nope")
+        with pytest.raises(SnapshotError):
+            plain_image.unprotect_snapshot("nope")
+
+    def test_protect_is_idempotent(self, plain_image):
+        plain_image.create_snapshot("s")
+        assert plain_image.protect_snapshot("s").protected
+        assert plain_image.protect_snapshot("s").protected
+        assert plain_image.unprotect_snapshot("s").protected is False
+        assert plain_image.unprotect_snapshot("s").protected is False
+
+    def test_remove_snapshot_with_children_refused(self, cluster, ioctx,
+                                                   plain_image):
+        """A snapshot backing clone children refuses removal even after a
+        (hypothetical) unprotect path — children are checked first."""
+        from repro.clone import clone_image
+
+        plain_image.create_snapshot("s")
+        plain_image.protect_snapshot("s")
+        clone_image(plain_image, "s", cluster.client().open_ioctx("rbd"),
+                    "clone-child")
+        with pytest.raises(SnapshotError):
+            plain_image.remove_snapshot("s")
+        with pytest.raises(SnapshotError):
+            plain_image.unprotect_snapshot("s")

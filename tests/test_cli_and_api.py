@@ -131,6 +131,31 @@ class TestCli:
                      "--bytes-per-point", "256K"]) == 0
         assert "Client-side cache behaviour" not in capsys.readouterr().out
 
+    def test_sweep_clone_of(self, capsys):
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "4M",
+                     "--bytes-per-point", "256K", "--queue-depth", "8",
+                     "--clone-of", "golden"]) == 0
+        assert "MiB/s" in capsys.readouterr().out
+
+    def test_sweep_clone_depth_with_flatten(self, capsys):
+        assert main(["sweep", "--kind", "read", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "4M",
+                     "--bytes-per-point", "256K", "--queue-depth", "8",
+                     "--clone-depth", "2", "--flatten"]) == 0
+        assert "MiB/s" in capsys.readouterr().out
+
+    def test_sweep_flatten_requires_clone(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sizes", "16K", "--flatten"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sizes", "16K", "--clone-depth", "-1"])
+        with pytest.raises(SystemExit):
+            # --clone-depth 0 silently dropping --clone-of would hand the
+            # user control-run numbers labelled as the clone scenario.
+            main(["sweep", "--sizes", "16K", "--clone-of", "golden",
+                  "--clone-depth", "0"])
+
 
 class TestApiHelpers:
     def test_make_cluster_shapes(self):
@@ -170,6 +195,37 @@ class TestApiHelpers:
             cache=CacheConfig(mode="writethrough", size="2M"))
         assert isinstance(reopened, CachedImage)
         assert reopened.read(0, 13) == b"via the cache"
+
+    def test_clone_and_open_layered(self, cluster):
+        parent, _ = api.create_encrypted_image(
+            cluster, "api-golden", "4M", b"parent-pw", object_size="1M",
+            cipher_suite="blake2-xts-sim", random_seed=b"g")
+        parent.write(0, b"golden data")
+        parent.create_snapshot("v1")
+        child, info = api.clone_encrypted_image(
+            cluster, "api-golden", "v1", "api-child", passphrase=b"child-pw",
+            parent_passphrase=b"parent-pw", random_seed=b"c")
+        assert child.clone_depth == 1
+        assert info.layout == "object-end"
+        assert child.read(0, 11) == b"golden data"
+        child.write(0, b"CHILD")
+        reopened, infos = api.open_layered_image(
+            cluster, "api-child", [b"child-pw", b"parent-pw"])
+        assert reopened.read(0, 11) == b"CHILD" + b"golden data"[5:]
+        assert len(infos) == 2
+
+    def test_clone_with_cache_mode(self, cluster):
+        from repro.cache import CachedImage
+        parent, _ = api.create_encrypted_image(
+            cluster, "cg", "2M", b"p", object_size="1M",
+            cipher_suite="blake2-xts-sim", random_seed=b"g")
+        parent.create_snapshot("v1")
+        child, _info = api.clone_encrypted_image(
+            cluster, "cg", "v1", "cg-child", passphrase=b"c",
+            parent_passphrase=b"p", random_seed=b"c", cache="writethrough")
+        assert isinstance(child, CachedImage)
+        child.write(0, b"x")
+        assert child.read(0, 1) == b"x"
 
     def test_make_pipeline_with_cache(self, cluster):
         image, _info = api.create_encrypted_image(
