@@ -57,6 +57,20 @@ class SweepConfig:
     #: independent client streams per sweep point (one image each, shared
     #: cluster); >1 runs through the ClusterWorkloadRunner
     num_clients: int = 1
+    #: issue operations open-loop at ``arrival_rate`` ops/s per client
+    #: instead of the closed queue-depth loop (needs sim_mode "events")
+    open_loop: bool = False
+    #: per-client Poisson arrival rate in ops/s (required with open_loop)
+    arrival_rate: Optional[float] = None
+    #: event-replay implementation ("compact" or "legacy"); ``None``
+    #: inherits whatever ``params`` carries (default compact)
+    event_engine: Optional[str] = None
+    #: independent contention domains of the event replay (``None`` =
+    #: inherit; see :attr:`repro.sim.costparams.CostParameters.sim_shards`)
+    sim_shards: Optional[int] = None
+    #: worker processes advancing shards (``None`` = inherit; results are
+    #: identical for any value)
+    sim_jobs: Optional[int] = None
     #: client-side block cache mode: None (off), "writethrough", "writeback"
     cache_mode: Optional[str] = None
     #: cache capacity in bytes (None = the cache package default)
@@ -145,8 +159,11 @@ class LayoutSweep:
                 else default_cost_parameters())
         # with_overrides re-runs validation, so a typo'd sim_mode raises
         # ConfigurationError here instead of silently running analytic.
-        overrides = ({"sim_mode": config.sim_mode}
-                     if config.sim_mode is not None else {})
+        overrides = {key: value for key, value in (
+            ("sim_mode", config.sim_mode),
+            ("event_engine", config.event_engine),
+            ("sim_shards", config.sim_shards),
+            ("sim_jobs", config.sim_jobs)) if value is not None}
         params = base.with_overrides(**overrides)
         return make_cluster(osd_count=config.osd_count,
                             replica_count=config.replica_count,
@@ -179,6 +196,8 @@ class LayoutSweep:
                             cache_size=config.cache_size,
                             cache_policy=config.cache_policy,
                             readahead=config.readahead,
+                            open_loop=config.open_loop,
+                            arrival_rate=config.arrival_rate,
                             parent_image=(config.clone_of
                                           if config.clone_depth else None),
                             clone_depth=config.clone_depth)

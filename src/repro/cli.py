@@ -14,6 +14,13 @@ Subcommands
     print the bandwidth and overhead tables (optionally CSV).
 ``sectors``
     Print the §3.3 analytic sector-access table.
+``fleet``
+    Fleet-scale open-loop simulation: capture a short real trace, tile it
+    out to ``--num-clients`` streams, and replay millions of requests
+    through the vectorized event engine in seconds, e.g.::
+
+        python -m repro.cli fleet --open-loop --arrival-rate 200 \
+            --num-clients 1000 --ops-per-client 1000
 ``demo``
     A tiny end-to-end demonstration (create an encrypted image, write, read,
     snapshot) printing the cluster's cost-ledger highlights.
@@ -36,7 +43,7 @@ from .analysis.report import (format_bandwidth_table, format_cache_table,
                               to_csv)
 from .analysis.sectors import SectorAccessModel, theoretical_overhead_table
 from .cache.config import CACHE_MODES, CACHE_POLICIES
-from .sim.costparams import SIM_MODES
+from .sim.costparams import EVENT_ENGINES, SIM_MODES
 from .util import MIB, format_size, parse_size
 from .workload.spec import PAPER_IO_SIZES
 
@@ -72,6 +79,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.flatten and clone_depth == 0:
         raise SystemExit("--flatten only takes effect with "
                          "--clone-of/--clone-depth")
+    if args.open_loop and args.arrival_rate is None:
+        raise SystemExit("--open-loop needs --arrival-rate (ops/s)")
+    if args.arrival_rate is not None and not args.open_loop:
+        raise SystemExit("--arrival-rate only takes effect with --open-loop")
     config = SweepConfig(
         io_sizes=_parse_sizes(args.sizes),
         layouts=_parse_layouts(args.layouts),
@@ -85,6 +96,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         sim_mode=args.sim_mode,
         num_clients=args.num_clients,
+        open_loop=args.open_loop,
+        arrival_rate=args.arrival_rate,
+        event_engine=args.event_engine,
+        sim_shards=args.shards,
+        sim_jobs=args.jobs,
         cache_mode=args.cache_mode,
         cache_size=(parse_size(args.cache_size) if args.cache_size else None),
         cache_policy=args.cache_policy,
@@ -109,6 +125,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         print()
         print(to_csv(results))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import time
+
+    from .crypto.suite import SIMULATION_SUITE
+    from .sim.compact import encode_stream
+    from .sim.costparams import default_cost_parameters
+    from .sim.fleet import fleet_streams_from_template, simulate_fleet
+    from .workload.arrival import PoissonArrivals, arrival_schedule
+    from .workload.runner import capture_template_stream, prefill_image
+    from .workload.spec import WorkloadSpec
+
+    if args.num_clients < 1 or args.ops_per_client < 1:
+        raise SystemExit("--num-clients/--ops-per-client must be positive")
+    if args.arrival_rate <= 0:
+        raise SystemExit("--arrival-rate must be positive")
+    params = default_cost_parameters().with_overrides(
+        sim_mode="events", event_engine=args.event_engine,
+        sim_shards=args.shards, sim_jobs=args.jobs,
+        osd_count=args.osds, replica_count=args.replicas)
+
+    # Capture a short real trace: actual data path, crypto and placement.
+    cluster = api.make_cluster(osd_count=args.osds,
+                               replica_count=args.replicas, params=params)
+    image, info = api.create_encrypted_image(
+        cluster, "fleet-template", 32 * MIB, passphrase=b"fleet-template",
+        encryption_format=args.layout, cipher_suite=SIMULATION_SUITE)
+    spec = WorkloadSpec(
+        name="fleet-template",
+        rw="randread" if args.kind == "read" else "randwrite",
+        io_size=parse_size(args.io_size), queue_depth=1,
+        io_count=args.template_ops, seed=args.seed)
+    if args.kind == "read":
+        prefill_image(image)
+    template = encode_stream(capture_template_stream(cluster, image, spec))
+
+    # Tile it out to the fleet and replay open-loop.
+    streams = fleet_streams_from_template(
+        template, args.num_clients, args.ops_per_client,
+        osd_count=args.osds)
+    arrivals = arrival_schedule(
+        PoissonArrivals(rate_per_client=args.arrival_rate, seed=args.seed),
+        [stream.num_ops for stream in streams])
+    started = time.perf_counter()
+    result = simulate_fleet(params, streams, arrivals)
+    wall_s = time.perf_counter() - started
+
+    stats = result.request_stats
+    elapsed_s = result.elapsed_us / 1e6
+    pcts = stats.percentiles()
+    print(f"fleet: {args.num_clients} clients x {args.ops_per_client} ops "
+          f"({args.kind} {format_size(spec.io_size)}, layout={info.layout}, "
+          f"{args.osds} OSDs, engine={result.engine}, "
+          f"shards={args.shards})")
+    print(f"  requests    {result.requests:>12d} "
+          f"({result.events_processed} simulated events)")
+    print(f"  simulated   {elapsed_s:>12.2f} s   "
+          f"({result.requests / elapsed_s:,.0f} IOPS aggregate, "
+          f"bound={result.bounding_resource})")
+    print(f"  latency     mean={stats.mean_us:.0f} us  "
+          f"p50={pcts['p50']:.0f}  p95={pcts['p95']:.0f}  "
+          f"p99={pcts['p99']:.0f} us"
+          f"{'  (sampled)' if stats.sampled else ''}")
+    print(f"  wall clock  {wall_s:>12.2f} s   "
+          f"({result.requests / max(wall_s, 1e-9):,.0f} requests/s replayed)")
     return 0
 
 
@@ -188,6 +271,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="independent client streams per point, all "
                        "contending for one cluster (contention needs "
                        "--sim-mode events to be visible)")
+    sweep.add_argument("--open-loop", action="store_true",
+                       help="issue operations at Poisson arrival times "
+                       "(--arrival-rate) instead of the closed queue-depth "
+                       "loop; needs --sim-mode events")
+    sweep.add_argument("--arrival-rate", type=float, default=None,
+                       metavar="OPS_PER_SEC",
+                       help="per-client open-loop arrival rate (ops/s)")
+    sweep.add_argument("--event-engine", choices=EVENT_ENGINES, default=None,
+                       help="event-replay implementation: 'compact' "
+                       "(flattened numpy traces, vectorized open loop — the "
+                       "default) or 'legacy' (original per-op scheduler)")
+    sweep.add_argument("--shards", type=int, default=None,
+                       help="independent contention domains of the event "
+                       "replay (clients and their OSD queues partitioned)")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes advancing shards in parallel "
+                       "(results are identical for any value)")
     sweep.add_argument("--cache-mode", choices=CACHE_MODES, default=None,
                        help="client-side block cache: 'writethrough' keeps "
                        "the RADOS write stream identical and absorbs reads; "
@@ -216,6 +316,33 @@ def build_parser() -> argparse.ArgumentParser:
                        "image)")
     sweep.add_argument("--csv", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
+
+    fleet = sub.add_parser(
+        "fleet", help="fleet-scale open-loop simulation (capture a short "
+        "real trace, tile it to --num-clients streams, replay vectorized)")
+    fleet.add_argument("--num-clients", type=int, default=1000)
+    fleet.add_argument("--ops-per-client", type=int, default=1000)
+    fleet.add_argument("--open-loop", action="store_true", default=True,
+                       help="accepted for symmetry with sweep; the fleet "
+                       "replay is always open-loop")
+    fleet.add_argument("--arrival-rate", type=float, default=200.0,
+                       metavar="OPS_PER_SEC",
+                       help="per-client Poisson arrival rate (ops/s)")
+    fleet.add_argument("--kind", choices=("read", "write"), default="write")
+    fleet.add_argument("--io-size", default="4K")
+    fleet.add_argument("--layout", default="object-end")
+    fleet.add_argument("--osds", type=int, default=64,
+                       help="cluster size the fleet spreads over")
+    fleet.add_argument("--replicas", type=int, default=3)
+    fleet.add_argument("--template-ops", type=int, default=32,
+                       help="length of the captured template trace that is "
+                       "tiled out to every client")
+    fleet.add_argument("--shards", type=int, default=1)
+    fleet.add_argument("--jobs", type=int, default=1)
+    fleet.add_argument("--event-engine", choices=EVENT_ENGINES,
+                       default="compact")
+    fleet.add_argument("--seed", type=int, default=1234)
+    fleet.set_defaults(func=_cmd_fleet)
 
     sectors = sub.add_parser("sectors", help="print the analytic sector table")
     sectors.add_argument("--sizes")

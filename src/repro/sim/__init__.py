@@ -33,16 +33,23 @@ Contracts every consumer may rely on:
 """
 
 from .clock import SimClock
-from .costparams import CostParameters, SIM_MODES
+from .compact import CompactStream, encode_stream, encode_streams, tile_stream
+from .costparams import CostParameters, EVENT_ENGINES, SIM_MODES
 from .events import EventLoop
+from .fleet import (fleet_streams_from_template, simulate_closed_loop,
+                    simulate_fleet)
 from .ledger import ClientOpTrace, CostLedger, OpReceipt, OpTrace, OsdVisit
 from .perfmodel import PerformanceModel, PerformanceEstimate
+from .reservoir import LatencyReservoir, merge_reservoirs
 from .scheduler import (ClusterScheduler, EventSimResult, ServiceQueue,
-                        simulate_client_ops)
+                        simulate_client_ops, simulate_open_loop)
 
 __all__ = [
-    "SimClock", "CostParameters", "SIM_MODES", "CostLedger", "OpReceipt",
-    "OpTrace", "OsdVisit", "ClientOpTrace", "EventLoop", "ServiceQueue",
-    "ClusterScheduler", "EventSimResult", "simulate_client_ops",
-    "PerformanceModel", "PerformanceEstimate",
+    "SimClock", "CostParameters", "SIM_MODES", "EVENT_ENGINES", "CostLedger",
+    "OpReceipt", "OpTrace", "OsdVisit", "ClientOpTrace", "EventLoop",
+    "ServiceQueue", "ClusterScheduler", "EventSimResult",
+    "simulate_client_ops", "simulate_open_loop", "simulate_closed_loop",
+    "simulate_fleet", "CompactStream", "encode_stream", "encode_streams",
+    "tile_stream", "fleet_streams_from_template", "LatencyReservoir",
+    "merge_reservoirs", "PerformanceModel", "PerformanceEstimate",
 ]

@@ -33,6 +33,14 @@ from ..errors import ConfigurationError
 #: ``--sim-mode`` flag).
 SIM_MODES = ("analytic", "events")
 
+#: valid values of :attr:`CostParameters.event_engine` (and the CLI's
+#: ``--event-engine`` flag): "compact" replays flattened numpy trace
+#: columns through the index-based event machine (and, for open-loop
+#: arrivals, the fully vectorized queue scans); "legacy" is the original
+#: per-op object/closure scheduler, kept selectable so the equivalence
+#: suite can pin the two against each other.
+EVENT_ENGINES = ("compact", "legacy")
+
 
 @dataclass
 class CostParameters:
@@ -93,6 +101,35 @@ class CostParameters:
     #: the only one that can express multi-client contention).
     sim_mode: str = "analytic"
 
+    #: which event-replay implementation the "events" mode uses: "compact"
+    #: (flattened trace columns, index-based event machine, vectorized
+    #: open-loop scans — the fleet-scale path) or "legacy" (the original
+    #: per-op object scheduler, kept for equivalence comparisons).
+    event_engine: str = "compact"
+
+    #: how many independent contention domains the event replay is split
+    #: into: clients (and the OSD queues they drive) are partitioned into
+    #: ``sim_shards`` shards simulated independently and merged
+    #: deterministically.  1 reproduces the single shared-cluster replay
+    #: exactly; >1 trades cross-shard OSD contention for parallelism.
+    sim_shards: int = 1
+
+    #: worker processes used to advance shards in parallel.  Purely an
+    #: execution knob: results are bit-identical for any ``sim_jobs``
+    #: (the shard partition and the merge order depend only on
+    #: ``sim_shards``).
+    sim_jobs: int = 1
+
+    #: fraction of the simulated elapsed time a resource's busy time must
+    #: reach before an event replay labels the run with that resource as
+    #: its bound; below it the run is reported as paced by operation
+    #: latency at the configured depth ("latency(qd)") or by the open-loop
+    #: arrival process ("arrival(open-loop)").  One named knob shared by
+    #: every event engine (legacy, compact, vectorized) so the paths agree
+    #: on what "saturated" means; the analytic estimate needs no threshold
+    #: because its winning resource bound is saturated by construction.
+    saturation_threshold: float = 0.8
+
     #: free-form labels describing the calibration, carried into reports
     notes: Dict[str, str] = field(default_factory=dict)
 
@@ -111,6 +148,17 @@ class CostParameters:
         if self.sim_mode not in SIM_MODES:
             raise ConfigurationError(
                 f"sim_mode must be one of {SIM_MODES}, got {self.sim_mode!r}")
+        if self.event_engine not in EVENT_ENGINES:
+            raise ConfigurationError(
+                f"event_engine must be one of {EVENT_ENGINES}, "
+                f"got {self.event_engine!r}")
+        if self.sim_shards <= 0:
+            raise ConfigurationError("sim_shards must be positive")
+        if self.sim_jobs <= 0:
+            raise ConfigurationError("sim_jobs must be positive")
+        if not 0.0 < self.saturation_threshold <= 1.0:
+            raise ConfigurationError(
+                "saturation_threshold must be within (0, 1]")
         for name in ("device_read_bandwidth_mbps", "device_write_bandwidth_mbps",
                      "client_bandwidth_mbps", "cluster_bandwidth_mbps"):
             if getattr(self, name) <= 0:

@@ -1,0 +1,456 @@
+"""Fleet-scale event simulation: sharded, vectorized trace replay.
+
+This module is the compact engine's top half.  :mod:`~repro.sim.replay`
+gives an exact index-based event machine; this module adds what fleet
+runs (1,000 clients, millions of requests) need on top of it:
+
+* **Vectorized open-loop replay** — when operations are issued by an
+  exogenous arrival process (no completion->issue feedback) and every
+  client op maps to at most one RADOS op, the whole replay collapses
+  into sorted queue scans over numpy columns: a Lindley recursion per
+  FIFO station (client CPU, client NIC, backend network, each OSD)
+  instead of a per-event Python loop.  Multi-million-op runs finish in
+  wall-clock seconds.
+* **Sharding** — clients (and the queues they drive) are partitioned
+  into ``params.sim_shards`` independent contention domains, replayed
+  separately and merged deterministically; ``params.sim_jobs`` worker
+  processes advance shards in parallel.  Results are bit-identical for
+  any ``sim_jobs`` because the partition and the merge order depend
+  only on ``sim_shards``.
+* **Fleet synthesis** — :func:`fleet_streams_from_template` tiles one
+  captured stream (real data path, real crypto and placement costs)
+  out to an arbitrary client count with rotated OSD placement, without
+  replaying the capture per client.
+
+Closed-loop replay cannot be vectorized (each completion feeds the next
+issue), so it always runs on the index machine — but still sharded.
+The vectorized path falls back to the index machine whenever a stream
+contains serial RADOS chains (read-modify-write turns) or OSD queues
+have multiple servers (``osd_shards > 1``), where sorted-scan FIFO
+semantics no longer hold.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .compact import CompactStream, encode_stream, encode_streams, tile_stream
+from .costparams import CostParameters
+from .ledger import ClientOpTrace
+from .replay import has_serial_chains, replay_closed_loop, replay_open_loop
+from .reservoir import (CLIENT_RESERVOIR_CAPACITY, LatencyReservoir,
+                        merge_reservoirs)
+from .scheduler import EventSimResult
+from ..errors import ConfigurationError
+
+__all__ = ["simulate_closed_loop", "simulate_fleet",
+           "fleet_streams_from_template"]
+
+
+# ---------------------------------------------------------------------------
+# vectorized open-loop engine
+# ---------------------------------------------------------------------------
+
+def _fifo_scan(arrival: np.ndarray, service: np.ndarray,
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Start/end times of a single-server FIFO fed sorted arrivals.
+
+    Lindley's recursion, vectorized: with inclusive service prefix sums
+    ``S``, ``start[j] = S[j-1] + max_{k<=j}(arrival[k] - S[k-1])``, so
+    one cumsum and one running max replace the per-job loop.
+    """
+    if arrival.size == 0:
+        return arrival.copy(), arrival.copy()
+    total = np.cumsum(service)
+    before = total - service
+    start = np.maximum.accumulate(arrival - before) + before
+    return start, start + service
+
+
+def _group_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]), [0..counts[1]), ...`` concatenated."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def _empty_result(params: CostParameters, num_clients: int,
+                  open_loop: bool) -> EventSimResult:
+    return EventSimResult(
+        elapsed_us=1e-6, requests=0,
+        op_stats=LatencyReservoir(), request_stats=LatencyReservoir(),
+        client_request_stats=[
+            LatencyReservoir(capacity=CLIENT_RESERVOIR_CAPACITY)
+            for _ in range(num_clients)],
+        resource_us={"client.cpu": 0.0, "client.net": 0.0,
+                     "cluster.net": 0.0, "osd.work": 0.0},
+        bounding_resource="arrival(open-loop)" if open_loop else "latency(qd)",
+        events_processed=0, queue_wait_us={},
+        engine="vectorized" if open_loop else "compact")
+
+
+def _vectorized_open_loop(params: CostParameters,
+                          streams: Sequence[CompactStream],
+                          arrivals_us: Sequence[np.ndarray],
+                          ) -> EventSimResult:
+    """Open-loop replay as sorted queue scans (see module docstring).
+
+    Requires every op to carry at most one RADOS op and single-server
+    OSD queues; callers guarantee both.  Exactly equivalent to
+    :func:`~repro.sim.replay.replay_open_loop` on workloads with
+    distinct event timestamps (ties break by deterministic issue order
+    here and by event sequence numbers there).
+    """
+    num_clients = len(streams)
+    ops_per_client = np.fromiter((s.num_ops for s in streams),
+                                 dtype=np.int64, count=num_clients)
+    base = np.zeros(num_clients + 1, dtype=np.int64)
+    np.cumsum(ops_per_client, out=base[1:])
+    n_ops = int(base[-1])
+    if n_ops == 0:
+        return _empty_result(params, num_clients, open_loop=True)
+
+    g_T = np.concatenate([np.asarray(a, dtype=np.float64)
+                          for a in arrivals_us if len(a)]) \
+        if n_ops else np.zeros(0)
+    g_requests = np.concatenate([s.op_requests for s in streams
+                                 if s.num_ops])
+    # Global issue order (T, client, op): the deterministic tie-break the
+    # index machine realizes through event sequence numbers.
+    g_client = np.repeat(np.arange(num_clients, dtype=np.int64),
+                         ops_per_client)
+    g_op = _group_arange(ops_per_client)
+    order = np.lexsort((g_op, g_client, g_T))
+    g_rank = np.empty(n_ops, dtype=np.int64)
+    g_rank[order] = np.arange(n_ops, dtype=np.int64)
+
+    g_done = np.empty(n_ops, dtype=np.float64)
+    g_half = np.zeros(n_ops, dtype=np.float64)
+    cpu_busy = np.zeros(num_clients)
+    net_busy = np.zeros(num_clients)
+
+    prim_parts: List[Tuple[np.ndarray, ...]] = []
+    rep_parts: List[Tuple[np.ndarray, ...]] = []
+    for c, stream in enumerate(streams):
+        if stream.num_ops == 0:
+            continue
+        T = g_T[base[c]:base[c + 1]]
+        g_ids = np.arange(base[c], base[c + 1], dtype=np.int64)
+        tpo = np.diff(stream.op_trace_start)
+        real = tpo > 0
+        # Zero-cost ops (sparse reads) complete at issue time.
+        g_done[g_ids[~real]] = T[~real]
+        if not real.any():
+            continue
+        t_idx = stream.op_trace_start[:-1][real]
+        cpu_svc = stream.trace_cpu_us[t_idx]
+        net_svc = stream.trace_net_us[t_idx]
+        _, cpu_end = _fifo_scan(T[real], cpu_svc)
+        _, net_end = _fifo_scan(cpu_end, net_svc)
+        cpu_busy[c] = float(cpu_svc.sum())
+        net_busy[c] = float(net_svc.sum())
+        half = stream.trace_rtt_us[t_idx] / 2.0
+        prim_arr = net_end + half
+        real_g = g_ids[real]
+        g_half[real_g] = half
+        vpt = np.diff(stream.trace_visit_start)[t_idx]
+        no_visit = vpt == 0
+        g_done[real_g[no_visit]] = prim_arr[no_visit] + half[no_visit]
+        has = vpt > 0
+        if not has.any():
+            continue
+        pv = stream.trace_visit_start[t_idx[has]]
+        prim_parts.append((
+            stream.visit_osd[pv], prim_arr[has],
+            stream.visit_service_us[pv], stream.visit_latency_us[pv],
+            real_g[has], g_rank[real_g[has]]))
+        rep_counts = vpt[has] - 1
+        if int(rep_counts.sum()) == 0:
+            continue
+        rep_idx = np.repeat(pv + 1, rep_counts) + _group_arange(rep_counts)
+        rep_parts.append((
+            stream.visit_osd[rep_idx],
+            np.repeat(prim_arr[has], rep_counts),
+            stream.visit_service_us[rep_idx],
+            stream.visit_latency_us[rep_idx],
+            np.repeat(real_g[has], rep_counts),
+            np.repeat(g_rank[real_g[has]], rep_counts),
+            _group_arange(rep_counts),
+            stream.visit_push_us[rep_idx],
+            stream.visit_hop_us[rep_idx]))
+
+    # --- backend network: every replica push through one shared queue ---
+    cluster_busy = 0.0
+    cluster_wait = 0.0
+    if rep_parts:
+        r_osd, r_arr, r_svc, r_lat, r_gop, r_rank, r_vrank, r_push, r_hop = (
+            np.concatenate([p[i] for p in rep_parts]) for i in range(9))
+        net_order = np.lexsort((r_vrank, r_rank, r_arr))
+        r_osd, r_arr, r_svc, r_lat, r_gop, r_rank, r_vrank, r_push, r_hop = (
+            a[net_order] for a in (r_osd, r_arr, r_svc, r_lat, r_gop,
+                                   r_rank, r_vrank, r_push, r_hop))
+        push_start, push_end = _fifo_scan(r_arr, r_push)
+        cluster_busy = float(r_push.sum())
+        cluster_wait = float((push_start - r_arr).sum())
+        r_arrival = push_end + r_hop
+    else:
+        r_osd = r_arrival = r_svc = r_lat = r_gop = r_rank = r_vrank = \
+            np.zeros(0, dtype=np.float64)
+
+    # --- OSD queues: primaries and replicas, one sorted scan per OSD ---
+    if prim_parts:
+        p_osd, p_arr, p_svc, p_lat, p_gop, p_rank = (
+            np.concatenate([p[i] for p in prim_parts]) for i in range(6))
+    else:
+        p_osd = p_arr = p_svc = p_lat = p_gop = p_rank = np.zeros(0)
+    v_osd = np.concatenate([p_osd, r_osd]).astype(np.int64)
+    v_arr = np.concatenate([p_arr, r_arrival])
+    v_svc = np.concatenate([p_svc, r_svc])
+    v_lat = np.concatenate([p_lat, r_lat])
+    v_gop = np.concatenate([p_gop, r_gop]).astype(np.int64)
+    v_rank = np.concatenate([p_rank, r_rank]).astype(np.int64)
+    # Within an op, the primary (visit rank 0) precedes replicas (1..).
+    v_vrank = np.concatenate([np.zeros(p_osd.size, dtype=np.int64),
+                              r_vrank.astype(np.int64) + 1])
+
+    op_ack = np.full(n_ops, -np.inf)
+    osd_busy: Dict[int, float] = {}
+    osd_wait: Dict[int, float] = {}
+    events = 0
+    if v_osd.size:
+        osd_order = np.lexsort((v_vrank, v_rank, v_arr, v_osd))
+        s_osd = v_osd[osd_order]
+        s_arr = v_arr[osd_order]
+        s_svc = v_svc[osd_order]
+        s_lat = v_lat[osd_order]
+        s_gop = v_gop[osd_order]
+        cuts = np.flatnonzero(np.diff(s_osd)) + 1
+        bounds = np.concatenate(([0], cuts, [s_osd.size]))
+        ack = np.empty(s_osd.size)
+        for i in range(len(bounds) - 1):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            start, _end = _fifo_scan(s_arr[lo:hi], s_svc[lo:hi])
+            ack[lo:hi] = start + np.maximum(s_svc[lo:hi], s_lat[lo:hi])
+            osd_id = int(s_osd[lo])
+            osd_busy[osd_id] = float(s_svc[lo:hi].sum())
+            osd_wait[osd_id] = float((start - s_arr[lo:hi]).sum())
+        np.maximum.at(op_ack, s_gop, ack)
+
+    with_visits = op_ack > -np.inf
+    g_done[with_visits] = op_ack[with_visits] + g_half[with_visits]
+
+    # --- statistics (same event count the index machine would fire) ---
+    op_visits = np.zeros(n_ops, dtype=np.int64)
+    if v_gop.size:
+        np.add.at(op_visits, v_gop, 1)
+    events = int(np.where(op_visits > 0, 3 * op_visits + 1, 2).sum())
+
+    latency = g_done - g_T
+    op_stats = LatencyReservoir()
+    op_stats.extend(latency)
+    request_stats = LatencyReservoir()
+    per_request = latency / g_requests
+    request_stats.extend(per_request, weights=g_requests)
+    client_stats = []
+    for c in range(num_clients):
+        stats = LatencyReservoir(capacity=CLIENT_RESERVOIR_CAPACITY)
+        lo, hi = int(base[c]), int(base[c + 1])
+        if hi > lo:
+            stats.extend(per_request[lo:hi], weights=g_requests[lo:hi])
+        client_stats.append(stats)
+
+    elapsed = max(float(g_done.max()), 1e-6)
+    resource_us = {
+        "client.cpu": float(cpu_busy.max()) if num_clients else 0.0,
+        "client.net": float(net_busy.max()) if num_clients else 0.0,
+        "cluster.net": cluster_busy,
+        "osd.work": max(osd_busy.values(), default=0.0),
+    }
+    waits = {f"osd.{osd_id}": wait for osd_id, wait in osd_wait.items()}
+    waits["cluster.net"] = cluster_wait
+    bounding = max(resource_us, key=lambda k: resource_us[k])
+    if resource_us[bounding] < params.saturation_threshold * elapsed:
+        bounding = "arrival(open-loop)"
+    return EventSimResult(
+        elapsed_us=elapsed, requests=int(g_requests.sum()),
+        op_stats=op_stats, request_stats=request_stats,
+        client_request_stats=client_stats, resource_us=resource_us,
+        bounding_resource=bounding, events_processed=events,
+        queue_wait_us=waits, engine="vectorized")
+
+
+# ---------------------------------------------------------------------------
+# sharding
+# ---------------------------------------------------------------------------
+
+def _partition(num_clients: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous balanced client ranges (deterministic, order-stable)."""
+    shards = max(1, min(shards, num_clients))
+    bounds = [round(i * num_clients / shards) for i in range(shards + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(shards)
+            if bounds[i + 1] > bounds[i]]
+
+
+def _replay_shard(payload: tuple) -> EventSimResult:
+    """Advance one shard (module-level so worker processes can pickle it)."""
+    params, streams, mode, queue_depth, arrivals = payload
+    if mode == "closed":
+        return replay_closed_loop(params, streams, queue_depth)
+    if mode == "open-vectorized":
+        return _vectorized_open_loop(params, streams, arrivals)
+    return replay_open_loop(params, streams, arrivals)
+
+
+def _run_shards(params: CostParameters,
+                payloads: List[tuple]) -> List[EventSimResult]:
+    jobs = max(1, min(params.sim_jobs, len(payloads)))
+    if jobs == 1 or len(payloads) == 1:
+        return [_replay_shard(p) for p in payloads]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_replay_shard, payloads))
+    except (OSError, PermissionError):
+        # Sandboxes without process spawning: same results, inline.
+        return [_replay_shard(p) for p in payloads]
+
+
+def _merge_results(params: CostParameters, parts: List[EventSimResult],
+                   open_loop: bool) -> EventSimResult:
+    """Deterministic shard merge.
+
+    Shards are independent contention domains, so busy times compare
+    against the *same* wall clock: the merged ``resource_us`` keeps the
+    most-loaded domain per resource (max), elapsed time is the slowest
+    shard, counts add up, queue waits add per queue name (an OSD id
+    appearing in several shards is a name collision across domains),
+    and latency reservoirs merge quantile-stratified without RNG.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    elapsed = max(p.elapsed_us for p in parts)
+    resource_us: Dict[str, float] = {}
+    for part in parts:
+        for key, value in part.resource_us.items():
+            resource_us[key] = max(resource_us.get(key, 0.0), value)
+    waits: Dict[str, float] = {}
+    for part in parts:
+        for key, value in part.queue_wait_us.items():
+            waits[key] = waits.get(key, 0.0) + value
+    bounding = max(resource_us, key=lambda k: resource_us[k])
+    if resource_us[bounding] < params.saturation_threshold * elapsed:
+        bounding = "arrival(open-loop)" if open_loop else "latency(qd)"
+    return EventSimResult(
+        elapsed_us=elapsed,
+        requests=sum(p.requests for p in parts),
+        op_stats=merge_reservoirs([p.op_stats for p in parts]),
+        request_stats=merge_reservoirs([p.request_stats for p in parts]),
+        client_request_stats=[stats for p in parts
+                              for stats in p.client_request_stats],
+        resource_us=resource_us,
+        bounding_resource=bounding,
+        events_processed=sum(p.events_processed for p in parts),
+        queue_wait_us=waits,
+        engine=parts[0].engine)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def simulate_closed_loop(params: CostParameters,
+                         streams: Sequence[Sequence[ClientOpTrace]],
+                         queue_depth: int) -> EventSimResult:
+    """Closed-loop compact replay, sharded per ``params.sim_shards``.
+
+    With one shard (the default) this is bit-identical to the legacy
+    scheduler — same event discipline over flattened columns.
+    """
+    if queue_depth <= 0:
+        raise ConfigurationError("queue depth must be positive")
+    compact = encode_streams(streams)
+    if not any(s.num_ops for s in compact):
+        raise ConfigurationError(
+            "event simulation needs at least one traced operation "
+            "(was ledger.trace_ops enabled during the run?)")
+    payloads = [(params, compact[lo:hi], "closed", queue_depth, None)
+                for lo, hi in _partition(len(compact), params.sim_shards)]
+    return _merge_results(params, _run_shards(params, payloads),
+                          open_loop=False)
+
+
+def simulate_fleet(params: CostParameters,
+                   streams: Sequence[Sequence[ClientOpTrace]],
+                   arrivals_us: Sequence[Sequence[float]]) -> EventSimResult:
+    """Open-loop fleet replay: op ``j`` of client ``i`` issues at
+    ``arrivals_us[i][j]``.
+
+    Uses the vectorized scan engine whenever the workload allows it
+    (single-RADOS-op client ops, single-server OSD queues) and
+    ``params.event_engine`` is "compact"; otherwise the index-based
+    event machine replays each shard exactly.
+    """
+    compact = encode_streams(streams)
+    if len(arrivals_us) != len(compact):
+        raise ConfigurationError(
+            f"{len(arrivals_us)} arrival arrays for {len(compact)} clients")
+    if not any(s.num_ops for s in compact):
+        raise ConfigurationError(
+            "event simulation needs at least one traced operation "
+            "(was ledger.trace_ops enabled during the run?)")
+    arrays: List[np.ndarray] = []
+    for c, (stream, arrivals) in enumerate(zip(compact, arrivals_us)):
+        arr = np.asarray(arrivals, dtype=np.float64)
+        if arr.size != stream.num_ops:
+            raise ConfigurationError(
+                f"client {c}: {arr.size} arrival timestamps for "
+                f"{stream.num_ops} operations")
+        if arr.size and bool(np.any(np.diff(arr) < 0)):
+            raise ConfigurationError(
+                "arrival timestamps must be sorted per client")
+        arrays.append(arr)
+    vectorized = (params.event_engine == "compact"
+                  and params.osd_shards == 1
+                  and not has_serial_chains(compact))
+    mode = "open-vectorized" if vectorized else "open"
+    payloads = [(params, compact[lo:hi], mode, 0, arrays[lo:hi])
+                for lo, hi in _partition(len(compact), params.sim_shards)]
+    return _merge_results(params, _run_shards(params, payloads),
+                          open_loop=True)
+
+
+def fleet_streams_from_template(template, num_clients: int,
+                                ops_per_client: int,
+                                osd_count: Optional[int] = None,
+                                ) -> List[CompactStream]:
+    """Synthesize ``num_clients`` streams by tiling one captured stream.
+
+    The template carries real recorded costs (crypto, placement,
+    read-modify-write turns); tiling scales the *traffic* without
+    replaying the capture per client.  With ``osd_count``, client ``i``'s
+    OSD placement rotates by ``i`` modulo the cluster size, spreading the
+    fleet across OSDs while keeping primaries and replicas distinct.
+    All non-placement columns are shared between clients (zero copies).
+    """
+    if num_clients <= 0 or ops_per_client <= 0:
+        raise ConfigurationError(
+            "fleet synthesis needs positive client and op counts")
+    if not isinstance(template, CompactStream):
+        template = encode_stream(template)
+    base = tile_stream(template, ops_per_client)
+    if osd_count is None or base.visit_osd.size == 0:
+        return [base] * num_clients
+    top = int(base.visit_osd.max())
+    if osd_count <= top:
+        raise ConfigurationError(
+            f"osd_count={osd_count} cannot host template OSD ids up "
+            f"to {top}")
+    return [base if i % osd_count == 0 else
+            dc_replace(base, visit_osd=(base.visit_osd + (i % osd_count))
+                       % osd_count)
+            for i in range(num_clients)]

@@ -187,22 +187,27 @@ class PerformanceModel:
                              ) -> PerformanceEstimate:
         """Convert a finished event replay (:class:`EventSimResult`) into an
         estimate — split out so callers that also need the replay's raw
-        latency samples run the simulation once."""
+        latency samples run the simulation once.
+
+        The mean comes from the replay's exact population moments (the
+        reservoir tracks count/sum over *every* request, not just the
+        retained sample); percentiles read from the reservoir sample,
+        which is the full population for runs below its capacity.
+        """
         elapsed = max(result.elapsed_us, 1e-6)
         bandwidth = total_bytes / (1024 * 1024) / (elapsed / 1e6)
         iops = result.requests / (elapsed / 1e6) if result.requests else 0.0
-        latencies = result.request_latencies_us
-        mean_latency = (sum(latencies) / len(latencies)) if latencies else 0.0
+        stats = result.request_stats
         return PerformanceEstimate(
             elapsed_us=elapsed,
             total_bytes=total_bytes,
             bandwidth_mbps=bandwidth,
             iops=iops,
-            mean_latency_us=mean_latency,
+            mean_latency_us=stats.mean_us,
             bounding_resource=result.bounding_resource,
             resource_us=dict(result.resource_us),
             sim_mode="events",
-            latency_percentiles=latency_percentiles(latencies),
+            latency_percentiles=stats.percentiles(LATENCY_PERCENTILES),
         )
 
 

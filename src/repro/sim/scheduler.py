@@ -30,20 +30,24 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .costparams import CostParameters
 from .events import EventLoop
 from .ledger import ClientOpTrace, OpTrace, OsdVisit
+from .reservoir import CLIENT_RESERVOIR_CAPACITY, LatencyReservoir
 from ..errors import ConfigurationError
 
 
 class ServiceQueue:
     """A FIFO service station with ``servers`` parallel servers.
 
-    Jobs must be submitted in arrival-time order (the event loop
-    guarantees this); each job takes the earliest-free server, so waiting
-    time is ``start - arrival`` and the queue is work-conserving.
+    Jobs must be submitted in arrival-time order — the event loop is what
+    guarantees it in practice, but the queue *enforces* it (an
+    out-of-order submission would silently compute a negative wait and
+    corrupt the FIFO start times, so it raises instead).  Each job takes
+    the earliest-free server, so waiting time is ``start - arrival`` and
+    the queue is work-conserving.
     """
 
     def __init__(self, name: str, servers: int = 1) -> None:
@@ -53,6 +57,7 @@ class ServiceQueue:
         self.servers = servers
         self._free_at: List[float] = [0.0] * servers
         heapq.heapify(self._free_at)
+        self._last_arrival_us = float("-inf")
         self.busy_us = 0.0
         self.jobs = 0
         self.wait_us = 0.0
@@ -61,6 +66,12 @@ class ServiceQueue:
         """Serve a job arriving at ``now``; returns its start/end times."""
         if service_us < 0:
             raise ConfigurationError("service time must be non-negative")
+        if now < self._last_arrival_us:
+            raise ConfigurationError(
+                f"queue {self.name}: job arriving at {now:.3f} us is earlier "
+                f"than the previous arrival at {self._last_arrival_us:.3f} us; "
+                f"FIFO queues need non-decreasing arrival times")
+        self._last_arrival_us = now
         free_at = heapq.heappop(self._free_at)
         start = max(now, free_at)
         end = start + service_us
@@ -87,19 +98,44 @@ class QueuedJob:
 
 @dataclass
 class EventSimResult:
-    """Everything the event replay measured."""
+    """Everything the event replay measured.
+
+    Latency populations are carried as :class:`LatencyReservoir` objects
+    (exact count/mean/max, reservoir-sampled percentiles) so memory stays
+    O(1) in the operation count; the ``*_latencies_us`` list views remain
+    for compatibility and return the retained sample — the full
+    population, in completion order, for runs below the reservoir
+    capacity.
+    """
 
     elapsed_us: float
     requests: int
-    op_latencies_us: List[float] = field(default_factory=list)
-    request_latencies_us: List[float] = field(default_factory=list)
-    #: per-request completion latencies split by client stream index
-    client_request_latencies_us: List[List[float]] = field(
-        default_factory=list)
+    op_stats: LatencyReservoir = field(default_factory=LatencyReservoir)
+    request_stats: LatencyReservoir = field(default_factory=LatencyReservoir)
+    #: per-client request-latency reservoirs, indexed by stream
+    client_request_stats: List[LatencyReservoir] = field(default_factory=list)
     resource_us: Dict[str, float] = field(default_factory=dict)
     bounding_resource: str = "latency(qd)"
     events_processed: int = 0
     queue_wait_us: Dict[str, float] = field(default_factory=dict)
+    #: which implementation produced the result ("legacy", "compact" or
+    #: "vectorized"), recorded so equivalence tests can assert the path
+    engine: str = "legacy"
+
+    @property
+    def op_latencies_us(self) -> List[float]:
+        """Sampled client-visible op latencies (full list on small runs)."""
+        return self.op_stats.sample
+
+    @property
+    def request_latencies_us(self) -> List[float]:
+        """Sampled per-request completion latencies."""
+        return self.request_stats.sample
+
+    @property
+    def client_request_latencies_us(self) -> List[List[float]]:
+        """Sampled per-request latencies split by client stream index."""
+        return [stats.sample for stats in self.client_request_stats]
 
 
 class _ClientState:
@@ -111,7 +147,8 @@ class _ClientState:
         self.next_op = 0
         self.cpu = ServiceQueue(f"client.{index}.cpu")
         self.net = ServiceQueue(f"client.{index}.net")
-        self.request_latencies_us: List[float] = []
+        self.request_stats = LatencyReservoir(
+            capacity=CLIENT_RESERVOIR_CAPACITY)
 
 
 class ClusterScheduler:
@@ -123,8 +160,8 @@ class ClusterScheduler:
         self.osd_queues: Dict[int, ServiceQueue] = {}
         self.cluster_net = ServiceQueue("cluster.net")
         self._clients: List[_ClientState] = []
-        self._op_latencies: List[float] = []
-        self._request_latencies: List[float] = []
+        self._op_stats = LatencyReservoir()
+        self._request_stats = LatencyReservoir()
         self._requests_done = 0
 
     def _osd_queue(self, osd_id: int) -> ServiceQueue:
@@ -187,10 +224,10 @@ class ClusterScheduler:
 
         def finish() -> None:
             latency = self.loop.now - issued_us
-            self._op_latencies.append(latency)
-            per_request = [latency / cop.requests] * cop.requests
-            self._request_latencies.extend(per_request)
-            client.request_latencies_us.extend(per_request)
+            self._op_stats.record(latency)
+            per_request = latency / cop.requests
+            self._request_stats.record(per_request, weight=cop.requests)
+            client.request_stats.record(per_request, weight=cop.requests)
             self._requests_done += cop.requests
             self._issue_next(client)
 
@@ -257,27 +294,55 @@ class ClusterScheduler:
         waits = {q.name: q.wait_us
                  for q in list(self.osd_queues.values()) + [self.cluster_net]}
         bounding = max(resource_us, key=lambda k: resource_us[k])
-        # If no single resource was near-saturated, the run was paced by
-        # operation latency at the configured depth, like the analytic
-        # latency bound.
-        if resource_us[bounding] < 0.8 * elapsed_us:
+        # If no single resource was near-saturated (its busy time below
+        # params.saturation_threshold of the elapsed time — the same
+        # labelling discipline the analytic estimate applies), the run
+        # was paced by operation latency at the configured depth, like
+        # the analytic latency bound.
+        if resource_us[bounding] < (self._params.saturation_threshold
+                                    * elapsed_us):
             bounding = "latency(qd)"
         return EventSimResult(
             elapsed_us=elapsed_us,
             requests=self._requests_done,
-            op_latencies_us=self._op_latencies,
-            request_latencies_us=self._request_latencies,
-            client_request_latencies_us=[c.request_latencies_us
-                                         for c in self._clients],
+            op_stats=self._op_stats,
+            request_stats=self._request_stats,
+            client_request_stats=[c.request_stats for c in self._clients],
             resource_us=resource_us,
             bounding_resource=bounding,
             events_processed=self.loop.events_processed,
             queue_wait_us=waits,
+            engine="legacy",
         )
 
 
 def simulate_client_ops(params: CostParameters,
                         streams: Sequence[Sequence[ClientOpTrace]],
                         queue_depth: int) -> EventSimResult:
-    """Convenience wrapper: build a fresh scheduler and replay ``streams``."""
-    return ClusterScheduler(params).run(streams, queue_depth)
+    """Replay ``streams`` closed-loop with the engine ``params`` selects.
+
+    ``event_engine="compact"`` (the default) flattens the streams into
+    numpy columns and drives the index-based event machine — same event
+    discipline, same results, a fraction of the per-op cost — sharded
+    across ``sim_shards`` contention domains when asked;
+    ``event_engine="legacy"`` keeps the original per-op object scheduler
+    for equivalence comparisons.  A scheduler replays exactly one run;
+    this builds fresh state every call.
+    """
+    engine = getattr(params, "event_engine", "legacy")
+    if engine == "legacy":
+        return ClusterScheduler(params).run(streams, queue_depth)
+    from .fleet import simulate_closed_loop
+    return simulate_closed_loop(params, streams, queue_depth)
+
+
+def simulate_open_loop(params: CostParameters,
+                       streams: Sequence[Sequence[ClientOpTrace]],
+                       arrivals_us: Sequence[Sequence[float]],
+                       ) -> EventSimResult:
+    """Replay ``streams`` open-loop: op ``j`` of client ``i`` is *issued*
+    at ``arrivals_us[i][j]`` regardless of completions (an arrival
+    process, not a closed queue-depth loop), so overload shows up as
+    unbounded queueing rather than throttled issue."""
+    from .fleet import simulate_fleet
+    return simulate_fleet(params, streams, arrivals_us=arrivals_us)

@@ -11,13 +11,19 @@ model.
 
 from .spec import IORequest, WorkloadSpec, PAPER_IO_SIZES
 from .generator import generate_requests
-from .runner import WorkloadResult, WorkloadRunner, prefill_image
+from .arrival import (ArrivalProcess, PoissonArrivals, TraceArrivals,
+                      arrival_process_for, arrival_schedule)
+from .runner import (WorkloadResult, WorkloadRunner, capture_template_stream,
+                     prefill_image)
 from .cluster_runner import ClusterWorkloadResult, ClusterWorkloadRunner
 from .stats import mean, percentile, summarize_latencies
 
 __all__ = [
     "IORequest", "WorkloadSpec", "PAPER_IO_SIZES", "generate_requests",
+    "ArrivalProcess", "PoissonArrivals", "TraceArrivals",
+    "arrival_process_for", "arrival_schedule",
     "WorkloadResult", "WorkloadRunner", "prefill_image",
+    "capture_template_stream",
     "ClusterWorkloadResult", "ClusterWorkloadRunner", "mean", "percentile",
     "summarize_latencies",
 ]

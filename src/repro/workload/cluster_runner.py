@@ -24,6 +24,7 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .arrival import arrival_process_for, arrival_schedule
 from .generator import generate_request_list
 from .runner import (BatchedStreamIssuer, WorkloadResult, WorkloadRunner,
                      finish_cache_flush, prefill_image, wrap_in_cache)
@@ -33,7 +34,7 @@ from ..errors import WorkloadError
 from ..rados.cluster import Cluster
 from ..rbd.image import Image
 from ..sim.perfmodel import PerformanceModel
-from ..sim.scheduler import simulate_client_ops
+from ..sim.scheduler import simulate_client_ops, simulate_open_loop
 
 
 @dataclass
@@ -107,6 +108,10 @@ class ClusterWorkloadRunner:
             raise WorkloadError(
                 f"spec wants {spec.num_clients} clients but "
                 f"{len(images)} images were provided")
+        if spec.open_loop and self.sim_mode != "events":
+            raise WorkloadError(
+                "open-loop arrivals need sim_mode='events' (the analytic "
+                "model has no notion of arrival times)")
         if spec.prefill:
             for image in images:
                 prefill_image(image)
@@ -136,8 +141,18 @@ class ClusterWorkloadRunner:
             traces = ledger.pop_client_ops(traces_before)
             per_client = [[cop for cop in traces if cop.client == i]
                           for i in range(spec.num_clients)]
-            sim = simulate_client_ops(self._cluster.params, per_client,
-                                      model_depth)
+            if spec.open_loop:
+                # Each client issues on its own deterministic schedule
+                # (the process seeds per client index), sized to the
+                # stream's sealed op count.
+                arrivals = arrival_schedule(
+                    arrival_process_for(spec),
+                    [len(stream) for stream in per_client])
+                sim = simulate_open_loop(self._cluster.params, per_client,
+                                         arrivals)
+            else:
+                sim = simulate_client_ops(self._cluster.params, per_client,
+                                          model_depth)
             estimate = self._model.estimate_from_events(sim, total_bytes)
             # As in WorkloadRunner: report simulated completion latencies
             # so the samples agree with the estimate's percentiles.

@@ -14,14 +14,16 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .arrival import arrival_process_for, arrival_schedule
 from .generator import generate_requests
 from .spec import WorkloadSpec
 from ..engine.pipeline import EngineConfig, IoPipeline
+from ..errors import WorkloadError
 from ..rados.cluster import Cluster
 from ..rbd.image import Image
-from ..sim.ledger import CostLedger
+from ..sim.ledger import ClientOpTrace, CostLedger
 from ..sim.perfmodel import PerformanceEstimate, PerformanceModel
-from ..sim.scheduler import simulate_client_ops
+from ..sim.scheduler import simulate_client_ops, simulate_open_loop
 from ..util import MIB
 
 
@@ -159,6 +161,10 @@ class WorkloadRunner:
     def run(self, image: Image, spec: WorkloadSpec,
             layout_name: Optional[str] = None) -> WorkloadResult:
         """Execute ``spec`` against ``image`` and return the measurements."""
+        if spec.open_loop and self.sim_mode != "events":
+            raise WorkloadError(
+                "open-loop arrivals need sim_mode='events' (the analytic "
+                "model has no notion of arrival times)")
         if spec.prefill:
             prefill_image(image)
         # The cache (if requested) wraps the image *after* the prefill so
@@ -206,8 +212,17 @@ class WorkloadRunner:
         model_depth = 1 if spec.batched else spec.queue_depth
         if events:
             stream = ledger.pop_client_ops(traces_before)
-            sim = simulate_client_ops(self._cluster.params, [stream],
-                                      model_depth)
+            if spec.open_loop:
+                # Issue times come from the arrival process, sized to the
+                # sealed op count (cache flushes and batch windows count
+                # as ops of their own).
+                arrivals = arrival_schedule(arrival_process_for(spec),
+                                            [len(stream)])
+                sim = simulate_open_loop(self._cluster.params, [stream],
+                                         arrivals)
+            else:
+                sim = simulate_client_ops(self._cluster.params, [stream],
+                                          model_depth)
             estimate = self._model.estimate_from_events(sim, total_bytes)
             # Report the simulated completion latencies (queue waiting
             # included) so latencies_us agrees with the percentiles the
@@ -279,3 +294,34 @@ class WorkloadRunner:
 def fresh_ledger_copy(cluster: Cluster) -> CostLedger:
     """Snapshot helper exposed for tests that inspect raw ledger deltas."""
     return cluster.ledger.snapshot()
+
+
+def capture_template_stream(cluster: Cluster, image: Image,
+                            spec: WorkloadSpec) -> List[ClientOpTrace]:
+    """Issue ``spec`` once with trace capture on; return the sealed traces.
+
+    The fleet synthesizer (:func:`repro.sim.fleet.fleet_streams_from_template`)
+    scales a short *real* captured stream — actual data path, actual
+    crypto and placement costs — out to thousands of clients, so the
+    capture only needs to be long enough to be representative.  This
+    helper is that capture: it drives the requests functionally (data is
+    really written/read) and hands back the per-op traces without going
+    through the performance model.
+    """
+    ledger = cluster.ledger
+    traces_before = len(ledger.client_ops)
+    write_buffer = os.urandom(spec.io_size)
+    ledger.trace_ops = True
+    try:
+        for request in generate_requests(spec, image.size):
+            if request.op == "write":
+                receipt = image.write(request.offset,
+                                      write_buffer[:request.length])
+            else:
+                receipt = image.read_with_receipt(
+                    request.offset, request.length).receipt
+            ledger.finish_op(receipt)
+    finally:
+        ledger.trace_ops = False
+        ledger.discard_open_traces()
+    return ledger.pop_client_ops(traces_before)

@@ -62,6 +62,16 @@ class WorkloadSpec:
     cache_policy: str = "lru"
     #: maximum blocks of sequential-read prefetch (0 = readahead off)
     readahead: int = 0
+    #: issue operations open-loop: each op starts at a timestamp drawn
+    #: from the arrival process (``arrival_rate``) instead of waiting for
+    #: a completion slot.  Offered load no longer adapts to the system —
+    #: overload shows up as unbounded queueing and a collapsing tail —
+    #: and the replay can be fully vectorized.  Needs ``sim_mode="events"``
+    #: (the analytic model has no notion of arrival times).
+    open_loop: bool = False
+    #: open-loop Poisson arrival rate per client, in client-visible
+    #: operations per second (required when ``open_loop`` is set)
+    arrival_rate: Optional[float] = None
     #: name of the golden image this job's images are clones of (None =
     #: standalone images); image construction is done by the harness
     #: (:func:`repro.clone.clone_fanout`, ``SweepConfig``), the spec only
@@ -111,6 +121,14 @@ class WorkloadSpec:
             raise WorkloadError(
                 "cache_size/readahead/cache_policy only take effect with "
                 "a cache_mode")
+        if self.open_loop and self.arrival_rate is None:
+            raise WorkloadError("open_loop needs an arrival_rate (ops/s)")
+        if self.arrival_rate is not None:
+            if not self.open_loop:
+                raise WorkloadError(
+                    "arrival_rate only takes effect with open_loop=True")
+            if self.arrival_rate <= 0:
+                raise WorkloadError("arrival_rate must be positive")
         if self.clone_depth < 0:
             raise WorkloadError("clone_depth must be >= 0")
         if self.clone_depth and not self.parent_image:
@@ -160,6 +178,8 @@ class WorkloadSpec:
         cache = f" cache={self.cache_mode}" if self.cache_mode else ""
         clone = (f" clone-of={self.parent_image} depth={self.clone_depth}"
                  if self.parent_image else "")
+        arrivals = (f" open-loop rate={self.arrival_rate:g}/s"
+                    if self.open_loop else "")
         return (f"{self.name}: rw={self.rw} bs={self.io_size} "
                 f"qd={self.queue_depth} seed={self.seed}{engine}{clients}"
-                f"{cache}{clone}")
+                f"{cache}{clone}{arrivals}")

@@ -1,0 +1,281 @@
+"""Equivalence suite pinning the fleet-scale event engines to each other.
+
+Three replay implementations must agree:
+
+* ``legacy`` — the original per-op object/closure scheduler
+  (:class:`repro.sim.scheduler.ClusterScheduler`);
+* ``compact`` — flattened numpy trace columns replayed through the
+  index-based event machine (:mod:`repro.sim.replay`), required to be
+  **bit-identical** to legacy on closed loops;
+* ``vectorized`` — the open-loop numpy queue scans
+  (:mod:`repro.sim.fleet`), required to match the index machine to
+  floating-point noise on tie-free workloads.
+
+These tests are the contract that lets the benchmarks run the fast
+engines while the committed baselines stay comparable to the seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.compact import encode_stream
+from repro.sim.costparams import CostParameters
+from repro.sim.fleet import fleet_streams_from_template, simulate_fleet
+from repro.sim.ledger import ClientOpTrace, OpTrace, OsdVisit
+from repro.sim.replay import replay_open_loop
+from repro.sim.scheduler import (ServiceQueue, simulate_client_ops,
+                                 simulate_open_loop)
+
+
+def _params(**overrides) -> CostParameters:
+    base = dict(sim_mode="events", osd_count=4, replica_count=3)
+    base.update(overrides)
+    return CostParameters(**base)
+
+
+def _read(client, index, osd, requests=1):
+    """A read op with index-dependent costs (keeps event times tie-free)."""
+    jitter = 0.13 * index + 1.7 * client
+    visit = OsdVisit(osd_id=osd, service_us=9.0 + jitter,
+                     latency_us=48.0 + jitter)
+    return ClientOpTrace(client=client, requests=requests, traces=[OpTrace(
+        kind="read", client_cpu_us=5.0 + 0.07 * index, client_net_us=2.0,
+        network_us=90.0, visits=[visit], bytes_moved=4096)])
+
+
+def _write(client, index, primary, replicas):
+    jitter = 0.11 * index + 1.3 * client
+    visits = [OsdVisit(osd_id=primary, service_us=11.0 + jitter,
+                       latency_us=39.0 + jitter)]
+    for osd in replicas:
+        visits.append(OsdVisit(osd_id=osd, service_us=10.0 + jitter,
+                               latency_us=41.0 + jitter, hop_us=45.0,
+                               push_us=1.0 + 0.05 * index))
+    return ClientOpTrace(client=client, requests=1, traces=[OpTrace(
+        kind="write", client_cpu_us=6.0 + 0.05 * index, client_net_us=2.5,
+        network_us=90.0, visits=visits, bytes_moved=65536)])
+
+
+def _rmw(client, index, primary):
+    """A serial read-then-write chain (two RADOS ops in one client op)."""
+    read = OpTrace(kind="read", client_cpu_us=4.0, client_net_us=1.0,
+                   network_us=90.0,
+                   visits=[OsdVisit(osd_id=primary, service_us=8.0 + index,
+                                    latency_us=50.0)], bytes_moved=4096)
+    write = OpTrace(kind="write", client_cpu_us=5.0, client_net_us=2.0,
+                    network_us=90.0,
+                    visits=[OsdVisit(osd_id=primary, service_us=9.0 + index,
+                                     latency_us=40.0)], bytes_moved=4096)
+    return ClientOpTrace(client=client, requests=1, traces=[read, write])
+
+
+def _zero_visit(client):
+    """An op served without touching any OSD (e.g. a pure cache hit)."""
+    return ClientOpTrace(client=client, requests=1, traces=[OpTrace(
+        kind="read", client_cpu_us=3.0, client_net_us=1.0, network_us=90.0,
+        visits=[], bytes_moved=4096)])
+
+
+def _mixed_streams(num_clients=3, ops_per_client=12):
+    streams = []
+    for client in range(num_clients):
+        ops = []
+        for i in range(ops_per_client):
+            if i % 4 == 0:
+                ops.append(_write(client, i, primary=(client + i) % 4,
+                                  replicas=((client + i + 1) % 4,
+                                            (client + i + 2) % 4)))
+            elif i % 4 == 1:
+                ops.append(_rmw(client, i, primary=i % 4))
+            elif i % 4 == 2:
+                ops.append(_zero_visit(client))
+            else:
+                ops.append(_read(client, i, osd=i % 4, requests=2))
+        streams.append(ops)
+    return streams
+
+
+def _open_loop_streams(num_clients=4, ops_per_client=20):
+    """Tie-free single-trace streams (eligible for the vectorized path)."""
+    streams = []
+    for client in range(num_clients):
+        ops = []
+        for i in range(ops_per_client):
+            if i % 3 == 0:
+                ops.append(_write(client, i, primary=(client + i) % 4,
+                                  replicas=((client + i + 1) % 4,
+                                            (client + i + 2) % 4)))
+            elif i % 3 == 1:
+                ops.append(_zero_visit(client))
+            else:
+                ops.append(_read(client, i, osd=(client + 2 * i) % 4))
+        streams.append(ops)
+    return streams
+
+
+def _arrivals(streams, gap_us=70.0):
+    """Sorted, tie-free per-client arrival schedules."""
+    return [[(op + 1) * gap_us + 3.7 * client + 0.41 * op
+             for op in range(len(stream))]
+            for client, stream in enumerate(streams)]
+
+
+def _assert_identical(a, b):
+    assert a.elapsed_us == b.elapsed_us
+    assert a.requests == b.requests
+    assert a.events_processed == b.events_processed
+    assert a.resource_us == b.resource_us
+    assert a.queue_wait_us == b.queue_wait_us
+    assert a.bounding_resource == b.bounding_resource
+    assert a.op_stats.count == b.op_stats.count
+    assert a.op_stats.sum_us == b.op_stats.sum_us
+    assert a.op_latencies_us == b.op_latencies_us
+    assert a.request_latencies_us == b.request_latencies_us
+    assert ([list(s) for s in a.client_request_latencies_us]
+            == [list(s) for s in b.client_request_latencies_us])
+
+
+class TestClosedLoopEquivalence:
+    def test_compact_matches_legacy_bit_for_bit(self):
+        streams = _mixed_streams()
+        for depth in (1, 2, 8):
+            legacy = simulate_client_ops(_params(event_engine="legacy"),
+                                         streams, queue_depth=depth)
+            compact = simulate_client_ops(_params(event_engine="compact"),
+                                          streams, queue_depth=depth)
+            assert legacy.engine == "legacy"
+            assert compact.engine == "compact"
+            _assert_identical(legacy, compact)
+
+    def test_compact_matches_legacy_with_osd_shards(self):
+        streams = _mixed_streams(num_clients=2, ops_per_client=8)
+        legacy = simulate_client_ops(
+            _params(event_engine="legacy", osd_shards=2), streams, 4)
+        compact = simulate_client_ops(
+            _params(event_engine="compact", osd_shards=2), streams, 4)
+        _assert_identical(legacy, compact)
+
+    def test_sharded_closed_loop_deterministic_across_jobs(self):
+        streams = _mixed_streams(num_clients=6, ops_per_client=6)
+        results = [simulate_client_ops(
+            _params(sim_shards=3, sim_jobs=jobs), streams, 4)
+            for jobs in (1, 2, 3)]
+        for other in results[1:]:
+            _assert_identical(results[0], other)
+
+
+class TestOpenLoopEquivalence:
+    def test_vectorized_matches_index_machine(self):
+        streams = _open_loop_streams()
+        arrivals = _arrivals(streams)
+        vectorized = simulate_open_loop(_params(), streams, arrivals)
+        indexed = replay_open_loop(
+            _params(), [encode_stream(s) for s in streams], arrivals)
+        assert vectorized.engine == "vectorized"
+        assert indexed.engine == "compact"
+        assert vectorized.elapsed_us == pytest.approx(indexed.elapsed_us,
+                                                      abs=1e-9)
+        assert vectorized.requests == indexed.requests
+        assert vectorized.events_processed == indexed.events_processed
+        assert vectorized.bounding_resource == indexed.bounding_resource
+        for key, value in indexed.resource_us.items():
+            assert vectorized.resource_us[key] == pytest.approx(value,
+                                                                abs=1e-9)
+        for key, value in indexed.queue_wait_us.items():
+            assert vectorized.queue_wait_us[key] == pytest.approx(value,
+                                                                  abs=1e-9)
+        assert (sorted(vectorized.op_latencies_us)
+                == pytest.approx(sorted(indexed.op_latencies_us), abs=1e-9))
+        assert (sorted(vectorized.request_latencies_us)
+                == pytest.approx(sorted(indexed.request_latencies_us),
+                                 abs=1e-9))
+
+    def test_serial_chains_fall_back_to_index_machine(self):
+        streams = [[_rmw(0, i, primary=i % 4) for i in range(6)]]
+        arrivals = _arrivals(streams)
+        result = simulate_open_loop(_params(), streams, arrivals)
+        assert result.engine == "compact"
+        assert result.requests == 6
+
+    def test_sharded_open_loop_deterministic_across_jobs(self):
+        streams = _open_loop_streams(num_clients=6, ops_per_client=10)
+        arrivals = _arrivals(streams)
+        results = [simulate_open_loop(
+            _params(sim_shards=3, sim_jobs=jobs), streams, arrivals)
+            for jobs in (1, 2, 3)]
+        for other in results[1:]:
+            _assert_identical(results[0], other)
+
+    def test_arrival_validation(self):
+        streams = _open_loop_streams(num_clients=1, ops_per_client=3)
+        with pytest.raises(ConfigurationError):
+            simulate_open_loop(_params(), streams, [[1.0, 2.0]])
+        with pytest.raises(ConfigurationError):
+            simulate_open_loop(_params(), streams, [[3.0, 2.0, 1.0]])
+        with pytest.raises(ConfigurationError):
+            simulate_open_loop(_params(), streams, [[1.0, 2.0, 3.0], [4.0]])
+
+
+class TestFleetSynthesis:
+    def test_tiled_fleet_replays(self):
+        template = encode_stream([_read(0, i, osd=i % 4) for i in range(5)])
+        streams = fleet_streams_from_template(template, num_clients=8,
+                                              ops_per_client=11, osd_count=4)
+        assert len(streams) == 8
+        assert all(s.num_ops == 11 for s in streams)
+        arrivals = [[(i + 1) * 200.0 + 0.31 * c for i in range(11)]
+                    for c in range(8)]
+        result = simulate_fleet(_params(), streams, arrivals)
+        assert result.engine == "vectorized"
+        assert result.requests == 8 * 11
+        assert result.op_stats.count == 8 * 11
+
+    def test_rotation_requires_enough_osds(self):
+        template = encode_stream([_read(0, 0, osd=2)])
+        with pytest.raises(ConfigurationError):
+            fleet_streams_from_template(template, num_clients=2,
+                                        ops_per_client=2, osd_count=2)
+
+
+class TestServiceQueueMonotonicity:
+    """Satellite S1: out-of-order submission is a hard error."""
+
+    def test_rejects_out_of_order_arrivals(self):
+        queue = ServiceQueue("osd.0")
+        queue.submit(10.0, 5.0)
+        with pytest.raises(ConfigurationError, match="non-decreasing"):
+            queue.submit(9.999, 5.0)
+        # Equal arrival times remain fine (ties broken by submission order).
+        job = queue.submit(10.0, 5.0)
+        assert job.start_us == 15.0
+
+
+class TestSaturationThreshold:
+    """Satellite S2: the 0.8 label cutoff is a named, validated knob."""
+
+    def test_threshold_bounds_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            CostParameters(saturation_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CostParameters(saturation_threshold=1.5)
+
+    def test_threshold_decides_bounding_label(self):
+        streams = _mixed_streams(num_clients=2, ops_per_client=10)
+        strict = simulate_client_ops(
+            _params(saturation_threshold=1.0), streams, 8)
+        assert strict.bounding_resource == "latency(qd)"
+        lax = simulate_client_ops(
+            _params(saturation_threshold=1e-9), streams, 8)
+        assert lax.bounding_resource in strict.resource_us
+
+    def test_threshold_decides_open_loop_label(self):
+        streams = _open_loop_streams(num_clients=2, ops_per_client=8)
+        arrivals = _arrivals(streams, gap_us=5000.0)
+        result = simulate_open_loop(
+            _params(saturation_threshold=1.0), streams, arrivals)
+        assert result.bounding_resource == "arrival(open-loop)"
+        lax = simulate_open_loop(
+            _params(saturation_threshold=1e-9), streams, arrivals)
+        assert lax.bounding_resource in result.resource_us

@@ -1,0 +1,181 @@
+"""Property tests (Hypothesis) for the O(1)-memory latency statistics and
+the sharded replay's determinism guarantee.
+
+Satellite S3 of the fleet-scale PR: the reservoir must (a) be *exact*
+while the population fits its capacity, (b) keep exact moments under any
+mix of scalar and bulk (weighted) recording, and (c) estimate percentiles
+within tolerance past capacity; the sharded replay must be bit-identical
+for every worker count at a fixed shard partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.costparams import CostParameters
+from repro.sim.ledger import ClientOpTrace, OpTrace, OsdVisit
+from repro.sim.reservoir import LatencyReservoir, merge_reservoirs
+from repro.sim.scheduler import simulate_client_ops
+from repro.util import percentile
+
+latencies = st.lists(
+    st.floats(min_value=0.01, max_value=1e7, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=200)
+
+
+class TestExactBelowCapacity:
+    @given(values=latencies)
+    def test_percentiles_match_list_path_exactly(self, values):
+        reservoir = LatencyReservoir(capacity=256)
+        for value in values:
+            reservoir.record(value)
+        assert not reservoir.sampled
+        assert reservoir.sample == values
+        for pct in (1.0, 50.0, 95.0, 99.0, 100.0):
+            assert reservoir.percentile(pct) == percentile(values, pct)
+
+    @given(values=latencies)
+    def test_extend_matches_record_moments(self, values):
+        looped = LatencyReservoir(capacity=64)
+        bulk = LatencyReservoir(capacity=64)
+        for value in values:
+            looped.record(value)
+        bulk.extend(np.asarray(values))
+        assert bulk.count == looped.count == len(values)
+        assert bulk.sum_us == pytest.approx(looped.sum_us)
+        assert bulk.min_us == looped.min_us
+        assert bulk.max_us == looped.max_us
+
+
+class TestWeightedExtend:
+    @given(values=st.lists(st.floats(min_value=0.5, max_value=1e6,
+                                     allow_nan=False, allow_infinity=False),
+                           min_size=1, max_size=60),
+           weights=st.data())
+    def test_weighted_moments_match_expanded_population(self, values, weights):
+        counts = weights.draw(st.lists(st.integers(min_value=1, max_value=9),
+                                       min_size=len(values),
+                                       max_size=len(values)))
+        weighted = LatencyReservoir(capacity=32)
+        weighted.extend(np.asarray(values), weights=np.asarray(counts))
+        expanded = LatencyReservoir(capacity=32)
+        expanded.extend(np.repeat(values, counts))
+        assert weighted.count == expanded.count == sum(counts)
+        assert weighted.sum_us == pytest.approx(expanded.sum_us)
+        assert weighted.min_us == expanded.min_us
+        assert weighted.max_us == expanded.max_us
+        assert len(weighted.sample) <= 32
+
+    def test_weight_validation(self):
+        reservoir = LatencyReservoir(capacity=8)
+        with pytest.raises(ValueError):
+            reservoir.extend(np.array([1.0]), weights=np.array([0]))
+        with pytest.raises(ValueError):
+            reservoir.extend(np.array([1.0, 2.0]), weights=np.array([1]))
+        with pytest.raises(ValueError):
+            reservoir.record(1.0, weight=0)
+
+
+class TestSampledPercentileTolerance:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_percentiles_within_rank_tolerance(self, seed):
+        """Past capacity, each reported percentile must land within a few
+        rank points of the true one (capacity 8192 puts the sampling
+        noise of the p50 rank at ~0.55 points, so +/-3 is > 5 sigma)."""
+        rng = np.random.default_rng(seed)
+        population = rng.lognormal(mean=5.0, sigma=1.0, size=20_000)
+        reservoir = LatencyReservoir()
+        reservoir.extend(population)
+        assert reservoir.sampled
+        ordered = sorted(population.tolist())
+        for pct in (50.0, 95.0, 99.0):
+            low = percentile(ordered, max(0.5, pct - 3.0))
+            high = percentile(ordered, min(100.0, pct + 3.0))
+            estimate = reservoir.percentile(pct)
+            assert low <= estimate <= high, (
+                f"p{pct:g} estimate {estimate:.1f} outside "
+                f"[{low:.1f}, {high:.1f}] for seed {seed}")
+
+    def test_extend_is_deterministic(self):
+        population = np.random.default_rng(7).exponential(100.0, size=30_000)
+        first = LatencyReservoir()
+        second = LatencyReservoir()
+        first.extend(population)
+        second.extend(population)
+        assert first.sample == second.sample
+        assert first.summary() == second.summary()
+
+
+class TestMerge:
+    @given(parts=st.lists(latencies, min_size=1, max_size=5))
+    def test_merged_moments_are_exact(self, parts):
+        reservoirs = []
+        for values in parts:
+            reservoir = LatencyReservoir(capacity=64)
+            reservoir.extend(np.asarray(values))
+            reservoirs.append(reservoir)
+        merged = merge_reservoirs(reservoirs)
+        everything = [v for values in parts for v in values]
+        assert merged.count == len(everything)
+        assert merged.sum_us == pytest.approx(sum(everything))
+        assert merged.min_us == min(everything)
+        assert merged.max_us == max(everything)
+        assert len(merged.sample) <= merged.capacity
+
+    def test_merge_is_rng_free_and_repeatable(self):
+        rng = np.random.default_rng(11)
+        reservoirs = []
+        for _ in range(4):
+            reservoir = LatencyReservoir(capacity=128)
+            reservoir.extend(rng.exponential(50.0, size=1000))
+            reservoirs.append(reservoir)
+        once = merge_reservoirs(reservoirs)
+        twice = merge_reservoirs(reservoirs)
+        assert once.sample == twice.sample
+        assert once.summary() == twice.summary()
+
+
+def _op(client, index):
+    jitter = 0.17 * index + 1.9 * client
+    visits = [OsdVisit(osd_id=(client + index) % 4,
+                       service_us=10.0 + jitter, latency_us=45.0 + jitter)]
+    if index % 2:
+        visits.append(OsdVisit(osd_id=(client + index + 1) % 4,
+                               service_us=9.0 + jitter,
+                               latency_us=44.0 + jitter, hop_us=45.0,
+                               push_us=1.0))
+    return ClientOpTrace(client=client, requests=1, traces=[OpTrace(
+        kind="write" if index % 2 else "read", client_cpu_us=5.0,
+        client_net_us=2.0, network_us=90.0, visits=visits,
+        bytes_moved=4096)])
+
+
+class TestShardedDeterminism:
+    @given(shards=st.integers(min_value=1, max_value=4),
+           jobs=st.integers(min_value=1, max_value=3),
+           queue_depth=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=12, deadline=None)
+    def test_results_identical_for_any_worker_count(self, shards, jobs,
+                                                    queue_depth):
+        """``sim_jobs`` is purely an execution knob: for a fixed shard
+        partition every worker count must produce the same bits."""
+        streams = [[_op(client, i) for i in range(5)] for client in range(5)]
+        params = CostParameters(sim_mode="events", osd_count=4,
+                                replica_count=3, sim_shards=shards,
+                                sim_jobs=jobs)
+        baseline_params = CostParameters(sim_mode="events", osd_count=4,
+                                         replica_count=3, sim_shards=shards)
+        result = simulate_client_ops(params, streams, queue_depth)
+        baseline = simulate_client_ops(baseline_params, streams, queue_depth)
+        assert result.elapsed_us == baseline.elapsed_us
+        assert result.events_processed == baseline.events_processed
+        assert result.resource_us == baseline.resource_us
+        assert result.queue_wait_us == baseline.queue_wait_us
+        assert result.op_latencies_us == baseline.op_latencies_us
+        assert (result.request_stats.summary()
+                == baseline.request_stats.summary())
