@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence
 
 from .overhead import SweepResults, overhead_percent
-from ..util import format_size
+from ..util import MIB, format_size
 
 
 def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -116,6 +116,34 @@ def format_cache_table(results: SweepResults) -> str:
         return ""
     return ("Client-side cache behaviour (hits are blocks served without "
             f"cluster IO)\n{ascii_table(headers, rows)}")
+
+
+def format_pwl_table(results: SweepResults) -> str:
+    """Persistent-write-log table: appends, drains and replay activity.
+
+    Rendered from the ``pwl.*`` ledger counters each pwl run leaves
+    behind (:class:`repro.pwl.PwlImage`); returns an empty string for
+    runs without a pwl so callers can print unconditionally.
+    """
+    headers = ["IO size", "layout", "appends", "acked MiB", "drained",
+               "checkpoints", "flushes"]
+    rows: List[List[object]] = []
+    for io_size in results.io_sizes():
+        for layout in results.layouts():
+            result = results.result(layout, io_size)
+            counter = result.counter
+            if not counter("pwl.appends") and not counter("pwl.flushes"):
+                continue
+            rows.append([format_size(io_size), layout,
+                         f"{counter('pwl.appends'):.0f}",
+                         f"{counter('pwl.appended_bytes') / MIB:.1f}",
+                         f"{counter('pwl.drained_records'):.0f}",
+                         f"{counter('pwl.checkpoints'):.0f}",
+                         f"{counter('pwl.flushes'):.0f}"])
+    if not rows:
+        return ""
+    return ("Persistent write log (writes ack at the local log append, "
+            f"drain to RADOS in order)\n{ascii_table(headers, rows)}")
 
 
 def to_csv(results: SweepResults) -> str:

@@ -12,6 +12,7 @@ from typing import Optional, Tuple, Union
 
 from typing import List, Sequence
 
+from .cache import wrap_image
 from .cache.config import CacheConfig
 from .cache.image import CachedImage
 from .clone import chain as _clone_chain
@@ -77,10 +78,7 @@ def create_encrypted_image(cluster: Cluster, name: str, size: Union[int, str],
                                 iv_policy=iv_policy, journaled=journaled,
                                 random_source=rng)
     info = format_encryption(image, passphrase, options)
-    cache_config = _as_cache_config(cache)
-    if cache_config is not None:
-        return CachedImage(image, cache_config), info
-    return image, info
+    return wrap_image(image, _as_cache_config(cache)), info
 
 
 def open_encrypted_image(cluster: Cluster, name: str, passphrase: bytes,
@@ -92,10 +90,7 @@ def open_encrypted_image(cluster: Cluster, name: str, passphrase: bytes,
     ioctx = cluster.client().open_ioctx(pool)
     image = open_image(ioctx, name)
     info = load_encryption(image, passphrase, journaled=journaled)
-    cache_config = _as_cache_config(cache)
-    if cache_config is not None:
-        return CachedImage(image, cache_config), info
-    return image, info
+    return wrap_image(image, _as_cache_config(cache)), info
 
 
 def clone_encrypted_image(cluster: Cluster, parent_name: str, snap_name: str,
@@ -125,10 +120,7 @@ def clone_encrypted_image(cluster: Cluster, parent_name: str, snap_name: str,
         cluster, parent_name, snap_name, clone_name, passphrase,
         parent_passphrase, encryption_format=encryption_format, codec=codec,
         cipher_suite=cipher_suite, random_seed=random_seed, pool=pool)
-    cache_config = _as_cache_config(cache)
-    if cache_config is not None:
-        return CachedImage(image, cache_config), info
-    return image, info
+    return wrap_image(image, _as_cache_config(cache)), info
 
 
 def open_layered_image(cluster: Cluster, name: str,
@@ -144,10 +136,7 @@ def open_layered_image(cluster: Cluster, name: str,
     """
     image, infos = _clone_chain.open_layered_image(cluster, name, passphrases,
                                                    pool=pool)
-    cache_config = _as_cache_config(cache)
-    if cache_config is not None:
-        return CachedImage(image, cache_config), infos
-    return image, infos
+    return wrap_image(image, _as_cache_config(cache)), infos
 
 
 def create_plain_image(cluster: Cluster, name: str, size: Union[int, str],
@@ -174,8 +163,9 @@ def make_pipeline(image: Image, queue_depth: int = 16,
     unpolled completions are bounded by merging the oldest into aggregate
     records.
     """
+    from .pwl.image import PwlImage
     cache_config = _as_cache_config(cache)
-    if cache_config is not None and not isinstance(image, CachedImage):
-        image = CachedImage(image, cache_config)
+    if cache_config is not None and not isinstance(image, (CachedImage, PwlImage)):
+        image = wrap_image(image, cache_config)
     return IoPipeline(image, EngineConfig(queue_depth=queue_depth,
                                           batch_size=batch_size))

@@ -30,13 +30,32 @@ Contracts (see :mod:`repro.cache.image` for the details):
   written twice (``tests/cache/test_cache_equivalence.py``).
 """
 
+from typing import Optional
+
 from .config import CACHE_MODES, CACHE_POLICIES, CacheConfig, CacheStats
 from .image import CachedImage
 from .policy import ArcPolicy, EvictionPolicy, LruPolicy, make_policy
 from .readahead import SequentialDetector
 
+
+def wrap_image(image, config: Optional[CacheConfig]):
+    """Wrap ``image`` in the front-end the cache mode selects.
+
+    ``None`` returns the image unwrapped; mode ``"pwl"`` selects the
+    crash-safe persistent write log (:class:`repro.pwl.PwlImage`); the
+    block-cache modes select :class:`CachedImage`.  This is the single
+    dispatch point the API helpers and the workload runner share.
+    """
+    if config is None:
+        return image
+    if config.mode == "pwl":
+        from ..pwl.image import PwlImage   # lazy: pwl imports cache.config
+        return PwlImage(image, config)
+    return CachedImage(image, config)
+
+
 __all__ = [
     "CACHE_MODES", "CACHE_POLICIES", "CacheConfig", "CacheStats",
     "CachedImage", "ArcPolicy", "EvictionPolicy", "LruPolicy", "make_policy",
-    "SequentialDetector",
+    "SequentialDetector", "wrap_image",
 ]

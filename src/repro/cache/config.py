@@ -9,7 +9,7 @@ from ..errors import ConfigurationError
 from ..util import MIB, parse_size
 
 #: valid values of :attr:`CacheConfig.mode` (and the CLI's ``--cache-mode``).
-CACHE_MODES = ("writethrough", "writeback")
+CACHE_MODES = ("writethrough", "writeback", "pwl")
 
 #: valid values of :attr:`CacheConfig.policy`.
 CACHE_POLICIES = ("lru", "arc")
@@ -30,9 +30,15 @@ class CacheConfig:
       of a client-side copy; dirty blocks reach the cluster coalesced into
       multi-block transactions when the dirty ratio is exceeded, when a
       dirty block is evicted, or at a flush barrier.
+    * ``pwl`` — writes acknowledge after an append to a client-local
+      *persistent* write log (:class:`~repro.pwl.PwlImage`) and drain to
+      the cluster in append order; acked writes survive a client crash
+      (checkpoint + log replay on reopen).  ``size`` bounds the log media
+      and ``dirty_ratio`` doubles as the drain watermark; readahead does
+      not apply (the pwl is a write log, not a block cache).
     """
 
-    #: write policy: "writethrough" or "writeback"
+    #: write policy: "writethrough", "writeback" or "pwl"
     mode: str = "writeback"
     #: cache capacity in bytes (rounded down to whole blocks, minimum one)
     size: Union[int, str] = DEFAULT_CACHE_SIZE
@@ -61,6 +67,10 @@ class CacheConfig:
                 f"got {self.policy!r}")
         if self.readahead_blocks < 0:
             raise ConfigurationError("readahead_blocks must be >= 0")
+        if self.mode == "pwl" and self.readahead_blocks:
+            raise ConfigurationError(
+                "readahead does not apply to cache mode 'pwl' "
+                "(the persistent write log caches writes, not reads)")
         if self.readahead_trigger < 1:
             raise ConfigurationError("readahead_trigger must be >= 1")
         if not 0.0 < self.dirty_ratio <= 1.0:

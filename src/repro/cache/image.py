@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .config import CacheConfig, CacheStats
 from .policy import make_policy
 from .readahead import SequentialDetector
+from ..errors import ConfigurationError
 from ..rbd.image import Image, IoResult
 from ..sim.ledger import OpReceipt, OpTrace, RES_CLIENT_CPU
 
@@ -52,6 +53,10 @@ class CachedImage:
     def __init__(self, image: Image, config: Optional[CacheConfig] = None) -> None:
         self._image = image
         self.config = config or CacheConfig()
+        if self.config.mode == "pwl":
+            raise ConfigurationError(
+                "cache mode 'pwl' is served by repro.pwl.PwlImage; "
+                "construct one directly or go through repro.cache.wrap_image")
         dispatcher = image.dispatcher
         #: cache granularity: the encryption block size when the image is
         #: encrypted, the device sector size otherwise (matches the

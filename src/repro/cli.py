@@ -21,6 +21,17 @@ Subcommands
 
         python -m repro.cli fleet --open-loop --arrival-rate 200 \
             --num-clients 1000 --ops-per-client 1000
+``crash``
+    Crash/fault-injection harness: kill the client at a named pipeline
+    stage (or all of them), recover from the surviving durable state and
+    check prefix-consistent recovery of every acked write, e.g.::
+
+        python -m repro.cli crash --fault-stage post-ack-pre-drain \
+            --fault-seed 12345
+
+    The seed defaults to the ``FAULT_SEED`` environment variable (or a
+    fresh random one) and is always printed, so any failing run can be
+    replayed exactly.
 ``demo``
     A tiny end-to-end demonstration (create an encrypted image, write, read,
     snapshot) printing the cluster's cost-ledger highlights.
@@ -40,7 +51,7 @@ from . import api
 from .analysis.overhead import LayoutSweep, PAPER_LAYOUTS, SweepConfig
 from .analysis.report import (format_bandwidth_table, format_cache_table,
                               format_latency_table, format_overhead_table,
-                              to_csv)
+                              format_pwl_table, to_csv)
 from .analysis.sectors import SectorAccessModel, theoretical_overhead_table
 from .cache.config import CACHE_MODES, CACHE_POLICIES
 from .sim.costparams import EVENT_ENGINES, SIM_MODES
@@ -122,6 +133,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if cache_table:
         print()
         print(cache_table)
+    pwl_table = format_pwl_table(results)
+    if pwl_table:
+        print()
+        print(pwl_table)
     if args.csv:
         print()
         print(to_csv(results))
@@ -192,6 +207,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
           f"{'  (sampled)' if stats.sampled else ''}")
     print(f"  wall clock  {wall_s:>12.2f} s   "
           f"({result.requests / max(wall_s, 1e-9):,.0f} requests/s replayed)")
+    return 0
+
+
+def _cmd_crash(args: argparse.Namespace) -> int:
+    import os
+    import random
+
+    from .faults.plan import ALL_STAGES
+    from .faults.scenarios import run_crash_scenario
+
+    if args.io_count < 1:
+        raise SystemExit("--io-count must be positive")
+    seed = args.fault_seed
+    if seed is None:
+        env_seed = os.environ.get("FAULT_SEED", "").strip()
+        seed = int(env_seed) if env_seed else random.SystemRandom().randrange(2 ** 32)
+    stages = ALL_STAGES if args.fault_stage == "all" else (args.fault_stage,)
+    print(f"FAULT_SEED={seed}  "
+          f"(rerun: repro crash --fault-seed {seed}"
+          + (f" --fault-stage {args.fault_stage}"
+             if args.fault_stage != "all" else "") + ")")
+    failures = 0
+    for stage in stages:
+        result = run_crash_scenario(stage, seed, io_count=args.io_count)
+        print(f"  {stage:24s} {result.summary()}")
+        failures += 0 if result.ok else 1
+    if failures:
+        print(f"{failures} of {len(stages)} crash stage(s) FAILED "
+              f"(seed {seed})")
+        return 1
+    print(f"all {len(stages)} crash stage(s) recovered prefix-consistently")
     return 0
 
 
@@ -289,10 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes advancing shards in parallel "
                        "(results are identical for any value)")
     sweep.add_argument("--cache-mode", choices=CACHE_MODES, default=None,
-                       help="client-side block cache: 'writethrough' keeps "
-                       "the RADOS write stream identical and absorbs reads; "
+                       help="client-side cache: 'writethrough' keeps the "
+                       "RADOS write stream identical and absorbs reads; "
                        "'writeback' also coalesces dirty blocks into the "
-                       "multi-block transaction path")
+                       "multi-block transaction path; 'pwl' acks writes "
+                       "after a crash-safe persistent-log append and drains "
+                       "in order")
     sweep.add_argument("--cache-size", default=None,
                        help="cache capacity per client (e.g. 8M; default "
                        "from repro.cache)")
@@ -343,6 +391,21 @@ def build_parser() -> argparse.ArgumentParser:
                        default="compact")
     fleet.add_argument("--seed", type=int, default=1234)
     fleet.set_defaults(func=_cmd_fleet)
+
+    from .faults.plan import ALL_STAGES
+    crash = sub.add_parser(
+        "crash", help="kill the client at a named pipeline stage and check "
+        "prefix-consistent crash recovery (the CI crash matrix entry point)")
+    crash.add_argument("--fault-stage", choices=ALL_STAGES + ("all",),
+                       default="all",
+                       help="pipeline stage to kill at (default: all stages)")
+    crash.add_argument("--fault-seed", type=int, default=None,
+                       help="seed of the fault plan and workload; defaults "
+                       "to the FAULT_SEED environment variable or a fresh "
+                       "random seed — always printed for exact replay")
+    crash.add_argument("--io-count", type=int, default=24,
+                       help="writes issued before/while the fault fires")
+    crash.set_defaults(func=_cmd_crash)
 
     sectors = sub.add_parser("sectors", help="print the analytic sector table")
     sectors.add_argument("--sizes")

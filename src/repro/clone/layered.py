@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CloneError, ObjectNotFoundError
+from ..faults.plan import STAGE_MID_COPYUP, crash_point
 from ..rados.transaction import ReadOperation
 from ..rbd.image import Image, IoResult, ParentRef
 from ..rbd.striping import map_extent
@@ -352,6 +353,10 @@ class LayeredImage:
                     buffer = bytearray(backing)
                     for in_obj_offset, piece in pieces[object_no]:
                         buffer[in_obj_offset:in_obj_offset + len(piece)] = piece
+                    # Fault hook: a kill here leaves the parent read done
+                    # but the child object unwritten — recovery must see
+                    # the pre-copyup state, never a half-materialised one.
+                    crash_point(STAGE_MID_COPYUP)
                     copyup_receipt = self._image.write_extents(
                         [(object_base, memoryview(buffer))])
                     receipt.extend(copyup_receipt)
@@ -389,6 +394,7 @@ class LayeredImage:
                     buffer = bytearray(backing)
                     buffer[extent.offset:extent.offset + extent.length] = \
                         bytes(extent.length)
+                    crash_point(STAGE_MID_COPYUP)
                     receipt.extend(self._image.write_extents(
                         [(object_base, memoryview(buffer))]))
                     self._mark_written(extent.object_no)

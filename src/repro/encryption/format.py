@@ -30,6 +30,7 @@ from .dispatch import CryptoObjectDispatcher, JournaledCryptoObjectDispatcher
 from .layouts import MetadataLayout, make_layout
 from .luks import DEFAULT_ITERATIONS, LuksHeader
 from ..crypto.drbg import RandomSource, default_random_source
+from ..faults.plan import STAGE_MID_LUKS_HEADER_UPDATE, crash_point
 from ..crypto.suite import DEFAULT_SUITE
 from ..errors import ConfigurationError, EncryptionFormatError
 from ..rados.transaction import WriteTransaction
@@ -219,6 +220,10 @@ def add_passphrase(image: Image, existing_passphrase: bytes,
     volume_key = header.unlock(existing_passphrase)
     header.add_key_slot(new_passphrase, volume_key, iterations,
                         random_source or default_random_source())
+    # Fault hook: a kill between mutating the in-memory header and the
+    # single full-object header write must leave the *old* header intact
+    # (the write is one atomic RADOS transaction).
+    crash_point(STAGE_MID_LUKS_HEADER_UPDATE)
     _write_header_object(image, header)
 
 
@@ -229,4 +234,5 @@ def remove_passphrase(image: Image, passphrase: bytes, slot_index: int) -> None:
     if len(header.key_slots) <= 1:
         raise EncryptionFormatError("refusing to remove the last key slot")
     header.remove_key_slot(slot_index)
+    crash_point(STAGE_MID_LUKS_HEADER_UPDATE)
     _write_header_object(image, header)

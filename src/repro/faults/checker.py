@@ -1,0 +1,133 @@
+"""Crash-recovery equivalence: prefix consistency over acked writes.
+
+The property every crash scenario must satisfy: after a crash and
+recovery, the image content equals the result of applying some *prefix*
+of the issued write history — and that prefix contains at least every
+write that was acknowledged before the crash.  Nothing torn, nothing
+reordered, nothing acked-then-lost.
+
+:func:`apply_history` drives a write list against any image-shaped
+object, recording the ack boundary even when a
+:class:`~repro.faults.plan.ClientCrash` lands mid-write;
+:func:`check_crash_equivalence` then replays prefixes of that history
+against the recovered bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .plan import ClientCrash
+
+
+@dataclass
+class AckedWrite:
+    """One write of a recorded history."""
+
+    offset: int
+    data: bytes
+    #: True once the write was acknowledged to the application.  For a
+    #: persistent write log the ack is the log append (the pwl image
+    #: reports it via its ``ack_listener`` hook), which can precede the
+    #: issuing call's return — a crash between ack and return must still
+    #: count the write as acked.
+    acked: bool = False
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of one prefix-consistency check."""
+
+    ok: bool
+    #: length of the matching history prefix (None when nothing matched)
+    matched_prefix: Optional[int]
+    acked: int     #: writes that were acknowledged before the crash
+    issued: int    #: writes that were issued (acked or not)
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        match = ("no prefix matched" if self.matched_prefix is None
+                 else f"prefix={self.matched_prefix}")
+        return (f"crash equivalence {status}: {match}, "
+                f"acked={self.acked}/{self.issued} issued"
+                + (f" ({self.detail})" if self.detail else ""))
+
+
+def apply_history(image, writes: Sequence[Tuple[int, bytes]],
+                  ) -> Tuple[List[AckedWrite], bool]:
+    """Issue ``writes`` in order, recording the ack boundary.
+
+    Returns ``(history, crashed)``.  When the target exposes an
+    ``ack_listener`` hook (the pwl image does), the hook marks the
+    current write acked the moment its log append completes — so a crash
+    after the append but before the call returns is recorded correctly.
+    Targets without the hook ack when the call returns.
+    """
+    history: List[AckedWrite] = []
+    has_hook = hasattr(image, "ack_listener")
+    if has_hook:
+        def on_ack(_seq: int) -> None:
+            history[-1].acked = True
+        previous = image.ack_listener
+        image.ack_listener = on_ack
+    try:
+        for offset, data in writes:
+            history.append(AckedWrite(offset=offset, data=bytes(data)))
+            image.write(offset, data)
+            history[-1].acked = True
+        return history, False
+    except ClientCrash:
+        return history, True
+    finally:
+        if has_hook:
+            image.ack_listener = previous
+
+
+def check_crash_equivalence(recovered: bytes, initial: bytes,
+                            history: Sequence[AckedWrite],
+                            ) -> EquivalenceReport:
+    """Is ``recovered`` a prefix-consistent state of ``history``?
+
+    ``initial`` is the image content before the first write of the
+    history (all zeroes for a fresh image).  The check walks every
+    prefix state ``k = 0 .. len(history)`` and accepts if the recovered
+    bytes equal one with ``k >= acked`` — acknowledged writes are
+    durable, unacknowledged ones may or may not have survived, and
+    nothing else may differ.
+    """
+    if len(recovered) != len(initial):
+        return EquivalenceReport(
+            ok=False, matched_prefix=None, acked=0, issued=len(history),
+            detail=f"recovered size {len(recovered)} != image size {len(initial)}")
+    acked = sum(1 for entry in history if entry.acked)
+    last_acked = max((i for i, entry in enumerate(history) if entry.acked),
+                     default=-1)
+    if last_acked + 1 != acked:
+        return EquivalenceReport(
+            ok=False, matched_prefix=None, acked=acked, issued=len(history),
+            detail="acked writes are not a prefix of the issue order")
+
+    state = bytearray(initial)
+    matches: List[int] = []
+    if bytes(state) == recovered:
+        matches.append(0)
+    for k, entry in enumerate(history, start=1):
+        state[entry.offset:entry.offset + len(entry.data)] = entry.data
+        if bytes(state) == recovered:
+            matches.append(k)
+    valid = [k for k in matches if k >= acked]
+    if valid:
+        return EquivalenceReport(ok=True, matched_prefix=valid[0],
+                                 acked=acked, issued=len(history))
+    if matches:
+        return EquivalenceReport(
+            ok=False, matched_prefix=matches[-1], acked=acked,
+            issued=len(history),
+            detail=f"only prefixes {matches} match but {acked} writes were acked "
+                   f"(an acked write was lost)")
+    return EquivalenceReport(
+        ok=False, matched_prefix=None, acked=acked, issued=len(history),
+        detail="recovered image matches no prefix of the history "
+               "(torn or reordered state)")

@@ -1,0 +1,225 @@
+"""Self-contained crash scenarios: one per fault stage, shared by CLI and CI.
+
+Each scenario builds a fresh cluster, arms one :class:`FaultPlan` drawn
+from a seed (printed by the harness, rerunnable via ``FAULT_SEED``), lets
+the fault kill the client mid-pipeline, recovers from the surviving
+durable state, and checks the crash-recovery property:
+
+* for the data-path stages — the recovered image is bit-identical to a
+  prefix-consistent history of the acked writes
+  (:func:`~repro.faults.checker.check_crash_equivalence`);
+* for ``mid-luks-header-update`` — the key rotation is atomic: the old
+  passphrase still unlocks, the half-added one never does, data is intact.
+
+Imports of the higher-level packages (api, pwl, clone) stay inside the
+functions: the data path imports :mod:`repro.faults.plan` for its crash
+points, so pulling the api in at module import time would be circular.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .checker import (EquivalenceReport, apply_history,
+                      check_crash_equivalence)
+from .plan import (ALL_STAGES, STAGE_MID_COPYUP,
+                   STAGE_MID_LUKS_HEADER_UPDATE, STAGE_TORN_OSD_WRITE,
+                   ClientCrash, FaultPlan, inject)
+from ..errors import ConfigurationError
+from ..util import KIB, MIB
+
+#: bytes of log media the pwl scenarios run with — small, so the drain
+#: watermark trips often and ``mid-drain`` gets plenty of arrivals
+PWL_SCENARIO_LOG_BYTES = 16 * KIB
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one crash scenario."""
+
+    stage: str
+    seed: int
+    hit: int                 #: which arrival of the stage the plan targeted
+    fired: bool              #: the fault actually triggered
+    ok: bool                 #: the recovery property held
+    detail: str = ""
+    report: Optional[EquivalenceReport] = None
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        fired = "fired" if self.fired else "did not fire"
+        body = str(self.report) if self.report is not None else self.detail
+        return f"{verdict} (hit={self.hit}, {fired}): {body}"
+
+
+def _random_writes(rng: random.Random, image_size: int,
+                   io_count: int) -> List[Tuple[int, bytes]]:
+    """A seeded stream of sector-aligned writes of mixed sizes."""
+    writes: List[Tuple[int, bytes]] = []
+    for _ in range(io_count):
+        length = rng.choice((512, 1024, 2048, 4096))
+        offset = rng.randrange(0, image_size - length) // 512 * 512
+        writes.append((offset, rng.randbytes(length)))
+    return writes
+
+
+def _pwl_scenario(stage: str, seed: int, io_count: int) -> ScenarioResult:
+    """Kill the pwl client at ``stage``; recovery must replay every acked
+    write (and only complete records) back to prefix-consistent state.
+
+    For ``torn-osd-write`` the contract is weaker but still strict: the
+    tear breaks the data/IV-atomicity invariant the paper relies on, so
+    either the replay fully repairs the object (the re-drained record
+    rewrites every torn block) or the crypto layer *detects* the
+    inconsistency (:class:`~repro.errors.IntegrityError`) — a torn
+    transaction is never silent.
+    """
+    from ..api import create_encrypted_image, make_cluster, open_encrypted_image
+    from ..cache.config import CacheConfig
+    from ..crypto.suite import SIMULATION_SUITE
+    from ..errors import IntegrityError
+    from ..pwl.image import PwlImage
+
+    rng = random.Random(f"{seed}/{stage}/workload")
+    cluster = make_cluster()
+    config = CacheConfig(mode="pwl", size=PWL_SCENARIO_LOG_BYTES)
+    pwl, _info = create_encrypted_image(
+        cluster, "crash-image", 2 * MIB, passphrase=b"crash",
+        cipher_suite=SIMULATION_SUITE, random_seed=b"crash-drbg",
+        cache=config)
+    size = pwl.size
+    initial = pwl.read(0, size)
+    writes = _random_writes(rng, size, io_count)
+
+    plan = FaultPlan.random_plan(stage, seed)
+    with inject(plan):
+        history, crashed = apply_history(pwl, writes)
+    media = pwl.media   # the durable survivor ("pull the plug" happens here)
+
+    inner, _info = open_encrypted_image(cluster, "crash-image", b"crash")
+    try:
+        recovered_pwl, recovery = PwlImage.recover(
+            inner, media, CacheConfig(mode="pwl", size=PWL_SCENARIO_LOG_BYTES))
+        recovered = recovered_pwl.read(0, size)
+    except IntegrityError as exc:
+        if stage == STAGE_TORN_OSD_WRITE:
+            return ScenarioResult(
+                stage=stage, seed=seed, hit=plan.hit, fired=plan.fired,
+                ok=True, detail=f"atomicity violation detected: {exc}")
+        raise
+    report = check_crash_equivalence(recovered, initial, history)
+    detail = str(recovery) + ("" if crashed else "; no crash raised")
+    return ScenarioResult(stage=stage, seed=seed, hit=plan.hit,
+                          fired=plan.fired, ok=report.ok, detail=detail,
+                          report=report)
+
+
+def _copyup_scenario(stage: str, seed: int, io_count: int) -> ScenarioResult:
+    """Kill the client mid-copyup; the half-materialised object must never
+    become visible — recovery reads parent data or the full acked write."""
+    from ..api import (clone_encrypted_image, create_encrypted_image,
+                       make_cluster, open_layered_image)
+    from ..crypto.suite import SIMULATION_SUITE
+
+    rng = random.Random(f"{seed}/{stage}/workload")
+    cluster = make_cluster()
+    object_size = 64 * KIB
+    parent, _info = create_encrypted_image(
+        cluster, "golden", 1 * MIB, passphrase=b"parent",
+        cipher_suite=SIMULATION_SUITE, random_seed=b"golden-drbg",
+        object_size=object_size)
+    offset = 0
+    while offset < parent.size:
+        parent.write(offset, rng.randbytes(object_size))
+        offset += object_size
+    parent.create_snapshot("base")
+    child, _info = clone_encrypted_image(
+        cluster, "golden", "base", "child", b"child", b"parent",
+        random_seed=b"child-drbg")
+    size = child.size
+    initial = child.read(0, size)
+
+    # One write per distinct object: every write is a first touch of a
+    # backed object, so every write arrives at the mid-copyup stage.
+    objects = list(range(size // object_size))
+    rng.shuffle(objects)
+    writes: List[Tuple[int, bytes]] = []
+    for object_no in objects[:io_count]:
+        length = rng.choice((512, 1024, 4096))
+        slack = object_size - length
+        in_obj = rng.randrange(0, slack + 1) // 512 * 512
+        writes.append((object_no * object_size + in_obj, rng.randbytes(length)))
+
+    plan = FaultPlan.random_plan(stage, seed, max_hit=min(8, len(writes)))
+    with inject(plan):
+        history, crashed = apply_history(child, writes)
+
+    reopened, _infos = open_layered_image(cluster, "child",
+                                          [b"child", b"parent"])
+    recovered = reopened.read(0, size)
+    report = check_crash_equivalence(recovered, initial, history)
+    detail = "clone copyup" + ("" if crashed else "; no crash raised")
+    return ScenarioResult(stage=stage, seed=seed, hit=plan.hit,
+                          fired=plan.fired, ok=report.ok, detail=detail,
+                          report=report)
+
+
+def _luks_scenario(stage: str, seed: int, io_count: int) -> ScenarioResult:
+    """Kill the client between mutating the header and writing it; the old
+    header must stay fully intact (the write is one atomic transaction)."""
+    from ..api import create_encrypted_image, make_cluster, open_encrypted_image
+    from ..crypto.suite import SIMULATION_SUITE
+    from ..encryption.format import add_passphrase
+    from ..errors import ReproError
+
+    del io_count  # one rotation, not a write stream
+    cluster = make_cluster()
+    image, _info = create_encrypted_image(
+        cluster, "vault", 1 * MIB, passphrase=b"old-secret",
+        cipher_suite=SIMULATION_SUITE, random_seed=b"vault-drbg")
+    payload = b"written before the key rotation"
+    image.write(0, payload)
+    image.flush()
+
+    plan = FaultPlan(stage=stage, hit=1, seed=seed)
+    crashed = False
+    with inject(plan):
+        try:
+            add_passphrase(image, b"old-secret", b"new-secret")
+        except ClientCrash:
+            crashed = True
+
+    problems = []
+    try:
+        reopened, _info = open_encrypted_image(cluster, "vault", b"old-secret")
+        if reopened.read(0, len(payload)) != payload:
+            problems.append("data changed under the old passphrase")
+    except ReproError as exc:
+        problems.append(f"old passphrase no longer unlocks ({exc})")
+    try:
+        open_encrypted_image(cluster, "vault", b"new-secret")
+        problems.append("half-added passphrase unlocks the image")
+    except ReproError:
+        pass
+    if not crashed:
+        problems.append("fault did not fire")
+    ok = not problems
+    detail = ("header update atomic: old slot intact, new slot absent"
+              if ok else "; ".join(problems))
+    return ScenarioResult(stage=stage, seed=seed, hit=plan.hit,
+                          fired=crashed, ok=ok, detail=detail)
+
+
+def run_crash_scenario(stage: str, seed: int,
+                       io_count: int = 24) -> ScenarioResult:
+    """Run the crash scenario for one named stage (see module docstring)."""
+    if stage not in ALL_STAGES:
+        raise ConfigurationError(
+            f"unknown fault stage {stage!r}; valid: {ALL_STAGES}")
+    if stage == STAGE_MID_COPYUP:
+        return _copyup_scenario(stage, seed, io_count)
+    if stage == STAGE_MID_LUKS_HEADER_UPDATE:
+        return _luks_scenario(stage, seed, io_count)
+    return _pwl_scenario(stage, seed, io_count)

@@ -8,11 +8,57 @@ log is truncated whenever the memtable is flushed to an SSTable.
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Optional, Tuple
 
 from ..blockdev.device import SimulatedDisk
 from ..errors import KVStoreError
 from ..util import round_up
+
+#: frame marker of one serialized WAL record
+WAL_RECORD_MAGIC = b"WAL2"
+#: serialized framing per record: magic(4) + payload length(4) + crc32(4)
+WAL_FRAME_OVERHEAD = 12
+
+
+def encode_record(payload: bytes) -> bytes:
+    """Frame one record for the on-media log: magic, length, checksum."""
+    return b"".join((WAL_RECORD_MAGIC,
+                     len(payload).to_bytes(4, "little"),
+                     zlib.crc32(payload).to_bytes(4, "little"),
+                     payload))
+
+
+def recover_records(media: bytes) -> Tuple[List[bytes], bool]:
+    """Parse framed records from raw log media, tolerating a torn tail.
+
+    Returns ``(payloads, clean)``.  A crash can leave the last frame
+    truncated (partial append) or corrupt (checksum mismatch); recovery
+    stops *cleanly* at the last complete, checksummed record — it never
+    raises — and reports ``clean=False`` when trailing bytes were
+    discarded.  Every record before the torn tail is trusted: frames are
+    only ever appended, so a valid frame cannot follow an invalid one.
+    """
+    payloads: List[bytes] = []
+    view = memoryview(media)
+    pos = 0
+    while pos < len(view):
+        header = view[pos:pos + WAL_FRAME_OVERHEAD]
+        if len(header) < WAL_FRAME_OVERHEAD:
+            return payloads, False          # truncated frame header
+        if bytes(header[:4]) != WAL_RECORD_MAGIC:
+            return payloads, False          # corrupt frame marker
+        length = int.from_bytes(header[4:8], "little")
+        checksum = int.from_bytes(header[8:12], "little")
+        payload = view[pos + WAL_FRAME_OVERHEAD:
+                       pos + WAL_FRAME_OVERHEAD + length]
+        if len(payload) < length:
+            return payloads, False          # truncated payload
+        if zlib.crc32(payload) != checksum:
+            return payloads, False          # corrupt payload
+        payloads.append(bytes(payload))
+        pos += WAL_FRAME_OVERHEAD + length
+    return payloads, True
 
 
 class WriteAheadLog:

@@ -30,6 +30,7 @@ from .transaction import (OpCreate, OpGetXattr, OpOmapGetValsByKeys,
                           WriteTransaction)
 from ..blockdev.device import SimulatedDisk
 from ..errors import ObjectNotFoundError, TransactionError
+from ..faults.plan import STAGE_TORN_OSD_WRITE, ClientCrash, torn_op_count
 from ..kvstore.lsm import LsmStore
 from ..sim.costparams import CostParameters
 from ..sim.ledger import (CostLedger, OsdVisit, RES_OSD_CPU, RES_OSD_DEVICE)
@@ -211,7 +212,14 @@ class OSD:
         cpu = self._op_cpu_cost(txn.payload_bytes(), len(txn.ops))
         self._charge_cpu(cpu)
         latency += cpu
-        for op in txn.ops:
+        # Fault hook: an armed torn-osd-write applies only a strict prefix
+        # of the ops and dies, modelling the loss of transaction atomicity
+        # the crash harness must detect (see repro.faults).
+        keep = torn_op_count(len(txn.ops))
+        for index, op in enumerate(txn.ops):
+            if keep is not None and index >= keep:
+                raise ClientCrash(STAGE_TORN_OSD_WRITE,
+                                  f"applied {keep}/{len(txn.ops)} ops")
             latency += self._apply_op(obj, op)
         self.transactions_applied += 1
         if self.ledger is not None:

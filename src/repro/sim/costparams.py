@@ -90,6 +90,11 @@ class CostParameters:
     #: client CPU cost of one block-cache lookup + copy (charged once per
     #: cached operation by :class:`repro.cache.CachedImage`)
     cache_hit_cost_us: float = 2.0
+    #: fixed latency of one persistent-write-log append (local SSD/PMEM
+    #: pool; charged by :class:`repro.pwl.PwlImage` at the ack point)
+    pwl_append_latency_us: float = 6.0
+    #: transfer bandwidth of the persistent-write-log media
+    pwl_bandwidth_mbps: float = 2000.0
 
     # --- cluster shape --------------------------------------------------------
     osd_count: int = 3
@@ -159,8 +164,11 @@ class CostParameters:
         if not 0.0 < self.saturation_threshold <= 1.0:
             raise ConfigurationError(
                 "saturation_threshold must be within (0, 1]")
+        if self.pwl_append_latency_us < 0:
+            raise ConfigurationError("pwl_append_latency_us must be >= 0")
         for name in ("device_read_bandwidth_mbps", "device_write_bandwidth_mbps",
-                     "client_bandwidth_mbps", "cluster_bandwidth_mbps"):
+                     "client_bandwidth_mbps", "cluster_bandwidth_mbps",
+                     "pwl_bandwidth_mbps"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")
 

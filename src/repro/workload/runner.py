@@ -28,12 +28,14 @@ from ..util import MIB
 
 
 def wrap_in_cache(image: Image, spec: WorkloadSpec):
-    """Wrap ``image`` in the spec's client-side cache (no-op when off)."""
+    """Wrap ``image`` in the spec's client-side cache (no-op when off).
+
+    Cache mode ``"pwl"`` selects the crash-safe persistent write log
+    (:class:`repro.pwl.PwlImage`) instead of the block cache.
+    """
     config = spec.cache_config()
-    if config is None:
-        return image
-    from ..cache.image import CachedImage
-    return CachedImage(image, config)
+    from ..cache import wrap_image
+    return wrap_image(image, config)
 
 
 def finish_cache_flush(ledger: CostLedger, cached, latencies: List[float]) -> None:

@@ -53,8 +53,9 @@ class WorkloadSpec:
     #: flight; >1 requires the ClusterWorkloadRunner and the event-driven
     #: sim mode to mean anything — the analytic model cannot see contention)
     num_clients: int = 1
-    #: client-side block cache mode: None (off), "writethrough" or
-    #: "writeback" (each client stream gets its own cache)
+    #: client-side cache mode: None (off), "writethrough", "writeback"
+    #: (block cache) or "pwl" (crash-safe persistent write log); each
+    #: client stream gets its own cache/log
     cache_mode: Optional[str] = None
     #: cache capacity in bytes (None = the cache package default)
     cache_size: Optional[int] = None

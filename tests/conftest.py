@@ -3,8 +3,16 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import api
+
+# Profiles selected with pytest's native --hypothesis-profile flag: "ci"
+# keeps PR runs fast, "nightly" is the scheduled high-example sweep of the
+# crash matrix (.github/workflows/crash-nightly.yml).
+hypothesis_settings.register_profile("ci", max_examples=25, deadline=None)
+hypothesis_settings.register_profile("nightly", max_examples=200,
+                                     deadline=None)
 from repro.crypto.drbg import HmacDrbg
 from repro.rados.cluster import Cluster, ClusterConfig
 from repro.sim.costparams import default_cost_parameters

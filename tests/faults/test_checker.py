@@ -1,0 +1,154 @@
+"""Unit tests of the crash-recovery equivalence checker."""
+
+import pytest
+
+from repro.faults import (AckedWrite, ClientCrash, FaultPlan,
+                          STAGE_PRE_LOG_APPEND, apply_history,
+                          check_crash_equivalence, inject)
+
+
+def _history(*entries):
+    return [AckedWrite(offset=o, data=d, acked=a) for o, d, a in entries]
+
+
+def test_empty_history_matches_initial_state():
+    report = check_crash_equivalence(b"\0" * 8, b"\0" * 8, [])
+    assert report.ok
+    assert report.matched_prefix == 0
+
+
+def test_full_history_applied():
+    history = _history((0, b"ab", True), (4, b"cd", True))
+    recovered = b"ab\0\0cd\0\0"
+    report = check_crash_equivalence(recovered, b"\0" * 8, history)
+    assert report.ok
+    assert report.matched_prefix == 2
+
+
+def test_unacked_suffix_may_be_missing():
+    history = _history((0, b"ab", True), (4, b"cd", False))
+    recovered = b"ab" + b"\0" * 6
+    report = check_crash_equivalence(recovered, b"\0" * 8, history)
+    assert report.ok
+    assert report.matched_prefix == 1
+
+
+def test_unacked_suffix_may_have_survived():
+    history = _history((0, b"ab", True), (4, b"cd", False))
+    recovered = b"ab\0\0cd\0\0"
+    report = check_crash_equivalence(recovered, b"\0" * 8, history)
+    assert report.ok
+    assert report.matched_prefix == 2
+
+
+def test_lost_acked_write_is_detected():
+    history = _history((0, b"ab", True), (4, b"cd", True))
+    recovered = b"ab" + b"\0" * 6     # second acked write lost
+    report = check_crash_equivalence(recovered, b"\0" * 8, history)
+    assert not report.ok
+    assert "acked" in report.detail
+
+
+def test_torn_state_matches_no_prefix():
+    history = _history((0, b"abcd", True))
+    recovered = b"ab\0\0" + b"\0" * 4      # half the write landed
+    report = check_crash_equivalence(recovered, b"\0" * 8, history)
+    assert not report.ok
+    assert report.matched_prefix is None
+
+
+def test_reordered_ack_boundary_is_detected():
+    # Acked writes must be a prefix of issue order: a hole means the log
+    # acked out of order, which the pwl contract forbids.
+    history = _history((0, b"ab", True), (2, b"cd", False), (4, b"ef", True))
+    report = check_crash_equivalence(b"\0" * 8, b"\0" * 8, history)
+    assert not report.ok
+    assert "prefix of the issue order" in report.detail
+
+
+def test_size_mismatch_is_detected():
+    report = check_crash_equivalence(b"\0" * 4, b"\0" * 8, [])
+    assert not report.ok
+
+
+def test_overlapping_writes_last_writer_wins():
+    history = _history((0, b"aaaa", True), (2, b"bb", True))
+    recovered = b"aabb" + b"\0" * 4
+    report = check_crash_equivalence(recovered, b"\0" * 8, history)
+    assert report.ok
+    assert report.matched_prefix == 2
+
+
+class _PlainTarget:
+    """Image-shaped stub without an ack hook (acks at call return)."""
+
+    def __init__(self):
+        self.state = bytearray(16)
+
+    def write(self, offset, data):
+        self.state[offset:offset + len(data)] = data
+
+
+def test_apply_history_without_crash_acks_everything():
+    target = _PlainTarget()
+    history, crashed = apply_history(target, [(0, b"xy"), (4, b"zw")])
+    assert not crashed
+    assert all(entry.acked for entry in history)
+    assert bytes(target.state[:6]) == b"xy\0\0zw"
+
+
+def test_apply_history_records_crash_boundary():
+    class Crashing(_PlainTarget):
+        def write(self, offset, data):
+            if offset == 4:
+                raise ClientCrash(STAGE_PRE_LOG_APPEND)
+            super().write(offset, data)
+
+    history, crashed = apply_history(Crashing(), [(0, b"xy"), (4, b"zw")])
+    assert crashed
+    assert history[0].acked
+    assert not history[1].acked
+
+
+def test_apply_history_uses_ack_listener_hook():
+    class Hooked(_PlainTarget):
+        def __init__(self):
+            super().__init__()
+            self.ack_listener = None
+
+        def write(self, offset, data):
+            super().write(offset, data)
+            self.ack_listener(1)                  # ack...
+            raise ClientCrash(STAGE_PRE_LOG_APPEND)   # ...then die
+
+    target = Hooked()
+    history, crashed = apply_history(target, [(0, b"xy")])
+    assert crashed
+    # The crash landed after the ack: the write must count as acked even
+    # though the call never returned.
+    assert history[0].acked
+    assert target.ack_listener is None   # previous listener restored
+
+
+def test_apply_history_with_injected_plan_round_trips():
+    target = _PlainTarget()
+    plan = FaultPlan(stage=STAGE_PRE_LOG_APPEND, hit=1)
+    with inject(plan):
+        history, crashed = apply_history(target, [(0, b"xy")])
+        # the stub never calls crash_point, so nothing fires
+    assert not crashed and not plan.fired
+    assert len(history) == 1
+
+
+@pytest.mark.parametrize("acked", [0, 1, 2, 3])
+def test_every_valid_prefix_is_accepted(acked):
+    writes = [(0, b"a" * 4), (4, b"b" * 4), (8, b"c" * 4)]
+    history = [AckedWrite(offset=o, data=d, acked=(i < acked))
+               for i, (o, d) in enumerate(writes)]
+    # recovered state applies exactly `k` writes for every k >= acked
+    for k in range(len(writes) + 1):
+        state = bytearray(16)
+        for offset, data in writes[:k]:
+            state[offset:offset + len(data)] = data
+        report = check_crash_equivalence(bytes(state), b"\0" * 16, history)
+        assert report.ok == (k >= acked), (k, acked, report)

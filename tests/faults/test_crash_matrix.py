@@ -1,0 +1,100 @@
+"""The crash matrix: kill the client at every stage, prove recovery.
+
+This is the suite the CI ``crash-matrix`` job runs, one stage per matrix
+leg.  Seeds are randomized but printed: every test derives its fault plan
+from ``FAULT_SEED`` (environment, default 0), so a failing CI leg is
+reproduced exactly with ``FAULT_SEED=<printed> pytest tests/faults``.
+``FAULT_STAGE`` (environment) restricts the parametrization to one stage
+so each matrix leg runs only its own scenario.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import create_encrypted_image, make_cluster, open_encrypted_image
+from repro.cache.config import CacheConfig
+from repro.faults import (ALL_STAGES, CRASH_STAGES, FaultPlan, apply_history,
+                          check_crash_equivalence, inject)
+from repro.faults.scenarios import run_crash_scenario
+from repro.pwl import PwlImage
+from repro.util import KIB, MIB
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0") or "0")
+FAULT_STAGE = os.environ.get("FAULT_STAGE", "").strip()
+
+_STAGES = [FAULT_STAGE] if FAULT_STAGE else list(ALL_STAGES)
+
+
+def _seed_banner(stage, seed):
+    return (f"stage={stage} FAULT_SEED={seed} "
+            f"(rerun: FAULT_SEED={seed} FAULT_STAGE={stage} "
+            f"pytest tests/faults/test_crash_matrix.py)")
+
+
+@pytest.mark.parametrize("stage", _STAGES)
+def test_crash_recovery_equivalence(stage):
+    """The headline property: at every stage, recovery is bit-identical
+    to a prefix-consistent history of the acked writes."""
+    print(_seed_banner(stage, FAULT_SEED))
+    result = run_crash_scenario(stage, FAULT_SEED)
+    assert result.ok, _seed_banner(stage, FAULT_SEED) + ": " + result.summary()
+
+
+@pytest.mark.parametrize("stage", _STAGES)
+def test_crash_recovery_randomized_hits(stage):
+    """Several derived seeds per stage, so the trigger point moves around
+    the pipeline instead of pinning one arrival."""
+    base = random.Random(f"{FAULT_SEED}/matrix").randrange(2 ** 31)
+    for round_no in range(3):
+        seed = base + 1009 * round_no
+        result = run_crash_scenario(stage, seed)
+        assert result.ok, _seed_banner(stage, seed) + ": " + result.summary()
+
+
+_pwl_stages = [s for s in _STAGES
+               if (s in CRASH_STAGES or s == "torn-log-tail")
+               and s not in ("mid-copyup", "mid-luks-header-update")]
+
+
+@pytest.mark.skipif(not _pwl_stages, reason="FAULT_STAGE excludes pwl stages")
+@given(data=st.data())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_hypothesis_random_workload_random_crash(data):
+    """Hypothesis-driven form: random workload, random stage, random crash
+    point -> the replayed image equals a prefix-consistent history."""
+    stage = data.draw(st.sampled_from(_pwl_stages), label="stage")
+    hit = data.draw(st.integers(min_value=1, max_value=10), label="hit")
+    rng_seed = data.draw(st.integers(min_value=0, max_value=2 ** 20),
+                         label="workload_seed")
+    rng = random.Random(rng_seed)
+
+    cluster = make_cluster()
+    pwl, _info = create_encrypted_image(
+        cluster, "hyp-crash", 1 * MIB, passphrase=b"hyp",
+        cipher_suite="blake2-xts-sim", random_seed=b"hyp-drbg",
+        cache=CacheConfig(mode="pwl", size=8 * KIB))
+    size = pwl.size
+    initial = pwl.read(0, size)
+
+    writes = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=20),
+                             label="io_count")):
+        length = rng.choice((512, 2048, 4096))
+        offset = rng.randrange(0, size - length) // 512 * 512
+        writes.append((offset, rng.randbytes(length)))
+
+    plan = FaultPlan(stage=stage, hit=hit, seed=rng_seed)
+    with inject(plan):
+        history, _crashed = apply_history(pwl, writes)
+    media = pwl.media
+
+    inner, _info = open_encrypted_image(cluster, "hyp-crash", b"hyp")
+    recovered_pwl, _report = PwlImage.recover(
+        inner, media, CacheConfig(mode="pwl", size=8 * KIB))
+    recovered = recovered_pwl.read(0, size)
+    report = check_crash_equivalence(recovered, initial, history)
+    assert report.ok, f"{stage} hit={hit} seed={rng_seed}: {report}"

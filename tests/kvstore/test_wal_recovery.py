@@ -1,0 +1,81 @@
+"""Regression tests: WAL replay with a truncated or corrupt tail.
+
+The bug class these pin down: a client that dies mid-append leaves a
+partial frame at the end of the log region.  ``recover_records`` must
+recover every complete record before the damage and stop cleanly —
+never raise, never return garbage payloads.
+"""
+
+import zlib
+
+from repro.kvstore.wal import (WAL_FRAME_OVERHEAD, WAL_RECORD_MAGIC,
+                               encode_record, recover_records)
+
+
+def _frames(*payloads):
+    return b"".join(encode_record(p) for p in payloads)
+
+
+def test_roundtrip_clean_log():
+    media = _frames(b"first", b"second", b"")
+    payloads, clean = recover_records(media)
+    assert payloads == [b"first", b"second", b""]
+    assert clean
+
+
+def test_empty_media_is_clean():
+    payloads, clean = recover_records(b"")
+    assert payloads == [] and clean
+
+
+def test_truncated_mid_payload_recovers_prefix():
+    media = _frames(b"keep me") + encode_record(b"torn payload here")[:-5]
+    payloads, clean = recover_records(media)
+    assert payloads == [b"keep me"]
+    assert not clean
+
+
+def test_truncated_mid_header_recovers_prefix():
+    media = _frames(b"keep me") + encode_record(b"x")[:WAL_FRAME_OVERHEAD - 3]
+    payloads, clean = recover_records(media)
+    assert payloads == [b"keep me"]
+    assert not clean
+
+
+def test_corrupt_magic_stops_recovery():
+    good = _frames(b"keep me")
+    bad = bytearray(encode_record(b"dropped"))
+    bad[:4] = b"XXXX"
+    payloads, clean = recover_records(good + bytes(bad))
+    assert payloads == [b"keep me"]
+    assert not clean
+
+
+def test_corrupt_crc_stops_recovery():
+    good = _frames(b"keep me")
+    bad = bytearray(encode_record(b"bitrot"))
+    bad[-1] ^= 0xFF                       # flip a payload bit
+    payloads, clean = recover_records(good + bytes(bad))
+    assert payloads == [b"keep me"]
+    assert not clean
+
+
+def test_damage_mid_log_discards_everything_after():
+    """A torn record is only ever at the tail in a correct log; if damage
+    appears mid-log, nothing after it can be trusted."""
+    middle = bytearray(encode_record(b"middle"))
+    middle[8] ^= 0x01                     # corrupt the stored crc
+    media = _frames(b"one") + bytes(middle) + _frames(b"three")
+    payloads, clean = recover_records(media)
+    assert payloads == [b"one"]
+    assert not clean
+
+
+def test_frame_layout_is_pinned():
+    payload = b"pinned"
+    frame = encode_record(payload)
+    assert frame[:4] == WAL_RECORD_MAGIC
+    assert int.from_bytes(frame[4:8], "little") == len(payload)
+    assert int.from_bytes(frame[8:12], "little") == zlib.crc32(payload)
+    assert frame[12:] == payload
+    assert len(frame) == WAL_FRAME_OVERHEAD + len(payload)

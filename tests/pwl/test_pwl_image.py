@@ -1,0 +1,175 @@
+"""Tests of the pwl-cached image wrapper (repro.pwl.image)."""
+
+import pytest
+
+from repro.api import (create_encrypted_image, make_cluster,
+                       open_encrypted_image)
+from repro.cache import wrap_image
+from repro.cache.config import CacheConfig
+from repro.cache.image import CachedImage
+from repro.errors import ConfigurationError
+from repro.pwl import PwlImage
+from repro.util import KIB, MIB
+
+
+def _pwl_image(cluster, name="pwl-test", size=1 * MIB, log_size=64 * KIB,
+               dirty_ratio=0.5):
+    pwl, _info = create_encrypted_image(
+        cluster, name, size, passphrase=b"pw",
+        cipher_suite="blake2-xts-sim", random_seed=b"pwl-seed",
+        cache=CacheConfig(mode="pwl", size=log_size, dirty_ratio=dirty_ratio))
+    assert isinstance(pwl, PwlImage)
+    return pwl
+
+
+def test_ack_then_drain_ordering(cluster):
+    pwl = _pwl_image(cluster)
+    pwl.write(0, b"a" * 4096)
+    # small write against a large watermark: acked, not yet drained
+    assert pwl.stats.appends == 1
+    assert pwl.stats.drained_records == 0
+    assert pwl.log.pending_records == 1
+    pwl.flush()
+    assert pwl.stats.drained_records == 1
+    assert pwl.log.pending_records == 0
+
+
+def test_watermark_triggers_background_drain(cluster):
+    # 8 KiB log, watermark at 4 KiB: the second 4 KiB write must push the
+    # first one out to the cluster.
+    pwl = _pwl_image(cluster, log_size=8 * KIB, dirty_ratio=0.5)
+    pwl.write(0, b"a" * 4096)
+    pwl.write(8192, b"b" * 4096)
+    assert pwl.stats.drains >= 1
+    assert pwl.log.bytes_used <= 8 * KIB
+
+
+def test_read_overlay_sees_pending_writes(cluster):
+    pwl = _pwl_image(cluster)
+    pwl.write(512, b"x" * 512)
+    assert pwl.log.pending_records == 1      # still only in the log
+    data = pwl.read(0, 2048)
+    assert data[512:1024] == b"x" * 512
+    assert data[:512] == b"\0" * 512
+    assert pwl.stats.overlay_reads >= 1
+
+
+def test_read_overlay_applies_records_in_seq_order(cluster):
+    pwl = _pwl_image(cluster)
+    pwl.write(0, b"a" * 1024)
+    pwl.write(512, b"b" * 512)      # overlaps: later record wins
+    data = pwl.read(0, 1024)
+    assert data == b"a" * 512 + b"b" * 512
+
+
+def test_flush_drains_everything_and_checkpoints(cluster):
+    pwl = _pwl_image(cluster)
+    for i in range(4):
+        pwl.write(i * 4096, bytes([i + 1]) * 512)
+    pwl.flush()
+    assert pwl.log.pending_records == 0
+    assert pwl.stats.checkpoints >= 1
+    assert pwl.log.checkpoint_seq == 4
+    # the data is on the cluster: a fresh open (no log) sees it
+    inner, _info = open_encrypted_image(cluster, "pwl-test", b"pw")
+    assert inner.read(0, 512) == b"\x01" * 512
+
+
+def test_snapshot_is_a_flush_barrier(cluster):
+    pwl = _pwl_image(cluster)
+    pwl.write(0, b"snapdata")
+    pwl.create_snapshot("s1")
+    assert pwl.log.pending_records == 0
+    pwl.write(0, b"after-it")
+    pwl.set_read_snapshot("s1")
+    assert pwl.read(0, 8) == b"snapdata"
+    pwl.set_read_snapshot(None)
+    assert pwl.read(0, 8) == b"after-it"
+
+
+def test_resize_is_a_flush_barrier(cluster):
+    pwl = _pwl_image(cluster)
+    pwl.write(0, b"z" * 512)
+    pwl.resize(2 * MIB)
+    assert pwl.log.pending_records == 0
+    assert pwl.size == 2 * MIB
+
+
+def test_discard_drains_first(cluster):
+    pwl = _pwl_image(cluster)
+    pwl.write(0, b"d" * 4096)
+    pwl.discard(0, 4096)
+    assert pwl.log.pending_records == 0
+    assert pwl.read(0, 4096) == b"\0" * 4096
+
+
+def test_recover_replays_pending_records(cluster):
+    config = CacheConfig(mode="pwl", size=64 * KIB)
+    pwl = _pwl_image(cluster, name="rec-test")
+    pwl.write(0, b"r" * 4096)
+    pwl.write(4096, b"s" * 4096)
+    assert pwl.log.pending_records == 2
+    media = pwl.media          # "crash": keep only the media + cluster
+
+    inner, _info = open_encrypted_image(cluster, "rec-test", b"pw")
+    recovered, report = PwlImage.recover(inner, media, config)
+    assert report.replayed_records == 2
+    assert not report.discarded_torn_tail
+    assert recovered.read(0, 4096) == b"r" * 4096
+    assert recovered.read(4096, 4096) == b"s" * 4096
+    assert recovered.log.pending_records == 0
+
+
+def test_recover_is_idempotent(cluster):
+    """Replaying the same records twice converges to the same plaintext."""
+    config = CacheConfig(mode="pwl", size=64 * KIB)
+    pwl = _pwl_image(cluster, name="idem-test")
+    pwl.write(512, b"i" * 1024)
+    media = pwl.media
+
+    inner, _info = open_encrypted_image(cluster, "idem-test", b"pw")
+    first, _report = PwlImage.recover(inner, media, config)
+    assert first.read(512, 1024) == b"i" * 1024
+
+    # Simulate a crash *during* replay-drain: the record was written to the
+    # cluster but the checkpoint didn't advance.  A second recovery replays
+    # it again; plaintext must be unchanged.
+    stale = type(media)(buffer=bytearray(media.buffer), checkpoint_seq=0)
+    inner2, _info = open_encrypted_image(cluster, "idem-test", b"pw")
+    second, report = PwlImage.recover(inner2, stale, config)
+    assert second.read(512, 1024) == b"i" * 1024
+
+
+def test_cached_image_rejects_pwl_mode(cluster, plain_image):
+    with pytest.raises(ConfigurationError, match="pwl"):
+        CachedImage(plain_image, CacheConfig(mode="pwl"))
+
+
+def test_cache_config_rejects_readahead_with_pwl():
+    with pytest.raises(ConfigurationError):
+        CacheConfig(mode="pwl", readahead_blocks=4)
+
+
+def test_wrap_image_dispatches_by_mode(plain_image):
+    assert wrap_image(plain_image, None) is plain_image
+    assert isinstance(wrap_image(plain_image, CacheConfig(mode="pwl")),
+                      PwlImage)
+    assert isinstance(
+        wrap_image(plain_image, CacheConfig(mode="writeback")), CachedImage)
+
+
+def test_pwl_counters_reach_the_ledger(cluster):
+    pwl = _pwl_image(cluster)
+    pwl.write(0, b"c" * 4096)
+    pwl.flush()
+    assert cluster.ledger.counter("pwl.appends") >= 1
+    assert cluster.ledger.counter("pwl.drained_records") >= 1
+    assert cluster.ledger.counter("pwl.flushes") >= 1
+
+
+def test_append_cost_is_attributed_client_side(cluster):
+    pwl = _pwl_image(cluster)
+    before = cluster.ledger.resource_us.get("client.cpu", 0.0)
+    pwl.write(0, b"c" * 4096)
+    after = cluster.ledger.resource_us.get("client.cpu", 0.0)
+    assert after > before

@@ -1,0 +1,87 @@
+"""Pin the floor-vs-drift semantics of tools/check_bench_drift.py."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+from check_bench_drift import (DriftError, compare_baseline, compare_metric,
+                               main, relative_drift, speedup_floor)
+
+
+def test_speedup_floor_never_below_asserted_minimum():
+    assert speedup_floor(6.0) == 5.0      # half of 6 is below the 5x minimum
+    assert speedup_floor(20.0) == 10.0    # half the committed baseline
+    assert speedup_floor(0.5) == 5.0
+
+
+def test_relative_drift_is_symmetric_and_zero_safe():
+    assert relative_drift(100.0, 110.0) == pytest.approx(0.10)
+    assert relative_drift(100.0, 90.0) == pytest.approx(0.10)
+    assert relative_drift(0.0, 0.0) == 0.0
+    assert relative_drift(0.0, 1.0) == 1.0
+
+
+def test_speedup_metric_is_a_floor_not_a_band():
+    log = []
+    # tripling a speedup is fine (a +-10% band would reject it)
+    compare_metric("bench", "speedup_xts", 10.0, 30.0, log)
+    # dropping to just over half the baseline is fine
+    compare_metric("bench", "speedup_xts", 20.0, 10.0, log)
+    # falling below half the baseline fails
+    with pytest.raises(DriftError, match="fell to"):
+        compare_metric("bench", "speedup_xts", 20.0, 9.9, log)
+    # falling below the asserted 5x minimum fails even if baseline is low
+    with pytest.raises(DriftError, match="fell to"):
+        compare_metric("bench", "speedup_xts", 6.0, 4.9, log)
+
+
+def test_plain_metric_is_a_drift_band_not_a_floor():
+    log = []
+    compare_metric("bench", "sectors_written", 100.0, 109.0, log)
+    compare_metric("bench", "sectors_written", 100.0, 91.0, log)
+    # improving beyond the band still fails: deterministic model outputs
+    # must not move silently in either direction
+    with pytest.raises(DriftError, match="drifted"):
+        compare_metric("bench", "sectors_written", 100.0, 89.0, log)
+    with pytest.raises(DriftError, match="drifted"):
+        compare_metric("bench", "sectors_written", 100.0, 111.0, log)
+
+
+def test_disappearing_benchmark_or_metric_fails():
+    baseline = {"b1": {"iops": 10.0}}
+    with pytest.raises(DriftError, match="disappeared"):
+        compare_baseline(baseline, {}, [])
+    with pytest.raises(DriftError, match="metric iops disappeared"):
+        compare_baseline(baseline, {"b1": {"other": 1.0}}, [])
+
+
+def test_non_numeric_and_bool_metrics_are_ignored():
+    baseline = {"b1": {"label": "omap", "flag": True, "iops": 10.0}}
+    current = {"b1": {"iops": 10.0}}
+    compare_baseline(baseline, current, [])   # must not raise
+
+
+def _write(path, benchmarks):
+    path.write_text(json.dumps({"benchmarks": benchmarks}))
+    return str(path)
+
+
+def test_main_end_to_end(tmp_path, capsys):
+    results = _write(tmp_path / "bench-results.json", [
+        {"name": "b1", "extra_info": {"iops": 102.0, "speedup_x": 12.0}},
+    ])
+    good = _write(tmp_path / "BENCH_good.json", [
+        {"name": "b1", "extra_info": {"iops": 100.0, "speedup_x": 20.0}},
+    ])
+    assert main([results, good]) == 0
+    assert "trajectory OK" in capsys.readouterr().out
+
+    bad = _write(tmp_path / "BENCH_bad.json", [
+        {"name": "b1", "extra_info": {"iops": 200.0}},
+    ])
+    assert main([results, bad]) == 1
+    assert "FAIL" in capsys.readouterr().err
