@@ -1,0 +1,62 @@
+"""Experiment E11 — recovery storm: client tail latency during rebuild.
+
+A production fleet does not stop serving while an OSD is rebuilt: backfill
+pushes compete with client I/O for the same OSD CPUs and the cluster
+network.  This benchmark runs the full failure drill (kill -> degraded ->
+rebuild -> healthy) at fleet scale (100 OSDs, 3-way replication, host
+failure domains) for each kill stage and replays the client ops *and* the
+backfill pushes through the event engine together, reporting the client
+p50/p95/p99 **during the rebuild storm**.
+
+Everything is deterministic (seeded workload, seeded kill point, simulated
+time), so the committed ``BENCH_recovery.json`` baseline is gated in CI at
++-10% drift: a change that silently makes recovery storms hurt client tail
+latency more — or recover less data — moves these numbers and fails the
+gate.
+"""
+
+from __future__ import annotations
+
+from repro.faults import OSD_KILL_STAGES
+from repro.faults.drill import run_failure_drill
+
+SEED = 2026
+OSD_COUNT = 100
+
+
+def test_recovery_storm_tail_latency(benchmark):
+    """p99 of client ops while backfill traffic shares the cluster."""
+    points = {}
+
+    def drill_all_stages():
+        for stage in OSD_KILL_STAGES:
+            points[stage] = run_failure_drill(stage, SEED,
+                                              osd_count=OSD_COUNT)
+        return points
+
+    benchmark.pedantic(drill_all_stages, rounds=1, iterations=1)
+
+    print()
+    print(f"failure drill at {OSD_COUNT} OSDs (seed {SEED}): client latency "
+          f"during rebuild storm:")
+    for stage, result in points.items():
+        assert result.ok, f"{stage}: {result.summary()}"
+        assert result.fired, f"{stage}: armed fault never fired"
+        pcts = result.storm_latency_us
+        print(f"  {stage:24s} p50 {pcts['p50']:8.1f}  p95 {pcts['p95']:8.1f}"
+              f"  p99 {pcts['p99']:8.1f} us  "
+              f"(acked={result.acked_writes}, degraded_reads="
+              f"{result.degraded_reads}, pushed={result.objects_pushed} obj/"
+              f"{result.bytes_pushed} B)")
+        key = stage.replace("kill-", "").replace("-mid-txn", "")
+        benchmark.extra_info[f"p50_us[{key}]"] = round(pcts["p50"], 1)
+        benchmark.extra_info[f"p99_us[{key}]"] = round(pcts["p99"], 1)
+        benchmark.extra_info[f"acked_writes[{key}]"] = result.acked_writes
+        benchmark.extra_info[f"degraded_reads[{key}]"] = result.degraded_reads
+        benchmark.extra_info[f"objects_pushed[{key}]"] = result.objects_pushed
+        benchmark.extra_info[f"bytes_pushed[{key}]"] = result.bytes_pushed
+        # The storm must actually show up in the tail: p99 during rebuild
+        # sits above the healthy median by construction.
+        assert pcts["p99"] > pcts["p50"] > 0
+
+    benchmark.extra_info["osd_count"] = OSD_COUNT

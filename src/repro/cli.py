@@ -32,6 +32,14 @@ Subcommands
     The seed defaults to the ``FAULT_SEED`` environment variable (or a
     fresh random one) and is always printed, so any failing run can be
     replayed exactly.
+``failure-drill``
+    OSD failure lifecycle: kill storage daemons mid-workload (primary or
+    replica mid-transaction, or during backfill), serve degraded I/O
+    through retry/failover, rebuild, and check that no acked write was
+    lost and every replica set ends consistent, e.g.::
+
+        python -m repro.cli failure-drill --fault-stage kill-primary-mid-txn \
+            --osds 100 --fault-seed 12345
 ``demo``
     A tiny end-to-end demonstration (create an encrypted image, write, read,
     snapshot) printing the cluster's cost-ledger highlights.
@@ -241,6 +249,41 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_failure_drill(args: argparse.Namespace) -> int:
+    import os
+    import random
+
+    from .faults.drill import run_failure_drill
+    from .faults.plan import OSD_KILL_STAGES
+
+    if args.osds < 3:
+        raise SystemExit("--osds must be >= 3 (three-way replication)")
+    seed = args.fault_seed
+    if seed is None:
+        env_seed = os.environ.get("FAULT_SEED", "").strip()
+        seed = int(env_seed) if env_seed else random.SystemRandom().randrange(2 ** 32)
+    stages = (OSD_KILL_STAGES if args.fault_stage == "all"
+              else (args.fault_stage,))
+    print(f"FAULT_SEED={seed}  "
+          f"(rerun: repro failure-drill --fault-seed {seed}"
+          + (f" --fault-stage {args.fault_stage}"
+             if args.fault_stage != "all" else "")
+          + f" --osds {args.osds})")
+    failures = 0
+    for stage in stages:
+        result = run_failure_drill(stage, seed, osd_count=args.osds,
+                                   image_size=parse_size(args.image_size))
+        print(f"  {stage:24s} {result.summary()}")
+        failures += 0 if result.ok else 1
+    if failures:
+        print(f"{failures} of {len(stages)} failure stage(s) FAILED "
+              f"(seed {seed})")
+        return 1
+    print(f"all {len(stages)} failure stage(s) recovered: no acked write "
+          f"lost, replicas consistent")
+    return 0
+
+
 def _cmd_sectors(args: argparse.Namespace) -> int:
     model = SectorAccessModel(block_size=parse_size(args.block_size),
                               metadata_size=args.metadata_size)
@@ -406,6 +449,25 @@ def build_parser() -> argparse.ArgumentParser:
     crash.add_argument("--io-count", type=int, default=24,
                        help="writes issued before/while the fault fires")
     crash.set_defaults(func=_cmd_crash)
+
+    from .faults.plan import OSD_KILL_STAGES
+    drill = sub.add_parser(
+        "failure-drill", help="kill OSD daemons mid-workload and check the "
+        "failure lifecycle: degraded I/O, retry/failover, backfill back to "
+        "healthy (the CI failure matrix entry point)")
+    drill.add_argument("--fault-stage", choices=OSD_KILL_STAGES + ("all",),
+                       default="all",
+                       help="where the daemon kill lands (default: all)")
+    drill.add_argument("--fault-seed", type=int, default=None,
+                       help="seed of the kill plan and workload; defaults "
+                       "to the FAULT_SEED environment variable or a fresh "
+                       "random seed — always printed for exact replay")
+    drill.add_argument("--osds", type=int, default=100,
+                       help="cluster size of the drill (host failure "
+                       "domains, four OSDs per host)")
+    drill.add_argument("--image-size", default="8M",
+                       help="size of the encrypted drill image")
+    drill.set_defaults(func=_cmd_failure_drill)
 
     sectors = sub.add_parser("sectors", help="print the analytic sector table")
     sectors.add_argument("--sizes")

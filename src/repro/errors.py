@@ -72,6 +72,24 @@ class PoolNotFoundError(RadosError):
     """The requested pool does not exist."""
 
 
+class OsdDownError(RadosError):
+    """An operation was dispatched to an OSD that is not serving.
+
+    Internal to the RADOS layer: the client's retry/failover logic catches
+    it, recomputes the acting set and retries — callers above the client
+    only ever see :class:`DegradedClusterError` once no replica remains.
+    """
+
+
+class DegradedClusterError(RadosError):
+    """No acting replica can serve the operation (the EIO of the stack).
+
+    Raised by :class:`~repro.rados.client.IoCtx` after retry, backoff and
+    replica failover are exhausted: every replica of the object is down,
+    out or still recovering.
+    """
+
+
 class SnapshotError(RadosError):
     """Snapshot creation/removal/rollback failed."""
 

@@ -16,21 +16,29 @@ handler can accidentally "survive" a crash that a real process would not.
 """
 
 from .plan import (ALL_STAGES, CRASH_STAGES, ClientCrash, FaultPlan,
-                   LOG_FAULTS, OSD_FAULTS, STAGE_MID_COPYUP, STAGE_MID_DRAIN,
-                   STAGE_MID_LUKS_HEADER_UPDATE, STAGE_POST_ACK_PRE_DRAIN,
-                   STAGE_PRE_LOG_APPEND, STAGE_TORN_LOG_TAIL,
-                   STAGE_TORN_OSD_WRITE, active_plan, crash_point, inject,
-                   torn_op_count, torn_tail_bytes)
+                   LOG_FAULTS, OSD_FAULTS, OSD_KILL_STAGES, OsdFaultPlan,
+                   STAGE_KILL_DURING_BACKFILL, STAGE_KILL_PRIMARY_MID_TXN,
+                   STAGE_KILL_REPLICA_MID_TXN, STAGE_MID_COPYUP,
+                   STAGE_MID_DRAIN, STAGE_MID_LUKS_HEADER_UPDATE,
+                   STAGE_POST_ACK_PRE_DRAIN, STAGE_PRE_LOG_APPEND,
+                   STAGE_TORN_LOG_TAIL, STAGE_TORN_OSD_WRITE,
+                   active_osd_fault, active_plan, crash_point, inject,
+                   inject_osd_fault, osd_kill_due, torn_op_count,
+                   torn_tail_bytes)
 from .checker import (AckedWrite, EquivalenceReport, apply_history,
                       check_crash_equivalence)
 
 __all__ = [
     "ALL_STAGES", "CRASH_STAGES", "LOG_FAULTS", "OSD_FAULTS",
+    "OSD_KILL_STAGES",
     "STAGE_PRE_LOG_APPEND", "STAGE_POST_ACK_PRE_DRAIN", "STAGE_MID_DRAIN",
     "STAGE_MID_COPYUP", "STAGE_MID_LUKS_HEADER_UPDATE",
     "STAGE_TORN_OSD_WRITE", "STAGE_TORN_LOG_TAIL",
-    "ClientCrash", "FaultPlan", "active_plan", "crash_point", "inject",
-    "torn_op_count", "torn_tail_bytes",
+    "STAGE_KILL_PRIMARY_MID_TXN", "STAGE_KILL_REPLICA_MID_TXN",
+    "STAGE_KILL_DURING_BACKFILL",
+    "ClientCrash", "FaultPlan", "OsdFaultPlan", "active_plan",
+    "active_osd_fault", "crash_point", "inject", "inject_osd_fault",
+    "osd_kill_due", "torn_op_count", "torn_tail_bytes",
     "AckedWrite", "EquivalenceReport", "apply_history",
     "check_crash_equivalence",
 ]

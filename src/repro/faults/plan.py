@@ -46,6 +46,18 @@ OSD_FAULTS = (STAGE_TORN_OSD_WRITE,)
 LOG_FAULTS = (STAGE_TORN_LOG_TAIL,)
 ALL_STAGES = CRASH_STAGES + OSD_FAULTS + LOG_FAULTS
 
+#: OSD-kill stages (the *daemon* dies, the client survives): the cluster
+#: marks the victim down mid-operation and the client's retry/failover
+#: machinery must carry every acked write through.  A separate vocabulary
+#: from ``ALL_STAGES`` — the client-kill harness and the failure drill
+#: enumerate different matrices.
+STAGE_KILL_PRIMARY_MID_TXN = "kill-primary-mid-txn"
+STAGE_KILL_REPLICA_MID_TXN = "kill-replica-mid-txn"
+STAGE_KILL_DURING_BACKFILL = "kill-during-backfill"
+
+OSD_KILL_STAGES = (STAGE_KILL_PRIMARY_MID_TXN, STAGE_KILL_REPLICA_MID_TXN,
+                   STAGE_KILL_DURING_BACKFILL)
+
 
 class ClientCrash(BaseException):
     """The injected client death.
@@ -167,6 +179,87 @@ def torn_op_count(total_ops: int) -> Optional[int]:
     if plan is None or not plan._arrived(STAGE_TORN_OSD_WRITE):
         return None
     return plan.tear_point(total_ops)
+
+
+@dataclass
+class OsdFaultPlan:
+    """One armed OSD kill: fire at the ``hit``-th arrival of ``stage``.
+
+    Same fire-once hit-counting and seeding discipline as
+    :class:`FaultPlan`, but the victim is a *daemon*, not the client: the
+    instrumented call site (:func:`osd_kill_due`) reports that the kill is
+    due and the caller marks the OSD down on the cluster — no exception
+    crosses the client, whose retry/failover path is exactly what the
+    failure matrix is exercising.
+    """
+
+    stage: str
+    hit: int = 1
+    seed: int = 0
+    # -- state ---------------------------------------------------------------
+    hits_seen: int = field(default=0, repr=False)
+    fired: bool = field(default=False, repr=False)
+    #: OSD id the kill landed on (recorded by the call site for reports)
+    victim: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.stage not in OSD_KILL_STAGES:
+            raise ConfigurationError(
+                f"unknown OSD kill stage {self.stage!r}; "
+                f"valid: {OSD_KILL_STAGES}")
+        if self.hit < 1:
+            raise ConfigurationError("fault hit must be >= 1")
+
+    @classmethod
+    def random_plan(cls, stage: str, seed: int,
+                    max_hit: int = 8) -> "OsdFaultPlan":
+        """A plan whose trigger point is drawn from ``seed`` (printed-seed
+        randomized testing, mirroring :meth:`FaultPlan.random_plan`)."""
+        rng = random.Random(f"{seed}/{stage}")
+        return cls(stage=stage, hit=rng.randint(1, max(1, max_hit)), seed=seed)
+
+    def _arrived(self, stage: str) -> bool:
+        if self.fired or stage != self.stage:
+            return False
+        self.hits_seen += 1
+        if self.hits_seen < self.hit:
+            return False
+        self.fired = True
+        return True
+
+
+_active_osd_fault: Optional[OsdFaultPlan] = None
+
+
+def active_osd_fault() -> Optional[OsdFaultPlan]:
+    """The currently injected OSD kill plan (None outside the context)."""
+    return _active_osd_fault
+
+
+@contextmanager
+def inject_osd_fault(plan: OsdFaultPlan) -> Iterator[OsdFaultPlan]:
+    """Make ``plan`` the armed OSD kill for the duration of the block."""
+    global _active_osd_fault
+    previous = _active_osd_fault
+    _active_osd_fault = plan
+    try:
+        yield plan
+    finally:
+        _active_osd_fault = previous
+
+
+def osd_kill_due(stage: str, victim: int) -> bool:
+    """Instrumented kill point: is the armed OSD fault due here?
+
+    Returns True exactly once, on the firing arrival; the caller then
+    marks ``victim`` down on its cluster.  ``victim`` is recorded on the
+    plan so harnesses can report which daemon died.
+    """
+    plan = _active_osd_fault
+    if plan is None or not plan._arrived(stage):
+        return False
+    plan.victim = victim
+    return True
 
 
 def torn_tail_bytes(frame_size: int) -> Optional[int]:

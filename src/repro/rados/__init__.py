@@ -16,7 +16,10 @@ from .cluster import Cluster, ClusterConfig, Pool
 from .client import IoCtx, RadosClient, ReadResult, SnapContext
 from .object import CloneInfo, RadosObject
 from .osd import OSD
-from .placement import PlacementMap
+from .placement import CrushLocation, PlacementMap, uniform_topology
+from .recovery import (BackfillItem, PeeringReport, RecoveryReport,
+                       ReplicaMismatch, backfill, peer,
+                       verify_replica_consistency)
 from .transaction import (OpCreate, OpGetXattr, OpOmapGetValsByKeys,
                           OpOmapGetValsByRange, OpOmapRmRange, OpOmapSetKeys,
                           OpRead, OpRemove, OpSetXattr, OpStat, OpTruncate,
@@ -26,6 +29,9 @@ from .transaction import (OpCreate, OpGetXattr, OpOmapGetValsByKeys,
 __all__ = [
     "Cluster", "ClusterConfig", "Pool", "IoCtx", "RadosClient", "ReadResult",
     "SnapContext", "CloneInfo", "RadosObject", "OSD", "PlacementMap",
+    "CrushLocation", "uniform_topology",
+    "BackfillItem", "PeeringReport", "RecoveryReport", "ReplicaMismatch",
+    "backfill", "peer", "verify_replica_consistency",
     "OpCreate", "OpGetXattr", "OpOmapGetValsByKeys", "OpOmapGetValsByRange",
     "OpOmapRmRange", "OpOmapSetKeys", "OpRead", "OpRemove", "OpSetXattr",
     "OpStat", "OpTruncate", "OpWrite", "OpWriteFull", "OpZero",

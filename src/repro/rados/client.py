@@ -6,16 +6,37 @@ operations, object listing and self-managed snapshots.  Every call charges
 the client NIC/CPU and backend-network resources and returns an
 :class:`~repro.sim.ledger.OpReceipt` carrying the critical-path latency, so
 layers above can aggregate per-image-IO latency for the queue-depth bound.
+
+Failure handling
+----------------
+Dispatch is robust against OSD death (the cluster's failure lifecycle,
+:mod:`repro.rados.cluster`):
+
+* every operation targets the object's **acting set** — the CRUSH up set
+  filtered to OSDs that are up and recovered — recomputed on each attempt
+  so a mid-operation kill is noticed immediately;
+* a dispatch that hits a dead OSD costs one per-op timeout
+  (``osd_timeout_us``) and is retried under **bounded exponential backoff
+  with seeded jitter** (``retry_backoff_*``, deterministic per IoCtx);
+* **reads fail over** down the acting set — a degraded read served by a
+  surviving replica returns bytes identical to the primary's (replication
+  is synchronous), so the encrypted path decrypts the same plaintext;
+* **writes need a quorum**: at least ``pool.min_size`` acting replicas,
+  else :class:`~repro.errors.DegradedClusterError` — the only failure
+  callers above the client ever see (the stack's EIO).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .cluster import Cluster, Pool
 from .transaction import OpResult, ReadOperation, WriteTransaction
-from ..errors import ObjectNotFoundError
+from ..errors import (DegradedClusterError, ObjectNotFoundError, OsdDownError)
+from ..faults.plan import (STAGE_KILL_PRIMARY_MID_TXN,
+                           STAGE_KILL_REPLICA_MID_TXN, osd_kill_due)
 from ..sim.ledger import (OpReceipt, OpTrace, RES_CLIENT_CPU, RES_CLIENT_NET,
                           RES_CLUSTER_NET)
 
@@ -82,6 +103,9 @@ class IoCtx:
         self._pool = pool
         self._snap_context = SnapContext.empty()
         self._read_snap: Optional[int] = None
+        # Deterministic backoff jitter: seeded per pool so simulated runs
+        # (and their latency percentiles) are bit-reproducible.
+        self._retry_rng = random.Random(f"rados-retry/{pool.name}")
 
     # -- snapshot plumbing -------------------------------------------------------
 
@@ -118,9 +142,22 @@ class IoCtx:
 
     # -- helpers --------------------------------------------------------------------
 
-    def _osds_for(self, name: str) -> List[int]:
+    def _up_set_for(self, name: str) -> List[int]:
         return self._cluster.placement.osds_for_object(
             self._pool.name, name, self._pool.replica_count)
+
+    def _acting_for(self, name: str) -> List[int]:
+        """The acting set: up-set members that are up and recovered."""
+        return [osd_id for osd_id in self._up_set_for(name)
+                if self._cluster.osd_by_id(osd_id).serving]
+
+    def _backoff_us(self, failed_attempts: int) -> float:
+        """Bounded exponential backoff with seeded jitter (in [50%, 100%]
+        of the nominal step, so retries never synchronize)."""
+        params = self._cluster.params
+        step = min(params.retry_backoff_base_us * (2 ** (failed_attempts - 1)),
+                   params.retry_backoff_cap_us)
+        return step * (0.5 + 0.5 * self._retry_rng.random())
 
     def _charge_client(self, payload_bytes: int,
                        response_bytes: int = 0) -> Tuple[float, float]:
@@ -140,49 +177,105 @@ class IoCtx:
 
     def operate_write(self, name: str, txn: WriteTransaction,
                       object_size_hint: int = 4 * 1024 * 1024) -> OpReceipt:
-        """Apply a transaction to every replica of ``name`` atomically."""
+        """Apply a transaction to every acting replica of ``name`` atomically.
+
+        Retries around mid-operation OSD death with timeout + backoff;
+        succeeds once every member of the (possibly shrunken) acting set
+        committed, provided the set meets the pool's ``min_size`` quorum.
+        """
         params = self._cluster.params
         ledger = self._cluster.ledger
         payload = txn.payload_bytes()
-        osd_ids = self._osds_for(name)
 
         client_cpu_us, client_net_us = self._charge_client(payload)
         client_us = client_cpu_us + client_net_us
         snap_seq = self._snap_context.seq
         snap_ids = self._snap_context.snaps
 
-        # Primary applies locally while forwarding to the replicas; the op
-        # acks when the slowest replica has committed.
-        primary = self._cluster.osd_by_id(osd_ids[0])
+        penalty_us = 0.0
+        last_error: Optional[OsdDownError] = None
+        for attempt in range(1, params.retry_max_attempts + 1):
+            if attempt > 1:
+                penalty_us += self._backoff_us(attempt - 1)
+                ledger.count("cluster.write_retries")
+            acting = self._acting_for(name)
+            if len(acting) < min(self._pool.min_size, self._pool.replica_count):
+                raise DegradedClusterError(
+                    f"write to {self._pool.name}/{name}: acting set "
+                    f"{acting} is below the pool quorum "
+                    f"(min_size={self._pool.min_size})")
+            if ledger.trace_ops:
+                # A failed attempt may have left partial replica visits.
+                ledger.take_osd_visits()
+            try:
+                osd_side = self._dispatch_write(
+                    acting, name, txn, object_size_hint, snap_seq, snap_ids,
+                    payload)
+            except OsdDownError as exc:
+                # One per-op timeout burned discovering the death; the
+                # next attempt recomputes the acting set around it.
+                penalty_us += params.osd_timeout_us
+                ledger.count("cluster.osd_dispatch_timeouts")
+                last_error = exc
+                continue
+            if len(acting) < self._pool.replica_count:
+                ledger.count("cluster.degraded_writes")
+            latency = (client_us + params.network_round_trip_us
+                       + osd_side + penalty_us)
+            ledger.count("rados.client_write_ops")
+            if ledger.trace_ops:
+                # The OSD layer recorded one visit per acting replica in
+                # dispatch order (primary first); annotate the replicas
+                # with their replication-network demands for the event
+                # engine.  Retry stalls ride the network latency term.
+                visits = ledger.take_osd_visits()
+                push_us = params.cluster_transfer_us(payload)
+                for visit in visits[1:]:
+                    visit.hop_us = params.replication_hop_us
+                    visit.push_us = push_us
+                ledger.record_op_trace(OpTrace(
+                    kind="write", client_cpu_us=client_cpu_us,
+                    client_net_us=client_net_us,
+                    network_us=params.network_round_trip_us + penalty_us,
+                    visits=visits, bytes_moved=payload))
+            return OpReceipt(latency_us=latency, bytes_moved=payload)
+        raise DegradedClusterError(
+            f"write to {self._pool.name}/{name} failed after "
+            f"{params.retry_max_attempts} attempts") from last_error
+
+    def _dispatch_write(self, acting: List[int], name: str,
+                        txn: WriteTransaction, object_size_hint: int,
+                        snap_seq: int, snap_ids: Tuple[int, ...],
+                        payload: int) -> float:
+        """One dispatch attempt against the acting set; returns OSD-side
+        latency.  Raises :class:`OsdDownError` when a member dies mid-op
+        (the armed OSD-kill fault fires exactly here)."""
+        params = self._cluster.params
+        ledger = self._cluster.ledger
+        primary_id = acting[0]
+        primary = self._cluster.osd_by_id(primary_id)
         primary_latency = primary.apply_transaction(
             self._pool.name, name, txn, object_size_hint, snap_seq, snap_ids)
+        if osd_kill_due(STAGE_KILL_PRIMARY_MID_TXN, primary_id):
+            # The primary committed locally, then the daemon died before
+            # the op completed: no ack reaches the client, which must
+            # retry against the survivors (re-applying is idempotent).
+            self._cluster.mark_osd_down(primary_id)
+            raise OsdDownError(
+                f"osd.{primary_id} (primary) died mid-transaction")
         replica_latencies = []
-        for osd_id in osd_ids[1:]:
+        for osd_id in acting[1:]:
+            if osd_kill_due(STAGE_KILL_REPLICA_MID_TXN, osd_id):
+                self._cluster.mark_osd_down(osd_id)
             osd = self._cluster.osd_by_id(osd_id)
             latency = osd.apply_transaction(
-                self._pool.name, name, txn, object_size_hint, snap_seq, snap_ids)
+                self._pool.name, name, txn, object_size_hint, snap_seq,
+                snap_ids)
             replica_latencies.append(params.replication_hop_us + latency)
             ledger.busy(RES_CLUSTER_NET, params.cluster_transfer_us(payload))
             ledger.count("net.replication_bytes", payload)
-
-        osd_side = max([primary_latency] + replica_latencies)
-        latency = client_us + params.network_round_trip_us + osd_side
-        ledger.count("rados.client_write_ops")
-        if ledger.trace_ops:
-            # The OSD layer recorded one visit per replica in dispatch
-            # order (primary first); annotate the replicas with their
-            # replication-network demands for the event engine.
-            visits = ledger.take_osd_visits()
-            push_us = params.cluster_transfer_us(payload)
-            for visit in visits[1:]:
-                visit.hop_us = params.replication_hop_us
-                visit.push_us = push_us
-            ledger.record_op_trace(OpTrace(
-                kind="write", client_cpu_us=client_cpu_us,
-                client_net_us=client_net_us,
-                network_us=params.network_round_trip_us,
-                visits=visits, bytes_moved=payload))
-        return OpReceipt(latency_us=latency, bytes_moved=payload)
+        # The op acks when the slowest acting replica has committed.
+        return max([primary_latency] + replica_latencies)
 
     def remove_object(self, name: str) -> OpReceipt:
         """Delete an object on every replica."""
@@ -192,27 +285,86 @@ class IoCtx:
     # -- read path ---------------------------------------------------------------------
 
     def operate_read(self, name: str, readop: ReadOperation) -> ReadResult:
-        """Execute a read operation on the primary replica."""
+        """Execute a read operation, failing over through the acting set.
+
+        The primary serves the healthy path; when it is down (or lost the
+        object to an earlier outage) the read fails over to the next
+        acting replica — a *degraded read*, bit-identical to the healthy
+        one because replication is synchronous.  Only when no acting
+        replica holds the object does the client give up:
+        :class:`~repro.errors.ObjectNotFoundError` if every replica
+        answered "no such object" (the normal sparse-read signal),
+        :class:`~repro.errors.DegradedClusterError` if replicas are simply
+        unreachable after retry and backoff.
+        """
         params = self._cluster.params
         ledger = self._cluster.ledger
-        osd_ids = self._osds_for(name)
-        primary = self._cluster.osd_by_id(osd_ids[0])
-        results, osd_latency = primary.execute_read(
-            self._pool.name, name, readop, self._read_snap)
+        penalty_us = 0.0
+        last_down: Optional[OsdDownError] = None
+        for attempt in range(1, params.retry_max_attempts + 1):
+            if attempt > 1:
+                penalty_us += self._backoff_us(attempt - 1)
+                ledger.count("cluster.read_retries")
+            up_set = self._up_set_for(name)
+            acting = [osd_id for osd_id in up_set
+                      if self._cluster.osd_by_id(osd_id).serving]
+            if not acting:
+                raise DegradedClusterError(
+                    f"read of {self._pool.name}/{name}: no acting replica "
+                    f"(up set {up_set})") from last_down
+            not_found = 0
+            dispatch_failed = False
+            for osd_id in acting:
+                osd = self._cluster.osd_by_id(osd_id)
+                try:
+                    results, osd_latency = osd.execute_read(
+                        self._pool.name, name, readop, self._read_snap)
+                except OsdDownError as exc:
+                    penalty_us += params.osd_timeout_us
+                    ledger.count("cluster.osd_dispatch_timeouts")
+                    last_down = exc
+                    dispatch_failed = True
+                    continue
+                except ObjectNotFoundError:
+                    # This replica never got the object (it was down or
+                    # newly mapped when the object was written): fail
+                    # over — only if *every* replica agrees is the object
+                    # genuinely absent.
+                    not_found += 1
+                    continue
+                if osd_id != up_set[0]:
+                    # Served by someone other than the CRUSH primary: a
+                    # degraded read (the bytes are identical — replication
+                    # is synchronous — which the failure drill asserts).
+                    ledger.count("cluster.degraded_reads")
+                return self._finish_read(results, osd_latency, penalty_us)
+            if not_found == len(acting):
+                raise ObjectNotFoundError(
+                    f"object {self._pool.name}/{name} not found on any "
+                    f"acting replica {acting}")
+            if not dispatch_failed:
+                break
+        raise DegradedClusterError(
+            f"read of {self._pool.name}/{name} failed after "
+            f"{params.retry_max_attempts} attempts") from last_down
 
+    def _finish_read(self, results: List[OpResult], osd_latency: float,
+                     penalty_us: float) -> ReadResult:
+        params = self._cluster.params
+        ledger = self._cluster.ledger
         response_bytes = 0
         for result in results:
             response_bytes += len(result.data)
             response_bytes += sum(len(k) + len(v) for k, v in result.kv.items())
         client_cpu_us, client_net_us = self._charge_client(0, response_bytes)
         latency = (client_cpu_us + client_net_us
-                   + params.network_round_trip_us + osd_latency)
+                   + params.network_round_trip_us + osd_latency + penalty_us)
         ledger.count("rados.client_read_ops")
         if ledger.trace_ops:
             ledger.record_op_trace(OpTrace(
                 kind="read", client_cpu_us=client_cpu_us,
                 client_net_us=client_net_us,
-                network_us=params.network_round_trip_us,
+                network_us=params.network_round_trip_us + penalty_us,
                 visits=ledger.take_osd_visits(),
                 bytes_moved=response_bytes))
         receipt = OpReceipt(latency_us=latency, bytes_moved=response_bytes)
@@ -231,7 +383,7 @@ class IoCtx:
         return result.results[0].size
 
     def object_exists(self, name: str) -> bool:
-        """True if the object exists on its primary OSD."""
+        """True if the object exists on any acting replica."""
         return self.stat(name) is not None
 
     def list_objects(self, prefix: str = "") -> List[str]:

@@ -1,9 +1,26 @@
-"""Cluster assembly: OSDs, pools and the shared cost ledger.
+"""Cluster assembly: OSDs, pools, health state and the shared cost ledger.
 
 A :class:`Cluster` is the top-level simulated deployment (the paper's
 3-node Ceph cluster with 3-way replication).  It owns the cost ledger and
-the cost parameters, creates OSDs, tracks pools (replica count, snapshot
-sequence) and hands out :class:`~repro.rados.client.RadosClient` handles.
+the cost parameters, creates OSDs, places them in a CRUSH failure-domain
+tree, tracks pools (replica count, snapshot sequence) and hands out
+:class:`~repro.rados.client.RadosClient` handles.
+
+Failure lifecycle
+-----------------
+The cluster keeps Ceph's two orthogonal health axes per OSD:
+
+* **up/down** — process liveness.  :meth:`Cluster.mark_osd_down` kills a
+  daemon: placement is untouched (its PGs are *degraded*), the client
+  fails over / retries around it.  :meth:`Cluster.restart_osd` brings it
+  back in ``recovering`` state — it serves nothing until backfill
+  (:mod:`repro.rados.recovery`) has made it consistent again.
+* **in/out** — placement membership.  :meth:`Cluster.mark_osd_out`
+  removes the OSD from the CRUSH draw: only the PGs it hosted remap
+  (~1/N of the data), and backfill re-replicates them onto the new set.
+
+Every transition bumps :attr:`Cluster.osd_map_epoch`, the generation
+counter clients use to notice that acting sets must be recomputed.
 """
 
 from __future__ import annotations
@@ -12,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .osd import OSD
-from .placement import PlacementMap
+from .placement import PlacementMap, uniform_topology
 from ..errors import ConfigurationError, PoolNotFoundError
 from ..sim.costparams import CostParameters, default_cost_parameters
 from ..sim.ledger import CostLedger
@@ -31,6 +48,18 @@ class ClusterConfig:
     #: device bytes reserved per object beyond the nominal object size so
     #: that per-sector metadata appended by the encryption layouts fits.
     object_region_reserve: int = 64 * 1024
+    #: hosts the OSDs are spread over (round-robin).  0 means one host per
+    #: OSD — the paper's testbed shape, where "distinct hosts" and
+    #: "distinct OSDs" coincide.
+    hosts: int = 0
+    #: racks the hosts are spread over.
+    racks: int = 1
+    #: CRUSH failure domain of the replication rule: replicas are placed
+    #: in distinct domains ("osd", "host" or "rack").
+    failure_domain: str = "osd"
+    #: fewest acting replicas a write may succeed against (Ceph's pool
+    #: ``min_size``); below it the client raises ``DegradedClusterError``.
+    min_write_replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.osd_count <= 0:
@@ -38,6 +67,20 @@ class ClusterConfig:
         if not 1 <= self.replica_count <= self.osd_count:
             raise ConfigurationError(
                 "replica_count must be between 1 and osd_count")
+        if self.hosts < 0:
+            raise ConfigurationError("hosts must be >= 0 (0 = one per OSD)")
+        if not 1 <= self.min_write_replicas <= self.replica_count:
+            raise ConfigurationError(
+                "min_write_replicas must be between 1 and replica_count")
+        effective_hosts = self.hosts or self.osd_count
+        if self.failure_domain == "host" and effective_hosts < self.replica_count:
+            raise ConfigurationError(
+                f"failure_domain='host' cannot place {self.replica_count} "
+                f"replicas on {effective_hosts} hosts")
+        if self.failure_domain == "rack" and self.racks < self.replica_count:
+            raise ConfigurationError(
+                f"failure_domain='rack' cannot place {self.replica_count} "
+                f"replicas on {self.racks} racks")
 
 
 @dataclass
@@ -46,6 +89,8 @@ class Pool:
 
     name: str
     replica_count: int
+    #: fewest acting replicas a write may succeed against.
+    min_size: int = 1
     snap_seq: int = 0
     removed_snaps: List[int] = field(default_factory=list)
 
@@ -81,8 +126,19 @@ class Cluster:
                 object_region_reserve=self.config.object_region_reserve)
             for i in range(self.config.osd_count)
         ]
-        self.placement = PlacementMap([osd.osd_id for osd in self.osds],
-                                      pg_count=self.config.pg_count)
+        self._osd_index: Dict[int, OSD] = {osd.osd_id: osd for osd in self.osds}
+        osd_ids = [osd.osd_id for osd in self.osds]
+        locations = (uniform_topology(osd_ids, self.config.hosts,
+                                      self.config.racks)
+                     if self.config.hosts else None)
+        self.placement = PlacementMap(osd_ids,
+                                      pg_count=self.config.pg_count,
+                                      locations=locations,
+                                      failure_domain=self.config.failure_domain)
+        #: generation counter of the health/placement state; bumped on
+        #: every mark-down/up/out/in so clients know to recompute acting
+        #: sets (the simulated analogue of the Ceph osdmap epoch).
+        self.osd_map_epoch = 0
         self.pools: Dict[str, Pool] = {}
         self.create_pool("rbd", replica_count=self.config.replica_count)
 
@@ -102,7 +158,8 @@ class Cluster:
                     f"pool {name!r} already exists with replica count "
                     f"{existing.replica_count}")
             return existing
-        pool = Pool(name=name, replica_count=replica)
+        min_size = min(self.config.min_write_replicas, replica)
+        pool = Pool(name=name, replica_count=replica, min_size=min_size)
         self.pools[name] = pool
         return pool
 
@@ -121,11 +178,80 @@ class Cluster:
         return RadosClient(self)
 
     def osd_by_id(self, osd_id: int) -> OSD:
-        """Return the OSD with the given id."""
-        for osd in self.osds:
-            if osd.osd_id == osd_id:
-                return osd
-        raise ConfigurationError(f"no OSD with id {osd_id}")
+        """Return the OSD with the given id (typed error for unknown ids)."""
+        try:
+            return self._osd_index[osd_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no OSD with id {osd_id} (cluster has ids "
+                f"{sorted(self._osd_index)})") from None
+
+    # -- health state -------------------------------------------------------------
+
+    def _bump_epoch(self) -> None:
+        self.osd_map_epoch += 1
+
+    def mark_osd_down(self, osd_id: int) -> None:
+        """Kill an OSD daemon.  Placement is untouched: its PGs run
+        degraded until it restarts (and recovers) or is marked out."""
+        osd = self.osd_by_id(osd_id)
+        if osd.up:
+            osd.crash()
+            self.ledger.count("cluster.osd_down_events")
+            self._bump_epoch()
+
+    def restart_osd(self, osd_id: int) -> None:
+        """Bring a down OSD back up, in ``recovering`` state.
+
+        The daemon rejoins with whatever its devices hold — possibly stale
+        replicas — so it serves nothing until
+        :func:`repro.rados.recovery.backfill` has made it consistent.
+        """
+        osd = self.osd_by_id(osd_id)
+        if not osd.up:
+            osd.restart()
+            osd.recovering = True
+            self.ledger.count("cluster.osd_restart_events")
+            self._bump_epoch()
+
+    def mark_osd_out(self, osd_id: int) -> None:
+        """Remove an OSD from placement; only the PGs it hosted remap."""
+        osd = self.osd_by_id(osd_id)   # typed error for unknown ids
+        if not self.placement.is_out(osd.osd_id):
+            self.placement.mark_out(osd.osd_id)
+            self.ledger.count("cluster.osd_out_events")
+            self._bump_epoch()
+
+    def mark_osd_in(self, osd_id: int) -> None:
+        """Return an out OSD to placement (its PGs remap back)."""
+        osd = self.osd_by_id(osd_id)
+        if self.placement.is_out(osd.osd_id):
+            self.placement.mark_in(osd.osd_id)
+            self._bump_epoch()
+
+    def osd_is_serving(self, osd_id: int) -> bool:
+        """True when the OSD can take client traffic (up, not recovering)."""
+        return self.osd_by_id(osd_id).serving
+
+    def up_set(self, pool: str, name: str) -> List[int]:
+        """CRUSH placement of an object on the current map (out excluded)."""
+        pool_obj = self.get_pool(pool)
+        return self.placement.osds_for_object(pool, name,
+                                              pool_obj.replica_count)
+
+    def acting_set(self, pool: str, name: str) -> List[int]:
+        """The up-set members that can actually serve (up, recovered)."""
+        return [osd_id for osd_id in self.up_set(pool, name)
+                if self.osd_by_id(osd_id).serving]
+
+    def health_summary(self) -> Dict[str, int]:
+        """Counts of OSDs per health state (the ``ceph -s`` one-liner)."""
+        up = sum(1 for osd in self.osds if osd.up)
+        recovering = sum(1 for osd in self.osds if osd.up and osd.recovering)
+        out = len(self.placement.out_osds)
+        return {"osds": len(self.osds), "up": up, "down": len(self.osds) - up,
+                "recovering": recovering, "out": out,
+                "epoch": self.osd_map_epoch}
 
     # -- reporting ---------------------------------------------------------------
 
@@ -139,7 +265,9 @@ class Cluster:
 
     def describe(self) -> str:
         """One-paragraph human-readable description of the deployment."""
-        return (f"Cluster: {len(self.osds)} OSDs, pools="
+        health = self.health_summary()
+        return (f"Cluster: {len(self.osds)} OSDs "
+                f"({health['up']} up, {health['out']} out), pools="
                 f"{sorted(self.pools)}, replica={self.config.replica_count}, "
                 f"objects={self.total_objects()}, "
                 f"used={self.total_used_bytes()} bytes")

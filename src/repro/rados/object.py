@@ -47,6 +47,10 @@ class RadosObject:
     clones: List[CloneInfo] = field(default_factory=list)
     snap_seq_seen: int = 0      #: newest snapshot sequence already cloned for
     exists: bool = True
+    #: transaction counter of this replica; peering compares versions
+    #: across the replica set to find the authoritative copy (stale or
+    #: missing replicas are backfill targets).
+    version: int = 0
 
     def omap_prefix(self) -> bytes:
         """Key prefix isolating this object's OMAP namespace in the LSM store."""

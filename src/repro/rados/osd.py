@@ -29,7 +29,7 @@ from .transaction import (OpCreate, OpGetXattr, OpOmapGetValsByKeys,
                           OpWriteFull, OpZero, ReadOperation,
                           WriteTransaction)
 from ..blockdev.device import SimulatedDisk
-from ..errors import ObjectNotFoundError, TransactionError
+from ..errors import ObjectNotFoundError, OsdDownError, TransactionError
 from ..faults.plan import STAGE_TORN_OSD_WRITE, ClientCrash, torn_op_count
 from ..kvstore.lsm import LsmStore
 from ..sim.costparams import CostParameters
@@ -74,6 +74,37 @@ class OSD:
         self._next_region_offset = 0
         self.transactions_applied = 0
         self.read_ops_served = 0
+        #: process liveness: a down OSD rejects every dispatch with
+        #: :class:`~repro.errors.OsdDownError`.  Its devices (and thus
+        #: every committed object) survive the death — killing a daemon
+        #: does not erase its disks.
+        self.up = True
+        #: set while the OSD is back up but has not finished backfill: it
+        #: must not serve reads (its objects may be stale) and writes skip
+        #: it until :mod:`repro.rados.recovery` declares it consistent.
+        self.recovering = False
+
+    # ----------------------------------------------------------------- liveness
+
+    @property
+    def serving(self) -> bool:
+        """True when the OSD can take client traffic (up and consistent)."""
+        return self.up and not self.recovering
+
+    def crash(self) -> None:
+        """Kill the daemon process.  Durable state survives on its devices."""
+        self.up = False
+
+    def restart(self) -> None:
+        """Bring the daemon back up.  The caller decides whether it must
+        recover first (it must, whenever writes happened while it was down
+        — :meth:`~repro.rados.cluster.Cluster.restart_osd` is the safe
+        entry point that always routes through recovery)."""
+        self.up = True
+
+    def _require_up(self) -> None:
+        if not self.up:
+            raise OsdDownError(f"osd.{self.osd_id} is down")
 
     # ------------------------------------------------------------------ utils
 
@@ -196,6 +227,7 @@ class OSD:
                           object_size_hint: int, snap_seq: int = 0,
                           snap_ids: Tuple[int, ...] = ()) -> float:
         """Apply all ops atomically; returns the OSD-local latency in µs."""
+        self._require_up()
         if not txn:
             raise TransactionError("empty transaction")
         self._validate(pool, name, txn, object_size_hint)
@@ -221,6 +253,7 @@ class OSD:
                 raise ClientCrash(STAGE_TORN_OSD_WRITE,
                                   f"applied {keep}/{len(txn.ops)} ops")
             latency += self._apply_op(obj, op)
+        obj.version += 1
         self.transactions_applied += 1
         if self.ledger is not None:
             self.ledger.count("rados.transactions")
@@ -300,6 +333,7 @@ class OSD:
     def execute_read(self, pool: str, name: str, readop: ReadOperation,
                      snap_id: Optional[int] = None) -> Tuple[List[OpResult], float]:
         """Execute a read operation; returns per-op results and latency in µs."""
+        self._require_up()
         obj = self.lookup(pool, name)
         if obj is None:
             raise ObjectNotFoundError(

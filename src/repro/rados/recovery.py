@@ -1,0 +1,370 @@
+"""Peering and backfill: bringing replica sets back to full redundancy.
+
+After an OSD dies, restarts, or is marked out, replica sets are stale:
+some up-set members miss objects (or hold old versions) written while
+they were absent or before the remap.  Recovery runs in two steps, the
+simulated analogue of Ceph's peering + backfill:
+
+* :func:`peer` scans a pool and compares per-replica object **versions**
+  (bumped on every committed transaction) across each object's up set.
+  The highest version among live holders is authoritative; up-set
+  members below it (or missing the object entirely) become backfill
+  targets.  Objects whose every holder is down are *unfound* — reported,
+  never guessed at.
+* :func:`backfill` replays the missing state as **real traffic**: the
+  authoritative replica serves a real read (device time, CPU, a trace
+  visit), the payload crosses the backend network at the throttled
+  ``recovery_bandwidth_mbps``, and the target commits a real write
+  transaction — so a rebuild storm contends with client I/O in both the
+  analytic and the event-replay performance models
+  (``OpTrace(kind="backfill")``).  Snapshot clones and the replica
+  version are carried over as bookkeeping (BlueStore clones move by
+  reference).
+
+Once no backfill work remains, every up OSD is consistent and any
+``recovering`` flags are cleared — the cluster is healthy again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from .cluster import Cluster
+from .object import CloneInfo, RadosObject
+from .osd import OSD
+from .transaction import ReadOperation, WriteTransaction
+from ..faults.plan import STAGE_KILL_DURING_BACKFILL, osd_kill_due
+from ..sim.ledger import OpTrace, RES_CLUSTER_NET, RES_OSD_CPU
+
+#: upper bound on peer/push passes one :func:`backfill` call runs; each
+#: pass handles everything the previous one exposed, so two passes
+#: suffice unless faults keep killing OSDs mid-push.
+MAX_BACKFILL_PASSES = 8
+
+
+@dataclass
+class BackfillItem:
+    """One object that needs pushes: authoritative source -> stale targets."""
+
+    name: str
+    source_osd: int
+    version: int
+    targets: List[int] = field(default_factory=list)
+
+
+@dataclass
+class PeeringReport:
+    """Result of comparing replica versions across a pool's up sets."""
+
+    pool: str
+    objects_examined: int = 0
+    degraded_objects: int = 0
+    unfound_objects: int = 0
+    work: List[BackfillItem] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no backfill work (and nothing unfound) remains."""
+        return not self.work and self.unfound_objects == 0
+
+
+@dataclass
+class RecoveryReport:
+    """What one :func:`backfill` call moved."""
+
+    pool: str
+    passes: int = 0
+    objects_pushed: int = 0
+    bytes_pushed: int = 0
+    removes_propagated: int = 0
+    unfound_objects: int = 0
+    #: simulated time the pushes occupied on the critical path, summed.
+    push_latency_us: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when the pool ended the call fully recovered."""
+        return self.unfound_objects == 0
+
+
+@dataclass
+class ReplicaMismatch:
+    """One inconsistency found by :func:`verify_replica_consistency`."""
+
+    name: str
+    osd_id: int
+    reason: str
+
+
+def _pool_object_names(cluster: Cluster, pool: str) -> List[str]:
+    """Every object name any OSD has ever held in the pool (union),
+    including removed ones — a lagging replica may still need the
+    remove propagated to it."""
+    names: Set[str] = set()
+    for osd in cluster.osds:
+        for (obj_pool, name) in osd.objects:
+            if obj_pool == pool:
+                names.add(name)
+    return sorted(names)
+
+
+def _replica_state(osd: OSD, pool: str,
+                   name: str) -> Optional[Tuple[int, bool]]:
+    """(version, exists) of the replica on ``osd`` or None if never held."""
+    obj = osd.objects.get((pool, name))
+    if obj is None:
+        return None
+    return obj.version, obj.exists
+
+
+def peer(cluster: Cluster, pool: str) -> PeeringReport:
+    """Compute the backfill work needed to make ``pool`` consistent.
+
+    Authority is the highest replica version among *up* holders (a
+    recovering OSD may be a source for objects it is not stale on).
+    Down OSDs can be neither sources nor targets.
+    """
+    pool_obj = cluster.get_pool(pool)
+    report = PeeringReport(pool=pool)
+    for name in _pool_object_names(cluster, pool):
+        report.objects_examined += 1
+        up_set = cluster.up_set(pool, name)
+        # Find the authoritative copy among live holders anywhere (an
+        # out-but-up OSD still serves as a source for data it holds).
+        best_version = -1
+        best_osd: Optional[int] = None
+        best_exists = True
+        holders_alive = False
+        for osd in cluster.osds:
+            state = _replica_state(osd, pool, name)
+            if state is None:
+                continue
+            if not osd.up:
+                continue
+            holders_alive = True
+            if state[0] > best_version:
+                best_version, best_osd = state[0], osd.osd_id
+                best_exists = state[1]
+        if not holders_alive or best_osd is None:
+            report.unfound_objects += 1
+            continue
+        targets = []
+        live_copies = 0
+        for osd_id in up_set:
+            osd = cluster.osd_by_id(osd_id)
+            state = _replica_state(osd, pool, name)
+            if state is not None and state[0] == best_version:
+                if osd.up:
+                    live_copies += 1
+                continue
+            if not best_exists and (state is None or not state[1]):
+                # The authoritative copy is a tombstone and this replica
+                # holds nothing live: already consistent, nothing to push.
+                continue
+            if osd.up and osd_id != best_osd:
+                targets.append(osd_id)
+        if live_copies < pool_obj.replica_count:
+            report.degraded_objects += 1
+        if targets:
+            report.work.append(BackfillItem(
+                name=name, source_osd=best_osd, version=best_version,
+                targets=targets))
+    return report
+
+
+def _push_object(cluster: Cluster, pool: str, item: BackfillItem,
+                 target_id: int) -> Tuple[int, float]:
+    """Push one object from its authoritative source to one target.
+
+    Returns (payload bytes, push latency µs).  The push is real traffic:
+    a read on the source, a throttled transfer on the backend network, a
+    committed transaction on the target — visible to both performance
+    models.
+    """
+    params = cluster.params
+    ledger = cluster.ledger
+    source = cluster.osd_by_id(item.source_osd)
+    target = cluster.osd_by_id(target_id)
+    src_obj = source.objects[(pool, item.name)]
+
+    # Fixed scan/bookkeeping CPU of one push, half on each end.
+    ledger.busy(RES_OSD_CPU, params.recovery_op_cost_us)
+
+    if not src_obj.exists:
+        # Propagate the delete to the lagging replica.
+        latency = target.apply_transaction(
+            pool, item.name, WriteTransaction().remove(),
+            object_size_hint=src_obj.region_length
+            - target.object_region_reserve)
+        tgt_obj = target.objects[(pool, item.name)]
+        tgt_obj.version = src_obj.version
+        tgt_obj.snap_seq_seen = src_obj.snap_seq_seen
+        if ledger.trace_ops:
+            ledger.record_op_trace(OpTrace(
+                kind="backfill", client_cpu_us=params.recovery_op_cost_us,
+                client_net_us=0.0,
+                network_us=params.replication_hop_us,
+                visits=ledger.take_osd_visits(), bytes_moved=0))
+        return 0, params.recovery_op_cost_us + latency
+
+    # Read the full object (data + OMAP) off the source — a real read.
+    readop = ReadOperation().read(0, src_obj.size) \
+                            .omap_get_vals_by_range(b"", b"\xff")
+    results, read_latency = source.execute_read(pool, item.name, readop, None)
+    data = results[0].data
+    omap = results[1].kv
+
+    # The payload crosses the backend network at the recovery throttle.
+    payload = len(data) + sum(len(k) + len(v) for k, v in omap.items())
+    transfer_us = payload / (params.recovery_bandwidth_mbps
+                             * 1024 * 1024) * 1e6
+    ledger.busy(RES_CLUSTER_NET, transfer_us)
+    ledger.count("net.recovery_bytes", payload)
+
+    # Commit the state on the target as one real transaction: clear any
+    # stale OMAP residue, replace the body, reinstate OMAP and xattrs.
+    txn = WriteTransaction().omap_rm_range(b"", b"\xff")
+    txn.write_full(data)
+    if omap:
+        txn.omap_set_keys(omap)
+    for xattr_name, value in sorted(src_obj.xattrs.items()):
+        txn.set_xattr(xattr_name, value)
+    hint = src_obj.region_length - target.object_region_reserve
+    write_latency = target.apply_transaction(pool, item.name, txn,
+                                             object_size_hint=hint)
+
+    # Bookkeeping the transaction cannot express: snapshot clones move by
+    # reference (COW extents), and the replica adopts the authoritative
+    # version instead of the bump the push transaction just made.
+    tgt_obj = target.objects[(pool, item.name)]
+    tgt_obj.clones = [CloneInfo(snap_ids=set(c.snap_ids), data=c.data,
+                                size=c.size, omap=dict(c.omap),
+                                xattrs=dict(c.xattrs))
+                      for c in src_obj.clones]
+    tgt_obj.snap_seq_seen = src_obj.snap_seq_seen
+    tgt_obj.size = src_obj.size
+    tgt_obj.version = src_obj.version
+
+    latency = (params.recovery_op_cost_us + read_latency + transfer_us
+               + params.replication_hop_us + write_latency)
+    if ledger.trace_ops:
+        # The source read + target write recorded one visit each; the
+        # transfer rides the network term.  kind="backfill" flows through
+        # both event engines as ordinary traffic contending with clients.
+        ledger.record_op_trace(OpTrace(
+            kind="backfill", client_cpu_us=params.recovery_op_cost_us,
+                client_net_us=0.0,
+            network_us=transfer_us + params.replication_hop_us,
+            visits=ledger.take_osd_visits(), bytes_moved=payload))
+    return payload, latency
+
+
+def backfill(cluster: Cluster, pool: str) -> RecoveryReport:
+    """Drive ``pool`` back to full redundancy; returns what moved.
+
+    Runs peer/push passes until a pass finds no work (or every remaining
+    target is dead).  An armed ``kill-during-backfill`` fault fires here:
+    the target of a push dies mid-rebuild, the push is abandoned, and
+    the pass simply routes around the corpse — the next :func:`backfill`
+    call (after the victim restarts) finishes the job.
+    """
+    ledger = cluster.ledger
+    report = RecoveryReport(pool=pool)
+    for _ in range(MAX_BACKFILL_PASSES):
+        peering = peer(cluster, pool)
+        report.unfound_objects = peering.unfound_objects
+        work = [(item, target_id)
+                for item in peering.work
+                for target_id in item.targets
+                if cluster.osd_by_id(target_id).up]
+        if not work:
+            break
+        report.passes += 1
+        for item, target_id in work:
+            if osd_kill_due(STAGE_KILL_DURING_BACKFILL, target_id):
+                cluster.mark_osd_down(target_id)
+            target = cluster.osd_by_id(target_id)
+            if not target.up or not cluster.osd_by_id(item.source_osd).up:
+                continue
+            payload, latency = _push_object(cluster, pool, item, target_id)
+            report.objects_pushed += 1
+            report.bytes_pushed += payload
+            report.push_latency_us += latency
+            if payload == 0:
+                report.removes_propagated += 1
+            ledger.count("recovery.objects_pushed")
+            ledger.count("recovery.bytes_pushed", payload)
+    else:
+        # Pass budget exhausted with work remaining — only possible when
+        # faults keep depleting the cluster; report it, don't loop forever.
+        ledger.count("recovery.incomplete_passes")
+
+    # Nothing left to push onto any up OSD: every up replica is
+    # consistent, so recovering daemons may rejoin the acting sets.
+    final = peer(cluster, pool)
+    if not [t for item in final.work for t in item.targets
+            if cluster.osd_by_id(t).up]:
+        for osd in cluster.osds:
+            if osd.up and osd.recovering:
+                osd.recovering = False
+                ledger.count("cluster.osd_recovered_events")
+        cluster._bump_epoch()
+    report.unfound_objects = final.unfound_objects
+    return report
+
+
+def verify_replica_consistency(cluster: Cluster,
+                               pool: str) -> List[ReplicaMismatch]:
+    """Deep-scrub every object: compare bytes, OMAP, xattrs and version
+    across the up set.  Returns every mismatch (empty list = consistent).
+
+    This is the failure-equivalence oracle's final check: after the
+    drill's recovery, no replica may disagree with the authoritative
+    copy in any observable way.
+    """
+    mismatches: List[ReplicaMismatch] = []
+    for name in _pool_object_names(cluster, pool):
+        up_set = cluster.up_set(pool, name)
+        replicas: List[Tuple[OSD, RadosObject]] = []
+        for osd_id in up_set:
+            osd = cluster.osd_by_id(osd_id)
+            obj = osd.objects.get((pool, name))
+            if obj is None or not obj.exists:
+                continue
+            replicas.append((osd, obj))
+        if not replicas:
+            continue
+        reference_osd, reference = max(replicas,
+                                       key=lambda pair: pair[1].version)
+        ref_bytes = reference_osd._read_head_bytes(reference)
+        ref_omap = reference_osd._snapshot_omap(reference)
+        for osd_id in up_set:
+            osd = cluster.osd_by_id(osd_id)
+            obj = osd.objects.get((pool, name))
+            if obj is None or not obj.exists:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id, reason="replica missing"))
+                continue
+            if obj.version != reference.version:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id,
+                    reason=f"version {obj.version} != {reference.version}"))
+                continue
+            if obj.size != reference.size:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id,
+                    reason=f"size {obj.size} != {reference.size}"))
+                continue
+            if osd._read_head_bytes(obj) != ref_bytes:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id, reason="data bytes differ"))
+                continue
+            if osd._snapshot_omap(obj) != ref_omap:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id, reason="OMAP differs"))
+                continue
+            if obj.xattrs != reference.xattrs:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id, reason="xattrs differ"))
+    return mismatches

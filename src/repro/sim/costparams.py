@@ -96,6 +96,26 @@ class CostParameters:
     #: transfer bandwidth of the persistent-write-log media
     pwl_bandwidth_mbps: float = 2000.0
 
+    # --- failure handling and recovery ----------------------------------------
+    #: time a client burns before declaring one dispatch to a dead OSD
+    #: failed (the per-op timeout; charged as critical-path latency on
+    #: every failed attempt).
+    osd_timeout_us: float = 2000.0
+    #: base of the client's bounded exponential retry backoff; attempt
+    #: ``k`` waits ``min(base * 2**k, cap)`` plus seeded jitter.
+    retry_backoff_base_us: float = 100.0
+    #: cap of the exponential retry backoff.
+    retry_backoff_cap_us: float = 8000.0
+    #: dispatch attempts (first try included) before a write/read gives up.
+    retry_max_attempts: int = 5
+    #: fixed OSD CPU cost of one backfill push (scan + object bookkeeping
+    #: on top of the data movement itself).
+    recovery_op_cost_us: float = 30.0
+    #: throttled bandwidth one backfill push may use on the backend
+    #: network — recovery deliberately runs below wire speed so client
+    #: traffic survives a rebuild storm.
+    recovery_bandwidth_mbps: float = 600.0
+
     # --- cluster shape --------------------------------------------------------
     osd_count: int = 3
     replica_count: int = 3
@@ -166,9 +186,15 @@ class CostParameters:
                 "saturation_threshold must be within (0, 1]")
         if self.pwl_append_latency_us < 0:
             raise ConfigurationError("pwl_append_latency_us must be >= 0")
+        if self.retry_max_attempts < 1:
+            raise ConfigurationError("retry_max_attempts must be >= 1")
+        for name in ("osd_timeout_us", "retry_backoff_base_us",
+                     "retry_backoff_cap_us", "recovery_op_cost_us"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
         for name in ("device_read_bandwidth_mbps", "device_write_bandwidth_mbps",
                      "client_bandwidth_mbps", "cluster_bandwidth_mbps",
-                     "pwl_bandwidth_mbps"):
+                     "pwl_bandwidth_mbps", "recovery_bandwidth_mbps"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")
 

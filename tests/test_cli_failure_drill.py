@@ -1,0 +1,49 @@
+"""CLI coverage for the failure-drill subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.faults import OSD_KILL_STAGES
+
+
+class TestFailureDrillCommand:
+    def test_single_stage_exits_zero_and_prints_seed(self, capsys):
+        assert main(["failure-drill", "--fault-stage", "kill-primary-mid-txn",
+                     "--fault-seed", "12345", "--osds", "24",
+                     "--image-size", "1M"]) == 0
+        out = capsys.readouterr().out
+        assert "FAULT_SEED=12345" in out
+        assert "rerun: repro failure-drill --fault-seed 12345" in out
+        assert "kill-primary-mid-txn" in out
+        assert "no acked write lost" in out
+
+    def test_all_stages(self, capsys):
+        assert main(["failure-drill", "--fault-seed", "7", "--osds", "24",
+                     "--image-size", "1M"]) == 0
+        out = capsys.readouterr().out
+        for stage in OSD_KILL_STAGES:
+            assert stage in out
+        assert "all 3 failure stage(s) recovered" in out
+
+    def test_seed_falls_back_to_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv("FAULT_SEED", "424242")
+        assert main(["failure-drill", "--fault-stage",
+                     "kill-replica-mid-txn", "--osds", "24",
+                     "--image-size", "1M"]) == 0
+        assert "FAULT_SEED=424242" in capsys.readouterr().out
+
+    def test_random_seed_is_printed_for_rerun(self, capsys, monkeypatch):
+        monkeypatch.delenv("FAULT_SEED", raising=False)
+        assert main(["failure-drill", "--fault-stage",
+                     "kill-during-backfill", "--osds", "24",
+                     "--image-size", "1M"]) == 0
+        assert "FAULT_SEED=" in capsys.readouterr().out
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["failure-drill", "--fault-stage", "no-such-stage"])
+
+    def test_too_few_osds_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["failure-drill", "--fault-stage", "kill-primary-mid-txn",
+                  "--osds", "2"])
