@@ -1,0 +1,156 @@
+"""Experiment E12 — erasure coding vs replication on the encrypted path.
+
+The paper's encrypted images run on a replicated pool; an erasure-coded
+pool trades capacity overhead (1.5x for 4+2 vs 3x for replica-3) for
+CPU (GF(256) encode/decode) and different failure behavior.  This
+benchmark pins that trade-off on the *same encrypted workload*:
+
+* **write amplification** — cluster bytes moved per logical byte, for
+  full-object writes (one whole stripe per object, the EC best case)
+  and random 4 KiB writes (sub-chunk read-modify-write of the whole
+  stripe, the EC worst case), replica-3 vs 4+2;
+* **degraded-read p99** — modelled client latency of encrypted reads
+  with zero and with m=2 chunk OSDs down (decode on the read path);
+* **repair-storm tail** — the full failure drill on the EC pool
+  (kill-during-backfill): client p99 during the rebuild storm and the
+  number of stripes rebuilt by ec-repair.
+
+Everything is deterministic (seeded workload, analytic latency model,
+simulated time), so the committed ``BENCH_ec.json`` baseline is gated
+in CI at +-10% drift.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.api import create_encrypted_image, make_cluster
+from repro.faults.drill import run_failure_drill
+from repro.rados import ReadOperation
+from repro.rados.cluster import ClusterConfig
+from repro.util import KIB, MIB
+
+SEED = 2026
+OSD_COUNT = 24
+IMAGE_SIZE = 2 * MIB
+OBJECT_SIZE = 256 * KIB
+EC_PROFILE = (4, 2)
+
+
+def _make_stack(pool_ec):
+    cluster = make_cluster(
+        config=ClusterConfig(osd_count=OSD_COUNT, pg_count=128))
+    pool = "rbd"
+    if pool_ec is not None:
+        pool = "rbd-ec"
+        cluster.create_pool(pool, ec=pool_ec)
+    image, _info = create_encrypted_image(
+        cluster, "bench-ec", IMAGE_SIZE, passphrase=b"bench-ec",
+        encryption_format="object-end", cipher_suite="blake2-xts-sim",
+        object_size=OBJECT_SIZE, pool=pool, random_seed=b"bench-ec-seed")
+    return cluster, image, pool
+
+
+def _cluster_write_bytes(cluster, pool_ec):
+    """Bytes fanned out across the cluster network by client writes."""
+    key = "net.ec_shard_bytes" if pool_ec else "net.replication_bytes"
+    return cluster.ledger.counter(key)
+
+
+def _write_amplification(pool_ec, io_size, sequential):
+    cluster, image, _pool = _make_stack(pool_ec)
+    rng = random.Random(SEED)
+    before = _cluster_write_bytes(cluster, pool_ec)
+    count = 16 if sequential else 32
+    logical = 0
+    for index in range(count):
+        if sequential:
+            # Object-aligned full-object writes: each one replaces a
+            # whole stripe, so EC pays no read-modify-write.
+            offset = (index * io_size) % IMAGE_SIZE
+        else:
+            offset = rng.randrange(0, (IMAGE_SIZE - io_size) // 4096) * 4096
+        image.write(offset, rng.randbytes(io_size))
+        logical += io_size
+    moved = _cluster_write_bytes(cluster, pool_ec) - before
+    return moved / logical
+
+
+def _read_p99(pool_ec, kill):
+    """p99 of the modelled per-read latency over the whole image,
+    optionally with ``kill`` chunk OSDs of the first object down."""
+    cluster, image, pool = _make_stack(pool_ec)
+    rng = random.Random(SEED)
+    image.write(0, rng.randbytes(IMAGE_SIZE))
+    ioctx = cluster.client().open_ioctx(pool)
+    if kill:
+        up = cluster.up_set(pool, f"rbd_data.{image.name}.{0:016x}")
+        for osd_id in up[:kill]:
+            cluster.mark_osd_down(osd_id)
+    latencies = []
+    for index in range(IMAGE_SIZE // OBJECT_SIZE):
+        name = f"rbd_data.{image.name}.{index:016x}"
+        for offset in range(0, OBJECT_SIZE, 64 * KIB):
+            result = ioctx.operate_read(
+                name, ReadOperation().read(offset, 64 * KIB))
+            latencies.append(result.receipt.latency_us)
+    latencies.sort()
+    return latencies[int(0.99 * (len(latencies) - 1))]
+
+
+def test_ec_overhead(benchmark):
+    points = {}
+
+    def measure():
+        points["wa_fullobj_replica"] = _write_amplification(
+            None, OBJECT_SIZE, sequential=True)
+        points["wa_fullobj_ec"] = _write_amplification(
+            EC_PROFILE, OBJECT_SIZE, sequential=True)
+        points["wa_rand4k_replica"] = _write_amplification(
+            None, 4 * KIB, sequential=False)
+        points["wa_rand4k_ec"] = _write_amplification(
+            EC_PROFILE, 4 * KIB, sequential=False)
+        points["read_p99_us_healthy"] = _read_p99(EC_PROFILE, kill=0)
+        points["read_p99_us_degraded"] = _read_p99(EC_PROFILE, kill=2)
+        points["drill_ec"] = run_failure_drill(
+            "kill-during-backfill", SEED, osd_count=100,
+            pool_ec=EC_PROFILE)
+        points["drill_replica"] = run_failure_drill(
+            "kill-during-backfill", SEED, osd_count=100)
+        return points
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    drill_ec = points["drill_ec"]
+    drill_replica = points["drill_replica"]
+    assert drill_ec.ok, drill_ec.summary()
+    assert drill_replica.ok, drill_replica.summary()
+    assert drill_ec.ec_repaired > 0, "EC drill rebuilt no stripes"
+
+    # Replication fans a write out replica-1 times; 4+2 moves ~1.5x per
+    # full stripe but rewrites all six chunks on a sub-chunk RMW.
+    assert points["wa_fullobj_ec"] < points["wa_fullobj_replica"]
+    assert points["wa_rand4k_ec"] > points["wa_rand4k_replica"]
+    # Degraded reads pay reconstruct-decode: strictly slower at p99.
+    assert points["read_p99_us_degraded"] > points["read_p99_us_healthy"]
+
+    print()
+    print(f"EC 4+2 vs replica-3 on the encrypted path ({OSD_COUNT} OSDs):")
+    for key in ("wa_fullobj_replica", "wa_fullobj_ec",
+                "wa_rand4k_replica", "wa_rand4k_ec"):
+        print(f"  {key:24s} {points[key]:8.3f} cluster bytes/logical byte")
+        benchmark.extra_info[key] = round(points[key], 3)
+    for key in ("read_p99_us_healthy", "read_p99_us_degraded"):
+        print(f"  {key:24s} {points[key]:8.1f} us")
+        benchmark.extra_info[key] = round(points[key], 1)
+    for label, result in (("ec", drill_ec), ("replica", drill_replica)):
+        pcts = result.storm_latency_us
+        print(f"  storm[{label:7s}]          p50 {pcts['p50']:8.1f}  "
+              f"p99 {pcts['p99']:8.1f} us  "
+              f"(repaired={result.objects_pushed} obj)")
+        benchmark.extra_info[f"storm_p50_us[{label}]"] = round(pcts["p50"], 1)
+        benchmark.extra_info[f"storm_p99_us[{label}]"] = round(pcts["p99"], 1)
+        benchmark.extra_info[f"objects_pushed[{label}]"] = \
+            result.objects_pushed
+    benchmark.extra_info["ec_repaired"] = drill_ec.ec_repaired
+    benchmark.extra_info["osd_count"] = OSD_COUNT

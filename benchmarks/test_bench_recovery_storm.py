@@ -17,7 +17,7 @@ gate.
 
 from __future__ import annotations
 
-from repro.faults import OSD_KILL_STAGES
+from repro.faults import REPLICATED_KILL_STAGES
 from repro.faults.drill import run_failure_drill
 
 SEED = 2026
@@ -29,7 +29,7 @@ def test_recovery_storm_tail_latency(benchmark):
     points = {}
 
     def drill_all_stages():
-        for stage in OSD_KILL_STAGES:
+        for stage in REPLICATED_KILL_STAGES:
             points[stage] = run_failure_drill(stage, SEED,
                                               osd_count=OSD_COUNT)
         return points

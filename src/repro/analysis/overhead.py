@@ -88,6 +88,9 @@ class SweepConfig:
     #: flatten every clone before measuring (isolates chain-descent cost:
     #: a flattened clone should perform like a standalone image)
     flatten: bool = False
+    #: run the sweep against an erasure-coded pool of (k, m) data/parity
+    #: chunks instead of the replicated "rbd" pool (needs osd_count >= k+m)
+    pool_ec: Optional[Tuple[int, int]] = None
     params: Optional[CostParameters] = None
 
     def io_count_for(self, io_size: int) -> int:
@@ -173,6 +176,17 @@ class LayoutSweep:
         config = self.config
         if cluster is None:
             cluster = self._make_cluster()
+        pool = "rbd"
+        if config.pool_ec is not None:
+            k, m = config.pool_ec
+            if config.osd_count < k + m:
+                raise ConfigurationError(
+                    f"EC pool {k}+{m} needs at least {k + m} OSDs, "
+                    f"sweep has osd_count={config.osd_count}")
+            pool = f"rbd-ec-{k}-{m}"
+            # Idempotent for a shared cluster: create_pool returns the
+            # existing pool when the shape matches.
+            cluster.create_pool(pool, ec=(k, m))
         image, info = create_encrypted_image(
             cluster, f"bench-{label}", config.image_size,
             passphrase=b"benchmark-passphrase",
@@ -180,7 +194,7 @@ class LayoutSweep:
             cipher_suite=config.cipher_suite,
             object_size=config.object_size,
             random_seed=f"sweep-{label}".encode("utf-8"),
-            journaled=config.journaled)
+            journaled=config.journaled, pool=pool)
         return cluster, image, info
 
     def _spec(self, rw: str, io_size: int, prefill: bool) -> WorkloadSpec:

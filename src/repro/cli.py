@@ -102,6 +102,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--open-loop needs --arrival-rate (ops/s)")
     if args.arrival_rate is not None and not args.open_loop:
         raise SystemExit("--arrival-rate only takes effect with --open-loop")
+    pool_ec = None
+    if args.pool_ec:
+        from .errors import ConfigurationError
+        from .rados.ec import EcProfile
+        try:
+            profile = EcProfile.parse(args.pool_ec)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc))
+        if args.osds < profile.total:
+            raise SystemExit(f"--pool-ec {args.pool_ec} needs --osds >= "
+                             f"{profile.total}")
+        pool_ec = (profile.k, profile.m)
     config = SweepConfig(
         io_sizes=_parse_sizes(args.sizes),
         layouts=_parse_layouts(args.layouts),
@@ -127,6 +139,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         clone_depth=clone_depth,
         clone_of=args.clone_of or "golden",
         flatten=args.flatten,
+        pool_ec=pool_ec,
     )
     results = LayoutSweep(config).run(args.kind)
     print(format_bandwidth_table(results))
@@ -253,26 +266,39 @@ def _cmd_failure_drill(args: argparse.Namespace) -> int:
     import os
     import random
 
+    from .errors import ConfigurationError
     from .faults.drill import run_failure_drill
-    from .faults.plan import OSD_KILL_STAGES
+    from .faults.plan import EC_KILL_STAGES, REPLICATED_KILL_STAGES
+    from .rados.ec import EcProfile
 
     if args.osds < 3:
         raise SystemExit("--osds must be >= 3 (three-way replication)")
+    pool_ec = None
+    if args.pool_ec:
+        try:
+            profile = EcProfile.parse(args.pool_ec)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc))
+        pool_ec = (profile.k, profile.m)
     seed = args.fault_seed
     if seed is None:
         env_seed = os.environ.get("FAULT_SEED", "").strip()
         seed = int(env_seed) if env_seed else random.SystemRandom().randrange(2 ** 32)
-    stages = (OSD_KILL_STAGES if args.fault_stage == "all"
-              else (args.fault_stage,))
+    if args.fault_stage == "all":
+        stages = EC_KILL_STAGES if pool_ec else REPLICATED_KILL_STAGES
+    else:
+        stages = (args.fault_stage,)
     print(f"FAULT_SEED={seed}  "
           f"(rerun: repro failure-drill --fault-seed {seed}"
           + (f" --fault-stage {args.fault_stage}"
              if args.fault_stage != "all" else "")
+          + (f" --pool-ec {args.pool_ec}" if args.pool_ec else "")
           + f" --osds {args.osds})")
     failures = 0
     for stage in stages:
         result = run_failure_drill(stage, seed, osd_count=args.osds,
-                                   image_size=parse_size(args.image_size))
+                                   image_size=parse_size(args.image_size),
+                                   pool_ec=pool_ec)
         print(f"  {stage:24s} {result.summary()}")
         failures += 0 if result.ok else 1
     if failures:
@@ -405,6 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flatten every clone before measuring (control "
                        "run: a flattened clone performs like a standalone "
                        "image)")
+    sweep.add_argument("--pool-ec", default=None, metavar="K,M",
+                       help="store image data in an erasure-coded pool of "
+                       "K data + M parity chunks (e.g. 4,2) instead of "
+                       "3-way replication; needs --osds >= K+M")
     sweep.add_argument("--csv", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -467,6 +497,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "domains, four OSDs per host)")
     drill.add_argument("--image-size", default="8M",
                        help="size of the encrypted drill image")
+    drill.add_argument("--pool-ec", default=None, metavar="K,M",
+                       help="run the drill against an erasure-coded pool "
+                       "of K data + M parity chunks (e.g. 4,2) instead of "
+                       "the replicated pool; '--fault-stage all' then "
+                       "covers the EC kill stages")
     drill.set_defaults(func=_cmd_failure_drill)
 
     sectors = sub.add_parser("sectors", help="print the analytic sector table")

@@ -15,9 +15,11 @@ from :class:`BaseException` so no library-level ``except Exception``
 handler can accidentally "survive" a crash that a real process would not.
 """
 
-from .plan import (ALL_STAGES, CRASH_STAGES, ClientCrash, FaultPlan,
-                   LOG_FAULTS, OSD_FAULTS, OSD_KILL_STAGES, OsdFaultPlan,
-                   STAGE_KILL_DURING_BACKFILL, STAGE_KILL_PRIMARY_MID_TXN,
+from .plan import (ALL_STAGES, CRASH_STAGES, ClientCrash, EC_KILL_STAGES,
+                   FaultPlan, LOG_FAULTS, OSD_FAULTS, OSD_KILL_STAGES,
+                   OsdFaultPlan, REPLICATED_KILL_STAGES,
+                   STAGE_KILL_DURING_BACKFILL, STAGE_KILL_EC_SHARD_MID_TXN,
+                   STAGE_KILL_PRIMARY_MID_TXN,
                    STAGE_KILL_REPLICA_MID_TXN, STAGE_MID_COPYUP,
                    STAGE_MID_DRAIN, STAGE_MID_LUKS_HEADER_UPDATE,
                    STAGE_POST_ACK_PRE_DRAIN, STAGE_PRE_LOG_APPEND,
@@ -30,12 +32,12 @@ from .checker import (AckedWrite, EquivalenceReport, apply_history,
 
 __all__ = [
     "ALL_STAGES", "CRASH_STAGES", "LOG_FAULTS", "OSD_FAULTS",
-    "OSD_KILL_STAGES",
+    "OSD_KILL_STAGES", "REPLICATED_KILL_STAGES", "EC_KILL_STAGES",
     "STAGE_PRE_LOG_APPEND", "STAGE_POST_ACK_PRE_DRAIN", "STAGE_MID_DRAIN",
     "STAGE_MID_COPYUP", "STAGE_MID_LUKS_HEADER_UPDATE",
     "STAGE_TORN_OSD_WRITE", "STAGE_TORN_LOG_TAIL",
     "STAGE_KILL_PRIMARY_MID_TXN", "STAGE_KILL_REPLICA_MID_TXN",
-    "STAGE_KILL_DURING_BACKFILL",
+    "STAGE_KILL_DURING_BACKFILL", "STAGE_KILL_EC_SHARD_MID_TXN",
     "ClientCrash", "FaultPlan", "OsdFaultPlan", "active_plan",
     "active_osd_fault", "crash_point", "inject", "inject_osd_fault",
     "osd_kill_due", "torn_op_count", "torn_tail_bytes",

@@ -27,10 +27,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .plan import (OSD_KILL_STAGES, STAGE_KILL_DURING_BACKFILL,
-                   OsdFaultPlan, inject_osd_fault)
+from .plan import (EC_KILL_STAGES, OSD_KILL_STAGES, REPLICATED_KILL_STAGES,
+                   STAGE_KILL_DURING_BACKFILL, OsdFaultPlan, inject_osd_fault)
 from ..errors import ConfigurationError, DegradedClusterError
 from ..util import KIB, MIB
 
@@ -59,6 +59,12 @@ class DrillResult:
     objects_pushed: int = 0
     bytes_pushed: int = 0
     rebuild_rounds: int = 0
+    #: EC drills: the pool's (k, m) profile, else None (replicated x3)
+    pool_ec: Optional[Tuple[int, int]] = None
+    #: reads that needed parity reconstruction (EC pools only)
+    ec_degraded_reads: int = 0
+    #: chunks rebuilt by the ec-repair backfill path (EC pools only)
+    ec_repaired: int = 0
     health: Dict[str, int] = field(default_factory=dict)
     #: client-op latency percentiles from the event replay of the
     #: workload contending with the rebuild storm (µs).
@@ -104,8 +110,16 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
                       image_size: int = 8 * MIB,
                       object_size: int = 64 * KIB,
                       extra_ios: int = 64,
-                      queue_depth: int = 8) -> DrillResult:
-    """Run the kill -> degraded -> rebuild -> healthy drill for one stage."""
+                      queue_depth: int = 8,
+                      pool_ec: Optional[Tuple[int, int]] = None) -> DrillResult:
+    """Run the kill -> degraded -> rebuild -> healthy drill for one stage.
+
+    ``pool_ec=(k, m)`` runs the drill against an erasure-coded pool
+    instead of replica-3: the kill victims are chunk OSDs, degraded reads
+    reconstruct through the codec, and the rebuild goes through the
+    ec-repair backfill path.  Stage and pool type must match
+    (``REPLICATED_KILL_STAGES`` vs ``EC_KILL_STAGES``).
+    """
     from ..api import create_encrypted_image, make_cluster
     from ..crypto.suite import SIMULATION_SUITE
     from ..rados.cluster import ClusterConfig
@@ -117,6 +131,15 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
     if stage not in OSD_KILL_STAGES:
         raise ConfigurationError(
             f"unknown OSD kill stage {stage!r}; valid: {OSD_KILL_STAGES}")
+    if pool_ec is None and stage not in REPLICATED_KILL_STAGES:
+        raise ConfigurationError(
+            f"stage {stage!r} needs an erasure-coded pool "
+            f"(pass pool_ec=(k, m)); replicated stages: "
+            f"{REPLICATED_KILL_STAGES}")
+    if pool_ec is not None and stage not in EC_KILL_STAGES:
+        raise ConfigurationError(
+            f"stage {stage!r} does not apply to erasure-coded pools; "
+            f"EC stages: {EC_KILL_STAGES}")
     rng = random.Random(f"{seed}/{stage}/drill")
     pool = "rbd"
     image_name = "drill-image"
@@ -127,11 +150,17 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
                            hosts=max(3, osd_count // 4),
                            failure_domain="host")
     cluster = make_cluster(config=config)
+    if pool_ec is not None:
+        # min_size=k: writes keep flowing with every one of the m parity
+        # margins consumed, mirroring the replicated drill's
+        # min_write_replicas=1 posture.
+        pool = "rbd-ec"
+        cluster.create_pool(pool, ec=pool_ec, min_size=pool_ec[0])
     ledger = cluster.ledger
     image, _info = create_encrypted_image(
         cluster, image_name, image_size, passphrase=b"drill",
         cipher_suite=SIMULATION_SUITE, random_seed=b"drill-drbg",
-        object_size=object_size)
+        object_size=object_size, pool=pool)
     shadow = bytearray(image.read(0, image_size))
 
     # Trace everything from here on: client ops feed the event replay.
@@ -142,7 +171,7 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
     writes = _drill_writes(rng, image_size, object_size, extra_ios)
     healthy_cut = len(writes) // 3
     result = DrillResult(stage=stage, seed=seed, hit=0, fired=False,
-                         osd_count=osd_count)
+                         osd_count=osd_count, pool_ec=pool_ec)
 
     def issue(batch: List[Tuple[int, bytes]]) -> None:
         for offset, data in batch:
@@ -257,7 +286,10 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
             if sim.client_request_stats else {})
     ledger.trace_ops = False
 
-    result.degraded_reads = int(ledger.counter("cluster.degraded_reads"))
+    result.degraded_reads = int(ledger.counter("cluster.degraded_reads")
+                                + ledger.counter("cluster.ec_degraded_reads"))
+    result.ec_degraded_reads = int(ledger.counter("cluster.ec_degraded_reads"))
+    result.ec_repaired = int(ledger.counter("recovery.ec_objects_repaired"))
     result.write_retries = int(ledger.counter("cluster.write_retries"))
     result.dispatch_timeouts = int(
         ledger.counter("cluster.osd_dispatch_timeouts"))

@@ -54,9 +54,23 @@ ALL_STAGES = CRASH_STAGES + OSD_FAULTS + LOG_FAULTS
 STAGE_KILL_PRIMARY_MID_TXN = "kill-primary-mid-txn"
 STAGE_KILL_REPLICA_MID_TXN = "kill-replica-mid-txn"
 STAGE_KILL_DURING_BACKFILL = "kill-during-backfill"
+#: EC pools: a chunk OSD dies mid-stripe-transaction — the shard committed
+#: locally but the stripe never acked, so the client must retry against
+#: the surviving shards (and backfill later reconstructs the stale chunk).
+STAGE_KILL_EC_SHARD_MID_TXN = "kill-ec-shard-mid-txn"
 
 OSD_KILL_STAGES = (STAGE_KILL_PRIMARY_MID_TXN, STAGE_KILL_REPLICA_MID_TXN,
-                   STAGE_KILL_DURING_BACKFILL)
+                   STAGE_KILL_DURING_BACKFILL, STAGE_KILL_EC_SHARD_MID_TXN)
+
+#: the subsets of ``OSD_KILL_STAGES`` that apply per pool type: the
+#: primary/replica kill sites live in the replicated dispatch path, the
+#: ec-shard kill site in the stripe dispatch path; kill-during-backfill
+#: fires in the shared backfill loop, so it covers both (for EC pools it
+#: lands mid ec-repair).
+REPLICATED_KILL_STAGES = (STAGE_KILL_PRIMARY_MID_TXN,
+                          STAGE_KILL_REPLICA_MID_TXN,
+                          STAGE_KILL_DURING_BACKFILL)
+EC_KILL_STAGES = (STAGE_KILL_EC_SHARD_MID_TXN, STAGE_KILL_DURING_BACKFILL)
 
 
 class ClientCrash(BaseException):

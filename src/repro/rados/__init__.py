@@ -12,8 +12,10 @@ The atomic multi-op transaction support is the property the paper leans on
 multiple IOs to ensure data and IV consistency", §3.1).
 """
 
-from .cluster import Cluster, ClusterConfig, Pool
+from .cluster import Cluster, ClusterConfig, EcPool, Pool
 from .client import IoCtx, RadosClient, ReadResult, SnapContext
+from .ec import (EcProfile, ReedSolomonCodec, assemble, assign_shard_indices,
+                 ec_codec)
 from .object import CloneInfo, RadosObject
 from .osd import OSD
 from .placement import CrushLocation, PlacementMap, uniform_topology
@@ -27,7 +29,9 @@ from .transaction import (OpCreate, OpGetXattr, OpOmapGetValsByKeys,
                           WriteTransaction)
 
 __all__ = [
-    "Cluster", "ClusterConfig", "Pool", "IoCtx", "RadosClient", "ReadResult",
+    "Cluster", "ClusterConfig", "EcPool", "Pool", "IoCtx", "RadosClient",
+    "ReadResult", "EcProfile", "ReedSolomonCodec", "assemble",
+    "assign_shard_indices", "ec_codec",
     "SnapContext", "CloneInfo", "RadosObject", "OSD", "PlacementMap",
     "CrushLocation", "uniform_topology",
     "BackfillItem", "PeeringReport", "RecoveryReport", "ReplicaMismatch",

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .ec import EcProfile
 from .osd import OSD
 from .placement import PlacementMap, uniform_topology
 from ..errors import ConfigurationError, PoolNotFoundError
@@ -94,6 +95,15 @@ class Pool:
     snap_seq: int = 0
     removed_snaps: List[int] = field(default_factory=list)
 
+    @property
+    def is_ec(self) -> bool:
+        """True for erasure-coded pools (:class:`EcPool`)."""
+        return False
+
+    def shape(self) -> str:
+        """Human-readable pool shape (used by mismatch errors)."""
+        return f"replicated x{self.replica_count}"
+
     def new_snapshot_id(self) -> int:
         """Allocate a new self-managed snapshot id."""
         self.snap_seq += 1
@@ -103,6 +113,33 @@ class Pool:
         """Mark a snapshot id as removed (clones are trimmed lazily)."""
         if snap_id not in self.removed_snaps:
             self.removed_snaps.append(snap_id)
+
+
+@dataclass
+class EcPool(Pool):
+    """An erasure-coded pool: objects stripe into ``k`` data + ``m`` parity
+    chunks on ``k + m`` distinct failure domains.
+
+    ``replica_count`` is ``k + m`` (one chunk per up-set member, so the
+    CRUSH machinery is shared with replicated pools unchanged);
+    ``min_size`` defaults to ``k + 1`` — reads survive any ``m`` chunk
+    losses, writes need at least ``min_size`` serving shards.
+    """
+
+    k: int = 0
+    m: int = 0
+
+    @property
+    def is_ec(self) -> bool:
+        return True
+
+    @property
+    def total_chunks(self) -> int:
+        """Chunks per stripe (``k + m``)."""
+        return self.k + self.m
+
+    def shape(self) -> str:
+        return f"ec {self.k}+{self.m} (min_size={self.min_size})"
 
 
 class Cluster:
@@ -144,22 +181,77 @@ class Cluster:
 
     # -- pools -----------------------------------------------------------------
 
-    def create_pool(self, name: str, replica_count: Optional[int] = None) -> Pool:
-        """Create a pool (idempotent if it already exists with same replica)."""
-        replica = replica_count or self.config.replica_count
+    def create_pool(self, name: str, replica_count: Optional[int] = None,
+                    ec: Optional[object] = None,
+                    min_size: Optional[int] = None) -> Pool:
+        """Create a pool (idempotent only for an identical shape).
+
+        ``ec`` makes the pool erasure-coded: an :class:`EcProfile` or a
+        ``(k, m)`` tuple.  Re-creating an existing pool with a *different*
+        shape — replicated vs EC, different replica count or ``k+m``, or
+        an explicit conflicting ``min_size`` — raises
+        :class:`~repro.errors.ConfigurationError` rather than silently
+        handing back the old pool.
+        """
+        profile: Optional[EcProfile] = None
+        if ec is not None:
+            profile = ec if isinstance(ec, EcProfile) else EcProfile(*ec)
+            replica = profile.total
+            if replica_count is not None and replica_count != replica:
+                raise ConfigurationError(
+                    f"pool {name!r}: replica_count={replica_count} conflicts "
+                    f"with EC profile {profile.k}+{profile.m} "
+                    f"(k+m={replica})")
+        else:
+            replica = replica_count or self.config.replica_count
         if replica > len(self.osds):
             raise ConfigurationError(
                 f"pool {name!r} wants {replica} replicas but the cluster has "
                 f"{len(self.osds)} OSDs")
+        if profile is not None:
+            domains = self.placement.domain_count
+            if replica > domains:
+                raise ConfigurationError(
+                    f"pool {name!r}: EC {profile.k}+{profile.m} needs "
+                    f"{replica} distinct {self.config.failure_domain} "
+                    f"failure domains, the map has {domains}")
         existing = self.pools.get(name)
         if existing is not None:
-            if existing.replica_count != replica:
+            same_shape = (existing.replica_count == replica
+                          and existing.is_ec == (profile is not None)
+                          and (profile is None
+                               or (existing.k, existing.m)  # type: ignore[attr-defined]
+                               == (profile.k, profile.m))
+                          and (min_size is None
+                               or existing.min_size == min_size))
+            if not same_shape:
+                wanted = (f"ec {profile.k}+{profile.m}" if profile is not None
+                          else f"replicated x{replica}")
+                if min_size is not None:
+                    wanted += f" (min_size={min_size})"
                 raise ConfigurationError(
-                    f"pool {name!r} already exists with replica count "
-                    f"{existing.replica_count}")
+                    f"pool {name!r} already exists with shape "
+                    f"{existing.shape()}, requested {wanted}")
             return existing
-        min_size = min(self.config.min_write_replicas, replica)
-        pool = Pool(name=name, replica_count=replica, min_size=min_size)
+        if profile is not None:
+            chosen_min = min_size if min_size is not None \
+                else min(profile.k + 1, replica)
+            if not profile.k <= chosen_min <= replica:
+                raise ConfigurationError(
+                    f"pool {name!r}: EC min_size must be within "
+                    f"[k={profile.k}, k+m={replica}], got {chosen_min}")
+            pool: Pool = EcPool(name=name, replica_count=replica,
+                                min_size=chosen_min, k=profile.k,
+                                m=profile.m)
+        else:
+            chosen_min = min_size if min_size is not None \
+                else min(self.config.min_write_replicas, replica)
+            if not 1 <= chosen_min <= replica:
+                raise ConfigurationError(
+                    f"pool {name!r}: min_size must be within "
+                    f"[1, {replica}], got {chosen_min}")
+            pool = Pool(name=name, replica_count=replica,
+                        min_size=chosen_min)
         self.pools[name] = pool
         return pool
 

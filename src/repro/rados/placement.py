@@ -119,6 +119,12 @@ class PlacementMap:
         """Number of placement groups object names hash onto."""
         return self._pg_count
 
+    @property
+    def domain_count(self) -> int:
+        """Number of distinct failure domains the rule can draw from
+        (the ceiling on replicas — or EC chunks — per placement)."""
+        return len(self._domains)
+
     def location_of(self, osd_id: int) -> CrushLocation:
         """The failure-domain position of one OSD."""
         try:

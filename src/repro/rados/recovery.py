@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
 from .cluster import Cluster
+from .ec import (EC_SHARD_XATTR, ec_codec, parse_shard_index)
 from .object import CloneInfo, RadosObject
 from .osd import OSD
 from .transaction import ReadOperation, WriteTransaction
@@ -260,6 +261,167 @@ def _push_object(cluster: Cluster, pool: str, item: BackfillItem,
     return payload, latency
 
 
+def _push_ec_shard(cluster: Cluster, pool: str, item: BackfillItem,
+                   target_id: int) -> Optional[Tuple[int, float]]:
+    """Reconstruct one lost/stale EC chunk onto ``target_id``.
+
+    The repair reads ``k`` surviving chunks at the authoritative version
+    (real reads), decodes the stripe, re-encodes exactly the chunk the
+    target should hold, and commits it as a real transaction — so an EC
+    repair storm moves ``k`` times the chunk payload through devices and
+    network, the asymmetry the paper's recovery model cares about.
+    Returns (payload bytes, push latency µs), or ``None`` when fewer than
+    ``k`` chunks survive at that version (unrecoverable this pass).
+    """
+    params = cluster.params
+    ledger = cluster.ledger
+    pool_obj = cluster.get_pool(pool)
+    codec = ec_codec(pool_obj.k, pool_obj.m)  # type: ignore[attr-defined]
+    total = pool_obj.replica_count
+    target = cluster.osd_by_id(target_id)
+
+    # Survivors: up holders of the authoritative version with a valid
+    # recorded chunk index (shard identity is never positional).
+    sources: dict = {}
+    for osd in cluster.osds:
+        if not osd.up or osd.osd_id == target_id:
+            continue
+        obj = osd.objects.get((pool, item.name))
+        if obj is None or not obj.exists or obj.version != item.version:
+            continue
+        index = parse_shard_index(obj.xattrs, total)
+        if index is None or index in sources:
+            continue
+        sources[index] = osd
+    if len(sources) < codec.k:
+        ledger.count("recovery.ec_unrecoverable")
+        return None
+
+    # Which chunk should the target hold?  Reuse its own recorded index
+    # when no consistent up-set member claims it, else the first free one.
+    claimed = set()
+    for osd_id in cluster.up_set(pool, item.name):
+        if osd_id == target_id:
+            continue
+        osd = cluster.osd_by_id(osd_id)
+        obj = osd.objects.get((pool, item.name))
+        if obj is None or not obj.exists or obj.version != item.version:
+            continue
+        index = parse_shard_index(obj.xattrs, total)
+        if index is not None:
+            claimed.add(index)
+    tgt_old = target.objects.get((pool, item.name))
+    target_index = (parse_shard_index(tgt_old.xattrs, total)
+                    if tgt_old is not None else None)
+    if target_index is None or target_index in claimed:
+        free = [index for index in range(total) if index not in claimed]
+        if not free:
+            ledger.count("recovery.ec_unrecoverable")
+            return None
+        target_index = free[0]
+
+    ledger.busy(RES_OSD_CPU, params.recovery_op_cost_us)
+
+    # Read k surviving chunks (real reads, in parallel) plus the OMAP off
+    # the first survivor — metadata is replicated on every shard.
+    chosen = sorted(sources)[:codec.k]
+    shards: dict = {}
+    read_latencies: List[float] = []
+    omap: dict = {}
+    ref_obj: Optional[RadosObject] = None
+    for position, index in enumerate(chosen):
+        source = sources[index]
+        src_obj = source.objects[(pool, item.name)]
+        readop = ReadOperation().read(0, src_obj.size)
+        if position == 0:
+            readop.omap_get_vals_by_range(b"", b"\xff")
+            ref_obj = src_obj
+        results, latency = source.execute_read(pool, item.name, readop, None)
+        shards[index] = results[0].data
+        if position == 0:
+            omap = results[1].kv
+        read_latencies.append(latency)
+    assert ref_obj is not None
+
+    # Decode the stripe, re-encode the target's chunk; charged as OSD CPU
+    # (repair runs on the shards, not the client).
+    padded = codec.decode(shards)
+    chunk = codec.reconstruct(shards, target_index)
+    ledger.busy(RES_OSD_CPU,
+                params.ec_decode_cost_us_per_kib * len(padded) / 1024.0
+                + params.ec_encode_cost_us_per_kib * len(chunk) / 1024.0)
+
+    payload = len(chunk) + sum(len(k) + len(v) for k, v in omap.items())
+    transfer_us = payload / (params.recovery_bandwidth_mbps
+                             * 1024 * 1024) * 1e6
+    ledger.busy(RES_CLUSTER_NET, transfer_us)
+    ledger.count("net.recovery_bytes", payload)
+
+    txn = WriteTransaction().omap_rm_range(b"", b"\xff")
+    txn.write_full(chunk)
+    if omap:
+        txn.omap_set_keys(omap)
+    for xattr_name, value in sorted(ref_obj.xattrs.items()):
+        if xattr_name != EC_SHARD_XATTR:
+            txn.set_xattr(xattr_name, value)
+    txn.set_xattr(EC_SHARD_XATTR, str(target_index).encode("ascii"))
+    hint = ref_obj.region_length - target.object_region_reserve
+    write_latency = target.apply_transaction(pool, item.name, txn,
+                                             object_size_hint=hint)
+
+    # Snapshot clones are reconstructed the same way, per clone, from the
+    # survivors' parallel clone histories (bookkeeping, not data-path IO).
+    tgt_obj = target.objects[(pool, item.name)]
+    tgt_obj.clones = _reconstruct_ec_clones(codec, total, sources, chosen,
+                                            ref_obj, target_index)
+    tgt_obj.snap_seq_seen = ref_obj.snap_seq_seen
+    tgt_obj.version = item.version
+
+    latency = (params.recovery_op_cost_us + max(read_latencies) + transfer_us
+               + params.replication_hop_us + write_latency)
+    ledger.count("recovery.ec_objects_repaired")
+    ledger.count("recovery.ec_bytes_repaired", payload)
+    if ledger.trace_ops:
+        ledger.record_op_trace(OpTrace(
+            kind="ec-repair", client_cpu_us=params.recovery_op_cost_us,
+            client_net_us=0.0,
+            network_us=transfer_us + params.replication_hop_us,
+            visits=ledger.take_osd_visits(), bytes_moved=payload))
+    return payload, latency
+
+
+def _reconstruct_ec_clones(codec, total: int, sources: dict,
+                           chosen: List[int], ref_obj: RadosObject,
+                           target_index: int) -> List[CloneInfo]:
+    """Rebuild the target's snapshot-clone chunks from the survivors'
+    clone histories (positionally parallel: replicated snap contexts
+    append clones in the same order on every shard)."""
+    clones: List[CloneInfo] = []
+    for position, ref_clone in enumerate(ref_obj.clones):
+        clone_shards: dict = {}
+        for index in chosen:
+            src_obj = sources[index].objects[(ref_obj.pool, ref_obj.name)]
+            if position >= len(src_obj.clones):
+                break
+            clone = src_obj.clones[position]
+            clone_index = parse_shard_index(clone.xattrs, total)
+            if clone_index is None or clone_index in clone_shards:
+                continue
+            clone_shards[clone_index] = clone.data
+        if len(clone_shards) < codec.k:
+            # Defensive: mismatched clone histories — skip rather than
+            # fabricate (deep scrub does not compare clones).
+            continue
+        chunk = codec.reconstruct(clone_shards, target_index)
+        xattrs = {name: value for name, value in ref_clone.xattrs.items()
+                  if name != EC_SHARD_XATTR}
+        xattrs[EC_SHARD_XATTR] = str(target_index).encode("ascii")
+        clones.append(CloneInfo(snap_ids=set(ref_clone.snap_ids),
+                                data=chunk, size=len(chunk),
+                                omap=dict(ref_clone.omap), xattrs=xattrs))
+    return clones
+
+
 def backfill(cluster: Cluster, pool: str) -> RecoveryReport:
     """Drive ``pool`` back to full redundancy; returns what moved.
 
@@ -270,6 +432,7 @@ def backfill(cluster: Cluster, pool: str) -> RecoveryReport:
     call (after the victim restarts) finishes the job.
     """
     ledger = cluster.ledger
+    pool_obj = cluster.get_pool(pool)
     report = RecoveryReport(pool=pool)
     for _ in range(MAX_BACKFILL_PASSES):
         peering = peer(cluster, pool)
@@ -285,9 +448,19 @@ def backfill(cluster: Cluster, pool: str) -> RecoveryReport:
             if osd_kill_due(STAGE_KILL_DURING_BACKFILL, target_id):
                 cluster.mark_osd_down(target_id)
             target = cluster.osd_by_id(target_id)
-            if not target.up or not cluster.osd_by_id(item.source_osd).up:
+            source = cluster.osd_by_id(item.source_osd)
+            if not target.up or not source.up:
                 continue
-            payload, latency = _push_object(cluster, pool, item, target_id)
+            if pool_obj.is_ec and source.objects[(pool, item.name)].exists:
+                # EC repair: reconstruct the target's chunk from k
+                # survivors (tombstones propagate like replicated ones).
+                pushed = _push_ec_shard(cluster, pool, item, target_id)
+                if pushed is None:
+                    continue
+                payload, latency = pushed
+            else:
+                payload, latency = _push_object(cluster, pool, item,
+                                                target_id)
             report.objects_pushed += 1
             report.bytes_pushed += payload
             report.push_latency_us += latency
@@ -321,8 +494,13 @@ def verify_replica_consistency(cluster: Cluster,
 
     This is the failure-equivalence oracle's final check: after the
     drill's recovery, no replica may disagree with the authoritative
-    copy in any observable way.
+    copy in any observable way.  Erasure-coded pools scrub differently —
+    shards hold *different* bytes by design, so the check decodes the
+    stripe and re-encodes every held chunk instead of comparing raw
+    bytes (see :func:`_verify_ec_consistency`).
     """
+    if cluster.get_pool(pool).is_ec:
+        return _verify_ec_consistency(cluster, pool)
     mismatches: List[ReplicaMismatch] = []
     for name in _pool_object_names(cluster, pool):
         up_set = cluster.up_set(pool, name)
@@ -367,4 +545,96 @@ def verify_replica_consistency(cluster: Cluster,
             if obj.xattrs != reference.xattrs:
                 mismatches.append(ReplicaMismatch(
                     name=name, osd_id=osd_id, reason="xattrs differ"))
+    return mismatches
+
+
+def _verify_ec_consistency(cluster: Cluster,
+                           pool: str) -> List[ReplicaMismatch]:
+    """Deep-scrub an erasure-coded pool.
+
+    Per stripe: every up-set shard must hold the authoritative version,
+    identical metadata (OMAP, user xattrs, recorded logical size) and a
+    *distinct in-range* chunk index; at least ``k`` chunks of equal
+    length must survive; and decoding the stripe then re-encoding it must
+    reproduce every held chunk bit-exactly (the MDS self-check — a
+    corrupt parity chunk cannot hide behind a healthy systematic read).
+    """
+    pool_obj = cluster.get_pool(pool)
+    codec = ec_codec(pool_obj.k, pool_obj.m)  # type: ignore[attr-defined]
+    total = pool_obj.replica_count
+    mismatches: List[ReplicaMismatch] = []
+    for name in _pool_object_names(cluster, pool):
+        up_set = cluster.up_set(pool, name)
+        shards: List[Tuple[OSD, RadosObject]] = []
+        for osd_id in up_set:
+            osd = cluster.osd_by_id(osd_id)
+            obj = osd.objects.get((pool, name))
+            if obj is None or not obj.exists:
+                continue
+            shards.append((osd, obj))
+        if not shards:
+            continue
+        ref_osd, reference = max(shards, key=lambda pair: pair[1].version)
+        ref_meta = {key: value for key, value in reference.xattrs.items()
+                    if key != EC_SHARD_XATTR}
+        ref_omap = ref_osd._snapshot_omap(reference)
+        seen_indices: dict = {}
+        chunk_bytes: dict = {}
+        for osd_id in up_set:
+            osd = cluster.osd_by_id(osd_id)
+            obj = osd.objects.get((pool, name))
+            if obj is None or not obj.exists:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id, reason="shard missing"))
+                continue
+            if obj.version != reference.version:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id,
+                    reason=f"version {obj.version} != {reference.version}"))
+                continue
+            index = parse_shard_index(obj.xattrs, total)
+            if index is None:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id,
+                    reason="missing/invalid chunk index"))
+                continue
+            if index in seen_indices:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id,
+                    reason=f"duplicate chunk index {index} "
+                           f"(also on osd.{seen_indices[index]})"))
+                continue
+            seen_indices[index] = osd_id
+            meta = {key: value for key, value in obj.xattrs.items()
+                    if key != EC_SHARD_XATTR}
+            if meta != ref_meta:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id, reason="xattrs differ"))
+                continue
+            if osd._snapshot_omap(obj) != ref_omap:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=osd_id, reason="OMAP differs"))
+                continue
+            chunk_bytes[index] = osd._read_head_bytes(obj)
+        if not chunk_bytes:
+            continue
+        lengths = {len(chunk) for chunk in chunk_bytes.values()}
+        if len(lengths) > 1:
+            mismatches.append(ReplicaMismatch(
+                name=name, osd_id=seen_indices[min(chunk_bytes)],
+                reason=f"chunk lengths differ: {sorted(lengths)}"))
+            continue
+        if len(chunk_bytes) < codec.k:
+            mismatches.append(ReplicaMismatch(
+                name=name, osd_id=up_set[0] if up_set else -1,
+                reason=f"only {len(chunk_bytes)} of {codec.k} chunks "
+                       f"present — stripe unrecoverable"))
+            continue
+        padded = codec.decode(chunk_bytes)
+        expected = codec.encode(padded)
+        for index, chunk in sorted(chunk_bytes.items()):
+            if chunk != expected[index]:
+                mismatches.append(ReplicaMismatch(
+                    name=name, osd_id=seen_indices[index],
+                    reason=f"chunk {index} differs from re-encoded stripe"))
     return mismatches

@@ -87,6 +87,14 @@ class CostParameters:
     client_op_cost_us: float = 12.0          #: per-IO client dispatch cost
     crypto_block_cost_us: float = 0.8        #: AES-NI cost per 4 KiB block
     iv_generation_cost_us: float = 0.15      #: DRBG cost per random IV
+    #: Reed-Solomon encode cost per KiB of stripe output (all k+m chunks);
+    #: charged like the crypto kernels — table-driven GF(256) math runs at
+    #: the same order as AES-NI (crypto_block_cost_us is 0.8 us / 4 KiB).
+    ec_encode_cost_us_per_kib: float = 0.20
+    #: Reed-Solomon decode cost per KiB of stripe reconstructed; decode
+    #: pays a matrix inversion on top of the multiply-XOR sweep, so it
+    #: runs a bit hotter than encode.
+    ec_decode_cost_us_per_kib: float = 0.35
     #: client CPU cost of one block-cache lookup + copy (charged once per
     #: cached operation by :class:`repro.cache.CachedImage`)
     cache_hit_cost_us: float = 2.0
@@ -189,7 +197,8 @@ class CostParameters:
         if self.retry_max_attempts < 1:
             raise ConfigurationError("retry_max_attempts must be >= 1")
         for name in ("osd_timeout_us", "retry_backoff_base_us",
-                     "retry_backoff_cap_us", "recovery_op_cost_us"):
+                     "retry_backoff_cap_us", "recovery_op_cost_us",
+                     "ec_encode_cost_us_per_kib", "ec_decode_cost_us_per_kib"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be >= 0")
         for name in ("device_read_bandwidth_mbps", "device_write_bandwidth_mbps",

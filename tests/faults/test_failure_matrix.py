@@ -6,10 +6,14 @@ failing leg is reproduced with ``FAULT_SEED=<printed> FAULT_STAGE=<stage>
 pytest tests/faults/test_failure_matrix.py``.
 
 Each drill runs an encrypted workload, kills an OSD at the armed stage
-(primary mid-transaction, replica mid-transaction, or a backfill target
+(primary mid-transaction, replica mid-transaction, a chunk OSD
+mid-stripe-transaction on an erasure-coded pool, or a backfill target
 mid-recovery), keeps I/O flowing degraded, rebuilds, and asserts the two
 headline claims: no acked write is ever lost, and degraded reads are
 bit-identical to the healthy image.
+
+EC legs run the same oracle against an erasure-coded 4+2 pool; select one
+explicitly with ``POOL_EC=4,2 FAULT_STAGE=kill-ec-shard-mid-txn``.
 """
 
 import os
@@ -18,45 +22,73 @@ import random
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.faults import (OSD_KILL_STAGES, OsdFaultPlan, active_osd_fault,
+from repro.faults import (EC_KILL_STAGES, OsdFaultPlan,
+                          REPLICATED_KILL_STAGES, active_osd_fault,
                           inject_osd_fault, osd_kill_due)
 from repro.faults.drill import run_failure_drill
 
 FAULT_SEED = int(os.environ.get("FAULT_SEED", "0") or "0")
 FAULT_STAGE = os.environ.get("FAULT_STAGE", "").strip()
+_POOL_EC_ENV = os.environ.get("POOL_EC", "").strip()
+POOL_EC = (tuple(int(part) for part in _POOL_EC_ENV.split(","))
+           if _POOL_EC_ENV else None)
 
-_STAGES = [FAULT_STAGE] if FAULT_STAGE else list(OSD_KILL_STAGES)
+if FAULT_STAGE:
+    # One CI matrix leg: the env selects stage (and pool type).
+    _LEGS = [(FAULT_STAGE, POOL_EC)]
+elif POOL_EC:
+    _LEGS = [(stage, POOL_EC) for stage in EC_KILL_STAGES]
+else:
+    # Full local run: every replicated stage plus the EC legs at 4+2.
+    _LEGS = [(stage, None) for stage in REPLICATED_KILL_STAGES]
+    _LEGS += [(stage, (4, 2)) for stage in EC_KILL_STAGES]
+
+_LEG_IDS = [f"{stage}-ec{ec[0]}+{ec[1]}" if ec else stage
+            for stage, ec in _LEGS]
 
 
-def _seed_banner(stage, seed):
+def _osd_count(pool_ec):
+    # 4+2 stripes need six host failure domains with headroom for the
+    # kills; the replicated drill keeps its original (faster) size.
+    return 48 if pool_ec else 24
+
+
+def _seed_banner(stage, seed, pool_ec=None):
+    env = f"FAULT_SEED={seed} FAULT_STAGE={stage}"
+    if pool_ec:
+        env += f" POOL_EC={pool_ec[0]},{pool_ec[1]}"
     return (f"stage={stage} FAULT_SEED={seed} "
-            f"(rerun: FAULT_SEED={seed} FAULT_STAGE={stage} "
-            f"pytest tests/faults/test_failure_matrix.py)")
+            f"(rerun: {env} pytest tests/faults/test_failure_matrix.py)")
 
 
-@pytest.mark.parametrize("stage", _STAGES)
-def test_failure_drill_recovers(stage):
+@pytest.mark.parametrize("stage,pool_ec", _LEGS, ids=_LEG_IDS)
+def test_failure_drill_recovers(stage, pool_ec):
     """The headline property: kill -> degraded -> rebuild -> healthy, with
     no acked write lost and all replicas byte-identical."""
-    print(_seed_banner(stage, FAULT_SEED))
-    result = run_failure_drill(stage, FAULT_SEED, osd_count=24,
+    print(_seed_banner(stage, FAULT_SEED, pool_ec))
+    result = run_failure_drill(stage, FAULT_SEED,
+                               osd_count=_osd_count(pool_ec),
                                image_size=1024 * 1024, extra_ios=12,
-                               queue_depth=4)
-    assert result.fired, _seed_banner(stage, FAULT_SEED) + ": fault never fired"
-    assert result.ok, _seed_banner(stage, FAULT_SEED) + ": " + result.summary()
+                               queue_depth=4, pool_ec=pool_ec)
+    assert result.fired, \
+        _seed_banner(stage, FAULT_SEED, pool_ec) + ": fault never fired"
+    assert result.ok, \
+        _seed_banner(stage, FAULT_SEED, pool_ec) + ": " + result.summary()
     assert result.health["down"] == 0 and result.health["recovering"] == 0
 
 
-@pytest.mark.parametrize("stage", _STAGES)
-def test_failure_drill_randomized_seeds(stage):
+@pytest.mark.parametrize("stage,pool_ec", _LEGS, ids=_LEG_IDS)
+def test_failure_drill_randomized_seeds(stage, pool_ec):
     """Two derived seeds per stage so the kill point and workload move."""
     base = random.Random(f"{FAULT_SEED}/failure-matrix").randrange(2 ** 31)
     for round_no in range(2):
         seed = base + 7919 * round_no
-        result = run_failure_drill(stage, seed, osd_count=24,
+        result = run_failure_drill(stage, seed,
+                                   osd_count=_osd_count(pool_ec),
                                    image_size=1024 * 1024, extra_ios=12,
-                                   queue_depth=4)
-        assert result.ok, _seed_banner(stage, seed) + ": " + result.summary()
+                                   queue_depth=4, pool_ec=pool_ec)
+        assert result.ok, \
+            _seed_banner(stage, seed, pool_ec) + ": " + result.summary()
 
 
 def test_drill_exercises_degraded_path():

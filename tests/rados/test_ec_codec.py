@@ -1,0 +1,154 @@
+"""Property suite for the Reed-Solomon erasure codec (ISSUE PR 9, sat. 1).
+
+The codec is the trust anchor of the EC pool: every durability claim the
+drill and the equivalence suite make reduces to "encode, lose any <= m
+chunks, decode, get the exact bytes back".  Hypothesis drives that
+round-trip across random profiles, payload sizes (including sizes that
+are not multiples of ``k``, so the padding path is always in play) and
+random loss patterns.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rados.ec import (EcProfile, ReedSolomonCodec, assemble,
+                            assign_shard_indices, ec_codec, gf_inv, gf_mul)
+
+# Profiles stay small so the exhaustive loss patterns stay cheap; k and m
+# still move independently and cover the 4+2 shape the pool defaults to.
+profiles = st.tuples(st.integers(2, 6), st.integers(1, 3))
+payloads = st.binary(min_size=0, max_size=4096)
+
+
+@st.composite
+def encoded_cases(draw):
+    k, m = draw(profiles)
+    data = draw(payloads)
+    return k, m, data
+
+
+class TestRoundTripProperties:
+    @given(case=encoded_cases(), rng=st.randoms(use_true_random=False))
+    def test_decode_after_any_loss_up_to_m(self, case, rng):
+        """encode -> drop any <= m chunks -> decode is bit-exact."""
+        k, m, data = case
+        codec = ReedSolomonCodec(k, m)
+        chunks = codec.encode(data)
+        assert len(chunks) == k + m
+        assert all(len(c) == codec.chunk_length(len(data)) for c in chunks)
+        lost = rng.sample(range(k + m), rng.randint(0, m))
+        shards = {i: c for i, c in enumerate(chunks) if i not in lost}
+        padded = codec.decode(shards)
+        assert assemble(padded, len(data)) == data
+        assert padded[len(data):] == b"\0" * (len(padded) - len(data))
+
+    @given(case=encoded_cases())
+    def test_every_k_subset_decodes_identically(self, case):
+        """Decoding from *exactly* k survivors is unique no matter which
+        chunks died (all C(k+m, k) survivor sets agree)."""
+        k, m, data = case
+        codec = ReedSolomonCodec(k, m)
+        chunks = codec.encode(data)
+        for survivors in itertools.combinations(range(k + m), k):
+            shards = {i: chunks[i] for i in survivors}
+            assert assemble(codec.decode(shards), len(data)) == data
+
+    @given(case=encoded_cases(), rng=st.randoms(use_true_random=False))
+    def test_reconstruct_matches_original_chunk(self, case, rng):
+        """A reconstructed chunk is byte-identical to the lost one (this is
+        what backfill writes to the replacement OSD)."""
+        k, m, data = case
+        codec = ReedSolomonCodec(k, m)
+        chunks = codec.encode(data)
+        target = rng.randrange(k + m)
+        shards = {i: c for i, c in enumerate(chunks) if i != target}
+        assert codec.reconstruct(shards, target) == chunks[target]
+
+    @given(case=encoded_cases())
+    def test_systematic_prefix_is_the_data(self, case):
+        """The first k chunks concatenated ARE the (padded) payload — the
+        healthy read path never touches GF arithmetic."""
+        k, m, data = case
+        codec = ReedSolomonCodec(k, m)
+        chunks = codec.encode(data)
+        joined = b"".join(chunks[:k])
+        assert joined[:len(data)] == data
+
+    @given(st.binary(min_size=1, max_size=512))
+    def test_non_multiple_of_k_sizes_pad(self, data):
+        codec = ReedSolomonCodec(4, 2)
+        length = codec.chunk_length(len(data))
+        assert length * 4 >= len(data)
+        assert (length - 1) * 4 < max(len(data), 1) or len(data) == 0
+        padded = codec.decode(
+            {i: c for i, c in enumerate(codec.encode(data))})
+        assert len(padded) == length * 4
+
+
+class TestCodecValidation:
+    def test_too_few_shards_rejected(self):
+        codec = ReedSolomonCodec(4, 2)
+        chunks = codec.encode(b"payload")
+        with pytest.raises(ConfigurationError):
+            codec.decode({0: chunks[0], 1: chunks[1], 2: chunks[2]})
+
+    def test_ragged_shards_rejected(self):
+        codec = ReedSolomonCodec(2, 1)
+        chunks = codec.encode(b"0123456789")
+        bad = {0: chunks[0], 1: chunks[1][:-1]}
+        with pytest.raises(ConfigurationError):
+            codec.decode(bad)
+
+    def test_out_of_range_shard_index_rejected(self):
+        codec = ReedSolomonCodec(2, 1)
+        chunks = codec.encode(b"abcdef")
+        with pytest.raises(ConfigurationError):
+            codec.decode({0: chunks[0], 5: chunks[1]})
+
+    def test_profile_bounds(self):
+        with pytest.raises(ConfigurationError):
+            EcProfile(1, 2)
+        with pytest.raises(ConfigurationError):
+            EcProfile(2, 0)
+        with pytest.raises(ConfigurationError):
+            EcProfile(200, 100)  # k+m > 255 overflows GF(256)
+
+    def test_profile_parse(self):
+        assert EcProfile.parse("4,2") == EcProfile(4, 2)
+        assert EcProfile.parse(" 6 , 3 ") == EcProfile(6, 3)
+        with pytest.raises(ConfigurationError):
+            EcProfile.parse("4+2")
+        with pytest.raises(ConfigurationError):
+            EcProfile.parse("4")
+
+    def test_codec_cache_returns_same_instance(self):
+        assert ec_codec(4, 2) is ec_codec(4, 2)
+        assert ec_codec(4, 2) is not ec_codec(4, 3)
+
+
+class TestGaloisField:
+    @given(st.integers(1, 255))
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_mul_is_commutative_and_distributive(self, a, b, c):
+        assert gf_mul(a, b) == gf_mul(b, a)
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestShardAssignment:
+    def test_recorded_indices_are_preserved(self):
+        assignment = assign_shard_indices(6, {11: 3, 12: 0}, [10, 11, 12, 13])
+        assert assignment[11] == 3 and assignment[12] == 0
+        assert sorted(assignment) == [10, 11, 12, 13]
+        assert len(set(assignment.values())) == 4
+
+    def test_free_indices_fill_in_order(self):
+        assignment = assign_shard_indices(3, {}, [7, 8, 9])
+        assert [assignment[o] for o in (7, 8, 9)] == [0, 1, 2]

@@ -98,6 +98,42 @@ class TestClusterSetup:
         with pytest.raises(PoolNotFoundError):
             cluster.client().open_ioctx("missing")
 
+    def test_ec_pool_management(self):
+        cluster = Cluster(config=ClusterConfig(osd_count=8))
+        pool = cluster.create_pool("ecp", ec=(4, 2))
+        assert pool.is_ec and pool.k == 4 and pool.m == 2
+        assert pool.replica_count == 6
+        assert pool.min_size == 5  # default k+1
+        # Idempotent only for the identical shape.
+        assert cluster.create_pool("ecp", ec=(4, 2)) is pool
+
+    def test_pool_shape_mismatch_is_rejected(self):
+        """Regression: create_pool used to silently hand back the existing
+        pool no matter what shape the caller requested."""
+        cluster = Cluster(config=ClusterConfig(osd_count=8))
+        cluster.create_pool("ecp", ec=(4, 2))
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("ecp", ec=(3, 2))  # different profile
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("ecp", replica_count=6)  # replicated vs EC
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("ecp", ec=(4, 2), min_size=4)  # min_size
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("rbd", ec=(4, 2))  # EC vs replicated
+
+    def test_ec_pool_validation(self):
+        cluster = Cluster(config=ClusterConfig(osd_count=8))
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("wide", ec=(8, 2))  # k+m > OSDs
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("ecp", ec=(4, 2), replica_count=5)
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("ecp", ec=(4, 2), min_size=3)  # < k
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("ecp", ec=(4, 2), min_size=7)  # > k+m
+        with pytest.raises(ConfigurationError):
+            cluster.create_pool("bad", ec=(1, 2))  # k < 2
+
     def test_osd_lookup(self):
         cluster = Cluster()
         assert cluster.osd_by_id(1).osd_id == 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main
-from repro.faults import OSD_KILL_STAGES
+from repro.faults import REPLICATED_KILL_STAGES
 
 
 class TestFailureDrillCommand:
@@ -21,7 +21,7 @@ class TestFailureDrillCommand:
         assert main(["failure-drill", "--fault-seed", "7", "--osds", "24",
                      "--image-size", "1M"]) == 0
         out = capsys.readouterr().out
-        for stage in OSD_KILL_STAGES:
+        for stage in REPLICATED_KILL_STAGES:
             assert stage in out
         assert "all 3 failure stage(s) recovered" in out
 

@@ -85,3 +85,32 @@ def test_main_end_to_end(tmp_path, capsys):
     ])
     assert main([results, bad]) == 1
     assert "FAIL" in capsys.readouterr().err
+
+
+def test_newly_added_baseline_file_joins_the_gate(tmp_path, capsys):
+    """Adding a baseline for a brand-new benchmark (the BENCH_ec.json
+    pattern): the new file gates its own benchmark without disturbing the
+    existing baselines, and a run missing the new benchmark fails."""
+    results = _write(tmp_path / "bench-results.json", [
+        {"name": "old_bench", "extra_info": {"iops": 100.0}},
+        {"name": "test_ec_overhead",
+         "extra_info": {"wa_fullobj_ec": 1.506, "read_p99_us": 238.4}},
+    ])
+    old = _write(tmp_path / "BENCH_old.json", [
+        {"name": "old_bench", "extra_info": {"iops": 100.0}},
+    ])
+    new = _write(tmp_path / "BENCH_ec.json", [
+        {"name": "test_ec_overhead",
+         "extra_info": {"wa_fullobj_ec": 1.506, "read_p99_us": 238.4}},
+    ])
+    assert main([results, old, new]) == 0
+    out = capsys.readouterr().out
+    assert out.count("trajectory OK") == 2
+
+    # A results file that predates the new benchmark must fail the gate:
+    # the baseline list is the source of truth for what CI must produce.
+    stale = _write(tmp_path / "stale-results.json", [
+        {"name": "old_bench", "extra_info": {"iops": 100.0}},
+    ])
+    assert main([stale, old, new]) == 1
+    assert "disappeared" in capsys.readouterr().err
