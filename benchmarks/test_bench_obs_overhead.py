@@ -1,0 +1,97 @@
+"""Observability overhead gate: metrics on a 1M-request fleet replay.
+
+The metrics registry is *pull-model*: nothing on the replay hot path
+writes a metric — the run finishes, and the registry is built once from
+the result the engine already produced (counters, latency reservoir,
+queue waits), then rendered to the Prometheus text exposition.  This
+benchmark pins that design's whole point as a number: the same
+million-request fleet replay, once bare and once with full metrics
+collection + exposition rendering, must agree within **5%** wall time.
+
+Wall times are attached as strings (runner noise, ignored by the drift
+gate); the deterministic signature — request count, exposition sample
+count, series counts — is numeric and drift-gated via the committed
+``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import registry_from_sim, to_prometheus
+from repro.sim.fleet import fleet_streams_from_template, simulate_fleet
+from repro.workload.arrival import PoissonArrivals, arrival_schedule
+
+from test_bench_fleet_scale import (ARRIVAL_RATE, NUM_CLIENTS, OPS_PER_CLIENT,
+                                    OSD_COUNT, _capture_template)
+
+#: ceiling on the relative wall-time cost of metrics-on replay
+MAX_OVERHEAD = 0.05
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_obs_overhead_on_fleet_replay(benchmark):
+    params, template = _capture_template()
+    streams = fleet_streams_from_template(template, NUM_CLIENTS,
+                                          OPS_PER_CLIENT,
+                                          osd_count=OSD_COUNT)
+    arrivals = arrival_schedule(
+        PoissonArrivals(rate_per_client=ARRIVAL_RATE, seed=1234),
+        [stream.num_ops for stream in streams])
+
+    # warm-up pass: page in the numpy columns so neither timed pass pays
+    # first-touch costs the other does not
+    simulate_fleet(params, streams, arrivals)
+
+    def observed():
+        result = simulate_fleet(params, streams, arrivals)
+        registry = registry_from_sim(result, kind="write")
+        return result, to_prometheus(registry)
+
+    # interleaved best-of-three on both sides: the delta under test
+    # (~ms of post-run registry construction) is far below single-run
+    # wall noise, and interleaving keeps slow machine drift from
+    # penalising whichever side happens to run last
+    bare_runs, observed_runs = [], []
+    for _ in range(3):
+        bare_runs.append(_timed(lambda: simulate_fleet(params, streams,
+                                                       arrivals))[1])
+        observed_runs.append(_timed(observed)[1])
+    bare_s = min(bare_runs)
+    observed_s = min(observed_runs)
+    result, exposition = benchmark.pedantic(observed, rounds=1,
+                                            iterations=1)
+    overhead = observed_s / bare_s - 1.0
+
+    samples = [line for line in exposition.splitlines()
+               if line and not line.startswith("#")]
+    histogram_samples = [line for line in samples if "_bucket" in line]
+
+    print()
+    print(f"obs overhead: {result.requests} requests, engine={result.engine}")
+    print(f"  bare      {bare_s:8.2f} s")
+    print(f"  metrics   {observed_s:8.2f} s  "
+          f"({len(samples)} exposition samples)")
+    print(f"  overhead  {overhead:+8.1%}  (ceiling {MAX_OVERHEAD:.0%})")
+
+    assert result.requests >= 1_000_000
+    assert result.engine == "vectorized"
+    assert len(samples) > 30, "the exposition must carry the full signature"
+    assert overhead <= MAX_OVERHEAD, (
+        f"metrics-on replay cost {overhead:+.1%} wall time "
+        f"(ceiling {MAX_OVERHEAD:.0%}): the registry is no longer "
+        f"zero-overhead — something is writing metrics on the hot path")
+
+    benchmark.extra_info["requests"] = result.requests
+    benchmark.extra_info["exposition_samples"] = len(samples)
+    benchmark.extra_info["histogram_samples"] = len(histogram_samples)
+    benchmark.extra_info["simulated_s"] = round(result.elapsed_us / 1e6, 3)
+    # wall-clock numbers stay strings so the drift gate skips them
+    benchmark.extra_info["bare_wall_s"] = f"{bare_s:.2f}"
+    benchmark.extra_info["observed_wall_s"] = f"{observed_s:.2f}"
+    benchmark.extra_info["overhead_pct"] = f"{100 * overhead:+.1f}"

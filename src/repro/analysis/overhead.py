@@ -19,7 +19,7 @@ from ..sim.costparams import CostParameters, default_cost_parameters
 from ..workload.cluster_runner import ClusterWorkloadRunner
 from ..workload.runner import WorkloadResult, WorkloadRunner, prefill_image
 from ..workload.spec import PAPER_IO_SIZES, WorkloadSpec
-from ..util import KIB, MIB
+from ..util import KIB, MIB, format_size
 
 #: the four configurations compared in the paper, in presentation order
 PAPER_LAYOUTS = ("luks-baseline", "unaligned", "object-end", "omap")
@@ -151,10 +151,18 @@ def overhead_percent(results: SweepResults, layout: str, io_size: int,
 
 
 class LayoutSweep:
-    """Runs the Fig. 3(a)/(b) sweeps."""
+    """Runs the Fig. 3(a)/(b) sweeps.
 
-    def __init__(self, config: Optional[SweepConfig] = None) -> None:
+    ``tracer`` (a :class:`repro.obs.SpanTracer`) records each point's
+    span timeline; points are namespaced ``<layout>/<io_size>`` so a
+    whole sweep loads as one Perfetto trace with one process group per
+    point.
+    """
+
+    def __init__(self, config: Optional[SweepConfig] = None,
+                 tracer=None) -> None:
         self.config = config or SweepConfig()
+        self._tracer = tracer
 
     def _make_cluster(self):
         config = self.config
@@ -220,15 +228,17 @@ class LayoutSweep:
                    io_size: int) -> WorkloadResult:
         config = self.config
         label = f"{kind}-{layout}-{io_size}"
+        if self._tracer is not None:
+            self._tracer.begin_process(f"{layout}/{format_size(io_size)}")
         spec = self._spec(rw, io_size, prefill=False)
         if config.clone_depth > 0:
             cluster = self._make_cluster()
             images = self._clone_images(layout, label, cluster)
             if config.num_clients > 1:
-                return ClusterWorkloadRunner(cluster).run(images, spec,
-                                                          layout_name=layout)
-            return WorkloadRunner(cluster).run(images[0], spec,
-                                               layout_name=layout)
+                return ClusterWorkloadRunner(cluster, self._tracer).run(
+                    images, spec, layout_name=layout)
+            return WorkloadRunner(cluster, self._tracer).run(
+                images[0], spec, layout_name=layout)
         if config.num_clients > 1:
             cluster = self._make_cluster()
             images = []
@@ -238,12 +248,13 @@ class LayoutSweep:
                 if kind == "read":
                     prefill_image(image)
                 images.append(image)
-            return ClusterWorkloadRunner(cluster).run(images, spec,
-                                                      layout_name=layout)
+            return ClusterWorkloadRunner(cluster, self._tracer).run(
+                images, spec, layout_name=layout)
         cluster, image, _info = self._make_image(layout, label)
         if kind == "read":
             prefill_image(image)
-        return WorkloadRunner(cluster).run(image, spec, layout_name=layout)
+        return WorkloadRunner(cluster, self._tracer).run(image, spec,
+                                                         layout_name=layout)
 
     def _clone_images(self, layout: str, label: str, cluster):
         """Build the clone fan-out for one sweep point: a prefilled golden

@@ -146,6 +146,36 @@ def format_pwl_table(results: SweepResults) -> str:
             f"drain to RADOS in order)\n{ascii_table(headers, rows)}")
 
 
+def format_metrics_table(registry, limit: int = 0) -> str:
+    """Drill-down table of a :class:`repro.obs.MetricsRegistry`.
+
+    One row per (family, label-set) series — counters and gauges show
+    their value, histograms show count/mean — sorted by family name so
+    the rendering is deterministic.  ``limit`` > 0 truncates to the
+    first N rows (with a trailing note), for quick-look CLI output.
+    """
+    headers = ["metric", "kind", "labels", "value"]
+    rows: List[List[object]] = []
+    for family in registry.collect():
+        for labels, value in family.series():
+            label_text = ",".join(f"{k}={v}" for k, v in labels)
+            if family.kind == "histogram":
+                mean = value.sum / value.count if value.count else 0.0
+                cell = f"n={value.count:.0f} mean={mean:.1f}"
+            else:
+                cell = f"{value:.0f}" if float(value).is_integer() \
+                    else f"{value:.3f}"
+            rows.append([family.name, family.kind, label_text, cell])
+    truncated = 0
+    if limit > 0 and len(rows) > limit:
+        truncated = len(rows) - limit
+        rows = rows[:limit]
+    table = f"Metrics drill-down\n{ascii_table(headers, rows)}"
+    if truncated:
+        table += f"\n... {truncated} more series (rerun without limit)"
+    return table
+
+
 def to_csv(results: SweepResults) -> str:
     """CSV form of a sweep (bandwidth, IOPS and latency percentiles)."""
     lines = ["io_size,layout,bandwidth_mbps,iops,p50_us,p95_us,p99_us"]

@@ -39,6 +39,7 @@ from .config import CacheConfig, CacheStats
 from .policy import make_policy
 from .readahead import SequentialDetector
 from ..errors import ConfigurationError
+from ..obs.names import KIND_CACHE_HIT
 from ..rbd.image import Image, IoResult
 from ..sim.ledger import OpReceipt, OpTrace, RES_CLIENT_CPU
 
@@ -131,7 +132,7 @@ class CachedImage:
             self._ledger.attribute_client_cpu(cost)
         else:
             self._ledger.record_op_trace(
-                OpTrace(kind="cache-hit", client_cpu_us=cost,
+                OpTrace(kind=KIND_CACHE_HIT, client_cpu_us=cost,
                         client_net_us=0.0, network_us=0.0))
         receipt.latency_us += cost
         return receipt

@@ -58,8 +58,8 @@ from typing import List, Optional, Sequence
 from . import api
 from .analysis.overhead import LayoutSweep, PAPER_LAYOUTS, SweepConfig
 from .analysis.report import (format_bandwidth_table, format_cache_table,
-                              format_latency_table, format_overhead_table,
-                              format_pwl_table, to_csv)
+                              format_latency_table, format_metrics_table,
+                              format_overhead_table, format_pwl_table, to_csv)
 from .analysis.sectors import SectorAccessModel, theoretical_overhead_table
 from .cache.config import CACHE_MODES, CACHE_POLICIES
 from .sim.costparams import EVENT_ENGINES, SIM_MODES
@@ -77,6 +77,37 @@ def _parse_layouts(text: Optional[str]) -> Sequence[str]:
     if not text:
         return PAPER_LAYOUTS
     return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A SpanTracer when ``--trace-out`` was passed, else None."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from .obs import SpanTracer
+    return SpanTracer()
+
+
+def _write_trace(args: argparse.Namespace, tracer) -> None:
+    """Write the Perfetto-loadable Chrome trace next to the run output."""
+    if tracer is None:
+        return
+    from .obs import write_chrome_trace
+    write_chrome_trace(args.trace_out, tracer)
+    note = (f" ({tracer.dropped} spans dropped past the retention cap)"
+            if tracer.dropped else "")
+    print(f"trace: {len(tracer.spans)} spans -> {args.trace_out} "
+          f"(load in https://ui.perfetto.dev){note}")
+
+
+def _write_metrics(args: argparse.Namespace, registry) -> None:
+    """Write the Prometheus exposition and print the drill-down table."""
+    if registry is None or not getattr(args, "metrics_out", None):
+        return
+    from .obs import write_prometheus
+    write_prometheus(args.metrics_out, registry)
+    print()
+    print(format_metrics_table(registry, limit=40))
+    print(f"metrics: Prometheus exposition -> {args.metrics_out}")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -141,7 +172,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         flatten=args.flatten,
         pool_ec=pool_ec,
     )
-    results = LayoutSweep(config).run(args.kind)
+    tracer = _make_tracer(args)
+    results = LayoutSweep(config, tracer=tracer).run(args.kind)
     print(format_bandwidth_table(results))
     print()
     if "luks-baseline" in results.layouts():
@@ -161,6 +193,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         print()
         print(to_csv(results))
+    _write_trace(args, tracer)
+    if args.metrics_out:
+        from .obs import registry_from_counters
+        registry = None
+        for layout in results.layouts():
+            for io_size in results.io_sizes():
+                point = results.result(layout, io_size)
+                registry = registry_from_counters(
+                    point.counters, registry,
+                    layout=layout, io_size=format_size(io_size))
+                registry.gauge(
+                    "sweep_bandwidth_mibps",
+                    "simulated bandwidth of one sweep point").labels(
+                        layout=layout,
+                        io_size=format_size(io_size)).set(
+                            point.bandwidth_mbps)
+        _write_metrics(args, registry)
     return 0
 
 
@@ -206,8 +255,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     arrivals = arrival_schedule(
         PoissonArrivals(rate_per_client=args.arrival_rate, seed=args.seed),
         [stream.num_ops for stream in streams])
+    tracer = _make_tracer(args)
     started = time.perf_counter()
-    result = simulate_fleet(params, streams, arrivals)
+    result = simulate_fleet(params, streams, arrivals, tracer=tracer)
     wall_s = time.perf_counter() - started
 
     stats = result.request_stats
@@ -228,6 +278,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
           f"{'  (sampled)' if stats.sampled else ''}")
     print(f"  wall clock  {wall_s:>12.2f} s   "
           f"({result.requests / max(wall_s, 1e-9):,.0f} requests/s replayed)")
+    _write_trace(args, tracer)
+    if args.metrics_out:
+        from .obs import registry_from_sim
+        registry = registry_from_sim(result, kind=args.kind)
+        _write_metrics(args, registry)
     return 0
 
 
@@ -250,10 +305,16 @@ def _cmd_crash(args: argparse.Namespace) -> int:
           + (f" --fault-stage {args.fault_stage}"
              if args.fault_stage != "all" else "") + ")")
     failures = 0
+    registry = None
     for stage in stages:
         result = run_crash_scenario(stage, seed, io_count=args.io_count)
         print(f"  {stage:24s} {result.summary()}")
         failures += 0 if result.ok else 1
+        if args.metrics_out:
+            from .obs import registry_from_counters
+            registry = registry_from_counters(result.counters, registry,
+                                              stage=stage)
+    _write_metrics(args, registry)
     if failures:
         print(f"{failures} of {len(stages)} crash stage(s) FAILED "
               f"(seed {seed})")
@@ -295,12 +356,22 @@ def _cmd_failure_drill(args: argparse.Namespace) -> int:
           + (f" --pool-ec {args.pool_ec}" if args.pool_ec else "")
           + f" --osds {args.osds})")
     failures = 0
+    registry = None
+    tracer = _make_tracer(args)
     for stage in stages:
+        if tracer is not None:
+            tracer.begin_process(stage)
         result = run_failure_drill(stage, seed, osd_count=args.osds,
                                    image_size=parse_size(args.image_size),
-                                   pool_ec=pool_ec)
+                                   pool_ec=pool_ec, tracer=tracer)
         print(f"  {stage:24s} {result.summary()}")
         failures += 0 if result.ok else 1
+        if args.metrics_out:
+            from .obs import registry_from_counters
+            registry = registry_from_counters(result.counters, registry,
+                                              stage=stage)
+    _write_trace(args, tracer)
+    _write_metrics(args, registry)
     if failures:
         print(f"{failures} of {len(stages)} failure stage(s) FAILED "
               f"(seed {seed})")
@@ -436,6 +507,15 @@ def build_parser() -> argparse.ArgumentParser:
                        "K data + M parity chunks (e.g. 4,2) instead of "
                        "3-way replication; needs --osds >= K+M")
     sweep.add_argument("--csv", action="store_true")
+    sweep.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a Prometheus text exposition of the "
+                       "sweep's ledger counters (labeled by layout and "
+                       "io_size) and print the metrics drill-down table")
+    sweep.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Perfetto-loadable Chrome trace of "
+                       "per-op spans (client op -> RADOS op -> crypto/"
+                       "dispatch -> per-OSD visit); open at "
+                       "https://ui.perfetto.dev")
     sweep.set_defaults(func=_cmd_sweep)
 
     fleet = sub.add_parser(
@@ -463,6 +543,15 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--event-engine", choices=EVENT_ENGINES,
                        default="compact")
     fleet.add_argument("--seed", type=int, default=1234)
+    fleet.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a Prometheus text exposition of the "
+                       "replay (elapsed, requests, latency histogram and "
+                       "percentiles, queue waits)")
+    fleet.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Perfetto-loadable Chrome trace of "
+                       "per-op spans; forces the exact index-machine "
+                       "engine on a single shard (spans carry every "
+                       "event's sim-clock times)")
     fleet.set_defaults(func=_cmd_fleet)
 
     from .faults.plan import ALL_STAGES
@@ -478,6 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "random seed — always printed for exact replay")
     crash.add_argument("--io-count", type=int, default=24,
                        help="writes issued before/while the fault fires")
+    crash.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a Prometheus text exposition of each "
+                       "scenario's ledger counters, labeled by stage")
     crash.set_defaults(func=_cmd_crash)
 
     from .faults.plan import OSD_KILL_STAGES
@@ -502,6 +594,14 @@ def build_parser() -> argparse.ArgumentParser:
                        "of K data + M parity chunks (e.g. 4,2) instead of "
                        "the replicated pool; '--fault-stage all' then "
                        "covers the EC kill stages")
+    drill.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a Prometheus text exposition of each "
+                       "drill's ledger counters, labeled by stage")
+    drill.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Perfetto-loadable Chrome trace of "
+                       "the rebuild-storm replay: degraded client ops, "
+                       "backoff retries and backfill/ec-repair pushes on "
+                       "distinct tracks, one process group per stage")
     drill.set_defaults(func=_cmd_failure_drill)
 
     sectors = sub.add_parser("sectors", help="print the analytic sector table")

@@ -69,6 +69,8 @@ class DrillResult:
     #: client-op latency percentiles from the event replay of the
     #: workload contending with the rebuild storm (µs).
     storm_latency_us: Dict[str, float] = field(default_factory=dict)
+    #: final ledger counters of the drill cluster (for metrics export)
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else "FAILED"
@@ -111,7 +113,8 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
                       object_size: int = 64 * KIB,
                       extra_ios: int = 64,
                       queue_depth: int = 8,
-                      pool_ec: Optional[Tuple[int, int]] = None) -> DrillResult:
+                      pool_ec: Optional[Tuple[int, int]] = None,
+                      tracer=None) -> DrillResult:
     """Run the kill -> degraded -> rebuild -> healthy drill for one stage.
 
     ``pool_ec=(k, m)`` runs the drill against an erasure-coded pool
@@ -119,6 +122,10 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
     reconstruct through the codec, and the rebuild goes through the
     ec-repair backfill path.  Stage and pool type must match
     (``REPLICATED_KILL_STAGES`` vs ``EC_KILL_STAGES``).
+
+    ``tracer`` (a :class:`repro.obs.SpanTracer`) records the storm
+    replay's span timeline: degraded client ops, backoff retries and the
+    backfill/ec-repair storm land on distinct tracks.
     """
     from ..api import create_encrypted_image, make_cluster
     from ..crypto.suite import SIMULATION_SUITE
@@ -278,7 +285,7 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
         sim = simulate_client_ops(cluster.params,
                                   [client_stream, storm_stream]
                                   if storm_stream else [client_stream],
-                                  queue_depth=queue_depth)
+                                  queue_depth=queue_depth, tracer=tracer)
         # Percentiles of the *client* stream only: the drill reports what
         # applications see while recovery traffic contends underneath.
         result.storm_latency_us = (
@@ -295,5 +302,6 @@ def run_failure_drill(stage: str, seed: int, osd_count: int = 100,
         ledger.counter("cluster.osd_dispatch_timeouts"))
     result.objects_pushed = int(ledger.counter("recovery.objects_pushed"))
     result.bytes_pushed = int(ledger.counter("recovery.bytes_pushed"))
+    result.counters = dict(ledger.counters)
     result.ok = not result.problems
     return result

@@ -19,8 +19,8 @@ points, so pulling the api in at module import time would be circular.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from .checker import (EquivalenceReport, apply_history,
                       check_crash_equivalence)
@@ -46,6 +46,8 @@ class ScenarioResult:
     ok: bool                 #: the recovery property held
     detail: str = ""
     report: Optional[EquivalenceReport] = None
+    #: final ledger counters of the scenario cluster (for metrics export)
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else "FAILED"
@@ -113,7 +115,8 @@ def _pwl_scenario(stage: str, seed: int, io_count: int) -> ScenarioResult:
     detail = str(recovery) + ("" if crashed else "; no crash raised")
     return ScenarioResult(stage=stage, seed=seed, hit=plan.hit,
                           fired=plan.fired, ok=report.ok, detail=detail,
-                          report=report)
+                          report=report,
+                          counters=dict(cluster.ledger.counters))
 
 
 def _copyup_scenario(stage: str, seed: int, io_count: int) -> ScenarioResult:
@@ -163,7 +166,8 @@ def _copyup_scenario(stage: str, seed: int, io_count: int) -> ScenarioResult:
     detail = "clone copyup" + ("" if crashed else "; no crash raised")
     return ScenarioResult(stage=stage, seed=seed, hit=plan.hit,
                           fired=plan.fired, ok=report.ok, detail=detail,
-                          report=report)
+                          report=report,
+                          counters=dict(cluster.ledger.counters))
 
 
 def _luks_scenario(stage: str, seed: int, io_count: int) -> ScenarioResult:
@@ -209,7 +213,8 @@ def _luks_scenario(stage: str, seed: int, io_count: int) -> ScenarioResult:
     detail = ("header update atomic: old slot intact, new slot absent"
               if ok else "; ".join(problems))
     return ScenarioResult(stage=stage, seed=seed, hit=plan.hit,
-                          fired=crashed, ok=ok, detail=detail)
+                          fired=crashed, ok=ok, detail=detail,
+                          counters=dict(cluster.ledger.counters))
 
 
 def run_crash_scenario(stage: str, seed: int,

@@ -1,0 +1,32 @@
+"""Observability: metrics registry, span tracing, exporters.
+
+See :mod:`repro.obs.names` for the canonical counter/kind registries,
+:mod:`repro.obs.metrics` for the typed label-aware registry,
+:mod:`repro.obs.spans` for sim-clock span tracing, and
+:mod:`repro.obs.export` for the Perfetto / Prometheus / JSONL exporters.
+"""
+
+from .export import (registry_from_counters, registry_from_ledger,
+                     registry_from_sim, to_chrome_trace, to_op_log_jsonl,
+                     to_prometheus, write_chrome_trace, write_op_log_jsonl,
+                     write_prometheus)
+from .metrics import (LATENCY_BUCKETS_US, HistogramData, MetricFamily,
+                      MetricsRegistry, MetricSeries)
+from .names import (COUNTERS, KIND_BACKFILL, KIND_CACHE_HIT, KIND_EC_REPAIR,
+                    KIND_INDEX, KIND_OP, KIND_PWL_APPEND, KIND_READ,
+                    KIND_WRITE, OP_KINDS, counter_help, is_registered_counter)
+from .spans import (DEFAULT_MAX_SPANS, Span, SpanTracer, span_sort_key,
+                    spans_from_client_ops)
+
+__all__ = [
+    "COUNTERS", "OP_KINDS", "KIND_INDEX", "KIND_WRITE", "KIND_READ",
+    "KIND_CACHE_HIT", "KIND_PWL_APPEND", "KIND_BACKFILL", "KIND_EC_REPAIR",
+    "KIND_OP", "counter_help", "is_registered_counter",
+    "MetricsRegistry", "MetricFamily", "MetricSeries", "HistogramData",
+    "LATENCY_BUCKETS_US",
+    "Span", "SpanTracer", "DEFAULT_MAX_SPANS", "span_sort_key",
+    "spans_from_client_ops",
+    "registry_from_counters", "registry_from_ledger", "registry_from_sim",
+    "to_chrome_trace", "to_prometheus", "to_op_log_jsonl",
+    "write_chrome_trace", "write_prometheus", "write_op_log_jsonl",
+]

@@ -1,0 +1,220 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, JSONL op log.
+
+All three are renderings of run artifacts that already exist — the span
+list a :class:`~repro.obs.spans.SpanTracer` collected and a
+:class:`~repro.obs.metrics.MetricsRegistry` built from ledger counters
+and simulation results — so exporting never touches the hot path.
+
+* :func:`to_chrome_trace` emits the Chrome trace-event format (``ph: X``
+  complete events plus ``ph: M`` process/thread metadata), loadable
+  directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+* :func:`to_prometheus` emits the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / samples, counters suffixed ``_total``,
+  histograms as ``_bucket``/``_sum``/``_count``).
+* :func:`to_op_log_jsonl` emits one JSON object per span — the greppable
+  op-log form of the same timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Sequence, Union
+
+from .metrics import HistogramData, MetricsRegistry
+from .names import counter_help
+from .spans import Span, SpanTracer, span_sort_key
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+#: every exported Prometheus metric carries this prefix
+PROM_PREFIX = "repro_"
+
+
+# ---------------------------------------------------------------------------
+# registry builders (the pull-model collection step)
+# ---------------------------------------------------------------------------
+
+def registry_from_counters(counters: Dict[str, float],
+                           registry: Union[MetricsRegistry, None] = None,
+                           **labels: str) -> MetricsRegistry:
+    """Register a plain counter dict (a ledger delta) into a registry."""
+    registry = registry or MetricsRegistry()
+    for name in sorted(counters):
+        family = registry.counter(name, counter_help(name))
+        family.labels(**labels).inc(float(counters[name]))
+    return registry
+
+
+def registry_from_ledger(ledger, registry: Union[MetricsRegistry, None] = None,
+                         **labels: str) -> MetricsRegistry:
+    """Build (or extend) a registry from a :class:`CostLedger`."""
+    registry = registry_from_counters(dict(ledger.counters), registry,
+                                      **labels)
+    busy = registry.gauge("resource_busy_us",
+                          "accumulated busy time per simulated resource")
+    for name in sorted(ledger.resource_us):
+        busy.labels(resource=name, **labels).set(ledger.resource_us[name])
+    registry.gauge("ops_finished", "client-visible operations finished") \
+        .labels(**labels).set(float(ledger.op_count))
+    registry.gauge("op_latency_mean_us",
+                   "mean critical-path latency of finished ops") \
+        .labels(**labels).set(ledger.mean_latency_us())
+    return registry
+
+
+def registry_from_sim(result, registry: Union[MetricsRegistry, None] = None,
+                      **labels: str) -> MetricsRegistry:
+    """Register an :class:`EventSimResult`'s populations and gauges."""
+    registry = registry or MetricsRegistry()
+    registry.gauge("sim_elapsed_us", "simulated elapsed time of the run") \
+        .labels(engine=result.engine, **labels).set(result.elapsed_us)
+    registry.gauge("sim_requests", "client requests the replay completed") \
+        .labels(engine=result.engine, **labels).set(float(result.requests))
+    registry.gauge("sim_events", "events the replay processed") \
+        .labels(engine=result.engine, **labels) \
+        .set(float(result.events_processed))
+    hist = registry.histogram(
+        "request_latency_us",
+        "per-request completion latency (reservoir sample)")
+    series = hist.labels(**labels)
+    for value in result.request_stats.sample:
+        series.observe(float(value))
+    quantiles = registry.gauge(
+        "request_latency_quantile_us",
+        "per-request completion latency percentiles")
+    for name, value in result.request_stats.percentiles().items():
+        quantiles.labels(quantile=name, **labels).set(value)
+    waits = registry.gauge("queue_wait_us",
+                           "accumulated waiting time per queue")
+    for queue in sorted(result.queue_wait_us):
+        waits.labels(queue=queue, **labels).set(result.queue_wait_us[queue])
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str, kind: str) -> str:
+    base = PROM_PREFIX + _NAME_SANITIZE.sub("_", name)
+    if kind == "counter" and not base.endswith("_total"):
+        base += "_total"
+    return base
+
+
+def _prom_labels(pairs: Sequence) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        name = _prom_name(family.name, family.kind)
+        lines.append(f"# HELP {name} {family.help or family.name}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for labels, value in family.series():
+            if isinstance(value, HistogramData):
+                acc = 0
+                for bound, count in zip(value.bounds, value.counts):
+                    acc += count
+                    bucket = tuple(labels) + (("le", _prom_value(bound)),)
+                    lines.append(f"{name}_bucket{_prom_labels(bucket)} {acc}")
+                acc += value.counts[-1]
+                bucket = tuple(labels) + (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_prom_labels(bucket)} {acc}")
+                lines.append(f"{name}_sum{_prom_labels(labels)} "
+                             f"{_prom_value(value.sum)}")
+                lines.append(f"{name}_count{_prom_labels(labels)} "
+                             f"{value.count}")
+            else:
+                lines.append(f"{name}{_prom_labels(labels)} "
+                             f"{_prom_value(float(value))}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, registry: MetricsRegistry) -> None:
+    """Write the Prometheus text exposition to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(registry))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto)
+# ---------------------------------------------------------------------------
+
+def _spans_of(source: Union[SpanTracer, Sequence[Span]]) -> List[Span]:
+    spans = source.spans if isinstance(source, SpanTracer) else list(source)
+    return sorted(spans, key=span_sort_key)
+
+
+def to_chrome_trace(source: Union[SpanTracer, Sequence[Span]]) -> Dict:
+    """Render spans as a Chrome trace-event document (Perfetto-loadable).
+
+    pid/tid assignment is deterministic: processes and threads are
+    numbered in sorted-name order, and metadata events name them so the
+    Perfetto UI shows ``client 0 / ops`` rather than bare integers.
+    """
+    spans = _spans_of(source)
+    processes = sorted({span.process for span in spans})
+    pid_of = {name: i + 1 for i, name in enumerate(processes)}
+    threads = sorted({(span.process, span.thread) for span in spans})
+    tid_of = {key: i + 1 for i, key in enumerate(threads)}
+    events: List[Dict] = []
+    for name in processes:
+        events.append({"ph": "M", "name": "process_name",
+                       "pid": pid_of[name], "tid": 0,
+                       "args": {"name": name}})
+    for process, thread in threads:
+        events.append({"ph": "M", "name": "thread_name",
+                       "pid": pid_of[process],
+                       "tid": tid_of[(process, thread)],
+                       "args": {"name": thread}})
+    for span in spans:
+        events.append({"ph": "X", "name": span.name, "cat": span.cat,
+                       "ts": span.start_us, "dur": span.dur_us,
+                       "pid": pid_of[span.process],
+                       "tid": tid_of[(span.process, span.thread)],
+                       "args": span.args})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str,
+                       source: Union[SpanTracer, Sequence[Span]]) -> None:
+    """Write a Perfetto-loadable trace JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(source), handle, indent=None,
+                  separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# JSONL op log
+# ---------------------------------------------------------------------------
+
+def to_op_log_jsonl(source: Union[SpanTracer, Sequence[Span]]) -> str:
+    """One JSON object per span: the greppable form of the timeline."""
+    lines = []
+    for span in _spans_of(source):
+        record = {"name": span.name, "cat": span.cat,
+                  "start_us": span.start_us, "dur_us": span.dur_us,
+                  "track": f"{span.process}/{span.thread}"}
+        if span.args:
+            record["args"] = span.args
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_op_log_jsonl(path: str,
+                       source: Union[SpanTracer, Sequence[Span]]) -> None:
+    """Write the JSONL op log to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_op_log_jsonl(source))

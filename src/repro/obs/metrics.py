@@ -1,0 +1,184 @@
+"""Typed, label-aware metrics registry.
+
+The registry is *pull-model*, like Ceph's perf counters: nothing on the
+simulation hot path writes metrics — the run finishes, and the registry
+is built once from the :class:`~repro.sim.ledger.CostLedger` and the
+event-engine result (:mod:`repro.obs.export`).  That is the whole
+zero-overhead story: with observability off the hot path is untouched,
+and with it on the only added work is one post-run pass over counters
+the ledger already accumulated.
+
+Three instrument types:
+
+* :class:`Counter` — monotonically increasing totals,
+* :class:`Gauge` — point-in-time values,
+* :class:`Histogram` — log-bucketed (powers of two, microseconds)
+  latency distributions,
+
+each a *family* keyed by name; concrete series hang off a family via
+:meth:`MetricFamily.labels` (e.g. ``{"client": "0", "layout":
+"object-end"}``).  Registering the same name twice with a different type
+or help string raises :class:`~repro.errors.ConfigurationError` — a
+registry is a declared namespace, not a defaultdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: log-spaced histogram bucket bounds in microseconds: 1 us .. ~16.8 s.
+LATENCY_BUCKETS_US: Tuple[float, ...] = tuple(float(2 ** e)
+                                              for e in range(25))
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Dict[str, str]) -> LabelValues:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class HistogramData:
+    """One histogram series: bucket counts, running sum and count."""
+
+    bounds: Tuple[float, ...]
+    counts: List[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            # one slot per finite bound plus the +Inf overflow slot
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        """Record ``value`` into its bucket (``weight`` observations)."""
+        slot = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                slot = i
+                break
+        self.counts[slot] += weight
+        self.sum += value * weight
+        self.count += weight
+
+
+class MetricFamily:
+    """All series of one named metric (one per distinct label set)."""
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 bounds: Tuple[float, ...] = LATENCY_BUCKETS_US) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.bounds = bounds
+        self._series: Dict[LabelValues, object] = {}
+
+    def labels(self, **labels: str) -> "MetricSeries":
+        """The series for one label combination (created on first use)."""
+        key = _freeze_labels(labels)
+        if key not in self._series:
+            self._series[key] = (HistogramData(self.bounds)
+                                 if self.kind == "histogram" else 0.0)
+        return MetricSeries(self, key)
+
+    def series(self) -> Iterator[Tuple[LabelValues, object]]:
+        """Iterate ``(label_values, value)`` sorted by label values."""
+        return iter(sorted(self._series.items()))
+
+    # series mutation, routed through MetricSeries ---------------------------
+
+    def _inc(self, key: LabelValues, amount: float) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (got {amount})")
+        self._series[key] = float(self._series[key]) + amount
+
+    def _set(self, key: LabelValues, value: float) -> None:
+        self._series[key] = float(value)
+
+    def _get(self, key: LabelValues) -> object:
+        return self._series[key]
+
+
+@dataclass(frozen=True)
+class MetricSeries:
+    """Handle to one (family, label set) series."""
+
+    family: MetricFamily
+    key: LabelValues
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment a counter series."""
+        if self.family.kind != "counter":
+            raise ConfigurationError(
+                f"{self.family.name} is a {self.family.kind}, not a counter")
+        self.family._inc(self.key, amount)
+
+    def set(self, value: float) -> None:
+        """Set a gauge series."""
+        if self.family.kind != "gauge":
+            raise ConfigurationError(
+                f"{self.family.name} is a {self.family.kind}, not a gauge")
+        self.family._set(self.key, value)
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        """Record an observation into a histogram series."""
+        if self.family.kind != "histogram":
+            raise ConfigurationError(
+                f"{self.family.name} is a {self.family.kind}, "
+                f"not a histogram")
+        data = self.family._get(self.key)
+        assert isinstance(data, HistogramData)
+        data.observe(value, weight)
+
+    @property
+    def value(self) -> object:
+        """Current value (float, or :class:`HistogramData`)."""
+        return self.family._get(self.key)
+
+
+class MetricsRegistry:
+    """A declared namespace of metric families."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(self, name: str, kind: str, help_text: str,
+                  bounds: Tuple[float, ...] = LATENCY_BUCKETS_US,
+                  ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as {kind}")
+            return existing
+        family = MetricFamily(name, kind, help_text, bounds)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "") -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(name, "counter", help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, "gauge", help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  bounds: Sequence[float] = LATENCY_BUCKETS_US,
+                  ) -> MetricFamily:
+        """Register (or fetch) a log-bucketed histogram family."""
+        return self._register(name, "histogram", help_text, tuple(bounds))
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """Fetch a family by name, or None."""
+        return self._families.get(name)
+
+    def collect(self) -> List[MetricFamily]:
+        """All families, sorted by name (exporter order)."""
+        return [self._families[name] for name in sorted(self._families)]

@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..cache.config import CacheConfig
 from ..errors import ConfigurationError
+from ..obs.names import KIND_PWL_APPEND
 from ..faults.plan import (STAGE_MID_DRAIN, STAGE_POST_ACK_PRE_DRAIN,
                            STAGE_PRE_LOG_APPEND, crash_point)
 from ..rbd.image import Image, IoResult
@@ -158,7 +159,7 @@ class PwlImage:
             self._ledger.attribute_client_cpu(cost)
         else:
             self._ledger.record_op_trace(
-                OpTrace(kind="pwl-append", client_cpu_us=cost,
+                OpTrace(kind=KIND_PWL_APPEND, client_cpu_us=cost,
                         client_net_us=0.0, network_us=0.0))
         receipt.latency_us += cost
         return receipt

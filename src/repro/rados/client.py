@@ -46,6 +46,7 @@ from ..errors import (DegradedClusterError, ObjectNotFoundError, OsdDownError,
 from ..faults.plan import (STAGE_KILL_EC_SHARD_MID_TXN,
                            STAGE_KILL_PRIMARY_MID_TXN,
                            STAGE_KILL_REPLICA_MID_TXN, osd_kill_due)
+from ..obs.names import KIND_READ, KIND_WRITE
 from ..sim.ledger import (OpReceipt, OpTrace, RES_CLIENT_CPU, RES_CLIENT_NET,
                           RES_CLUSTER_NET)
 
@@ -264,10 +265,11 @@ class IoCtx:
                     visit.hop_us = params.replication_hop_us
                     visit.push_us = push_us
                 ledger.record_op_trace(OpTrace(
-                    kind="write", client_cpu_us=client_cpu_us,
+                    kind=KIND_WRITE, client_cpu_us=client_cpu_us,
                     client_net_us=client_net_us,
                     network_us=params.network_round_trip_us + penalty_us,
-                    visits=visits, bytes_moved=payload))
+                    visits=visits, bytes_moved=payload,
+                    retries=attempt - 1))
             return OpReceipt(latency_us=latency, bytes_moved=payload)
         raise DegradedClusterError(
             f"write to {self._pool.name}/{name} failed after "
@@ -391,10 +393,11 @@ class IoCtx:
                     visit.hop_us = params.replication_hop_us
                     visit.push_us = push_us
                 ledger.record_op_trace(OpTrace(
-                    kind="write", client_cpu_us=client_cpu_us,
+                    kind=KIND_WRITE, client_cpu_us=client_cpu_us,
                     client_net_us=client_net_us,
                     network_us=params.network_round_trip_us + penalty_us,
-                    visits=visits, bytes_moved=payload))
+                    visits=visits, bytes_moved=payload,
+                    retries=attempt - 1))
             return OpReceipt(latency_us=latency, bytes_moved=payload)
         raise DegradedClusterError(
             f"write to {pool.name}/{name} failed after "
@@ -683,7 +686,8 @@ class IoCtx:
                     # degraded read (the bytes are identical — replication
                     # is synchronous — which the failure drill asserts).
                     ledger.count("cluster.degraded_reads")
-                return self._finish_read(results, osd_latency, penalty_us)
+                return self._finish_read(results, osd_latency, penalty_us,
+                                         retries=attempt - 1)
             if not_found == len(acting):
                 raise ObjectNotFoundError(
                     f"object {self._pool.name}/{name} not found on any "
@@ -786,7 +790,8 @@ class IoCtx:
                 ledger.count("cluster.osd_dispatch_timeouts")
                 last_down = exc
                 continue
-            return self._finish_read(results, osd_latency, penalty_us)
+            return self._finish_read(results, osd_latency, penalty_us,
+                                     retries=attempt - 1)
         raise DegradedClusterError(
             f"read of {self._pool.name}/{name} failed after "
             f"{params.retry_max_attempts} attempts") from last_down
@@ -869,7 +874,7 @@ class IoCtx:
             f"EC shard {acting}")
 
     def _finish_read(self, results: List[OpResult], osd_latency: float,
-                     penalty_us: float) -> ReadResult:
+                     penalty_us: float, retries: int = 0) -> ReadResult:
         params = self._cluster.params
         ledger = self._cluster.ledger
         response_bytes = 0
@@ -882,11 +887,11 @@ class IoCtx:
         ledger.count("rados.client_read_ops")
         if ledger.trace_ops:
             ledger.record_op_trace(OpTrace(
-                kind="read", client_cpu_us=client_cpu_us,
+                kind=KIND_READ, client_cpu_us=client_cpu_us,
                 client_net_us=client_net_us,
                 network_us=params.network_round_trip_us + penalty_us,
                 visits=ledger.take_osd_visits(),
-                bytes_moved=response_bytes))
+                bytes_moved=response_bytes, retries=retries))
         receipt = OpReceipt(latency_us=latency, bytes_moved=response_bytes)
         return ReadResult(results=results, receipt=receipt)
 

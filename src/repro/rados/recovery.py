@@ -17,7 +17,7 @@ simulated analogue of Ceph's peering + backfill:
   ``recovery_bandwidth_mbps``, and the target commits a real write
   transaction — so a rebuild storm contends with client I/O in both the
   analytic and the event-replay performance models
-  (``OpTrace(kind="backfill")``).  Snapshot clones and the replica
+  (``OpTrace(kind=KIND_BACKFILL)``).  Snapshot clones and the replica
   version are carried over as bookkeeping (BlueStore clones move by
   reference).
 
@@ -36,6 +36,7 @@ from .object import CloneInfo, RadosObject
 from .osd import OSD
 from .transaction import ReadOperation, WriteTransaction
 from ..faults.plan import STAGE_KILL_DURING_BACKFILL, osd_kill_due
+from ..obs.names import KIND_BACKFILL, KIND_EC_REPAIR
 from ..sim.ledger import OpTrace, RES_CLUSTER_NET, RES_OSD_CPU
 
 #: upper bound on peer/push passes one :func:`backfill` call runs; each
@@ -203,7 +204,7 @@ def _push_object(cluster: Cluster, pool: str, item: BackfillItem,
         tgt_obj.snap_seq_seen = src_obj.snap_seq_seen
         if ledger.trace_ops:
             ledger.record_op_trace(OpTrace(
-                kind="backfill", client_cpu_us=params.recovery_op_cost_us,
+                kind=KIND_BACKFILL, client_cpu_us=params.recovery_op_cost_us,
                 client_net_us=0.0,
                 network_us=params.replication_hop_us,
                 visits=ledger.take_osd_visits(), bytes_moved=0))
@@ -251,10 +252,10 @@ def _push_object(cluster: Cluster, pool: str, item: BackfillItem,
                + params.replication_hop_us + write_latency)
     if ledger.trace_ops:
         # The source read + target write recorded one visit each; the
-        # transfer rides the network term.  kind="backfill" flows through
+        # transfer rides the network term.  kind=KIND_BACKFILL flows through
         # both event engines as ordinary traffic contending with clients.
         ledger.record_op_trace(OpTrace(
-            kind="backfill", client_cpu_us=params.recovery_op_cost_us,
+            kind=KIND_BACKFILL, client_cpu_us=params.recovery_op_cost_us,
                 client_net_us=0.0,
             network_us=transfer_us + params.replication_hop_us,
             visits=ledger.take_osd_visits(), bytes_moved=payload))
@@ -383,7 +384,7 @@ def _push_ec_shard(cluster: Cluster, pool: str, item: BackfillItem,
     ledger.count("recovery.ec_bytes_repaired", payload)
     if ledger.trace_ops:
         ledger.record_op_trace(OpTrace(
-            kind="ec-repair", client_cpu_us=params.recovery_op_cost_us,
+            kind=KIND_EC_REPAIR, client_cpu_us=params.recovery_op_cost_us,
             client_net_us=0.0,
             network_us=transfer_us + params.replication_hop_us,
             visits=ledger.take_osd_visits(), bytes_moved=payload))

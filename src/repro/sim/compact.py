@@ -5,7 +5,7 @@ The per-op object form (:class:`~repro.sim.ledger.ClientOpTrace` holding
 :class:`~repro.sim.ledger.OsdVisit` objects) costs several Python objects
 and hundreds of bytes per simulated operation, which is what caps the
 event engine well below fleet traffic.  :class:`CompactStream` flattens
-one client's whole stream into eight numpy columns plus two prefix-offset
+one client's whole stream into flat numpy columns plus two prefix-offset
 arrays (CSR-style), so the replay engines iterate over integer indices —
 no objects, no closures, ~50 bytes per RADOS op regardless of Python's
 object overhead — and the vectorized open-loop engine can run whole-column
@@ -15,7 +15,8 @@ Layout (three levels, each a structure-of-arrays)::
 
     client ops : op_requests[i]                       i in [0, num_ops)
                  traces of op i = [op_trace_start[i], op_trace_start[i+1])
-    RADOS ops  : trace_cpu_us / trace_net_us / trace_rtt_us [t]
+    RADOS ops  : trace_cpu_us / trace_net_us / trace_rtt_us /
+                 trace_kind / trace_retries [t]
                  visits of trace t = [trace_visit_start[t],
                                       trace_visit_start[t+1])
     OSD visits : visit_osd / visit_service_us / visit_latency_us /
@@ -35,6 +36,8 @@ from typing import List, Sequence
 import numpy as np
 
 from .ledger import ClientOpTrace, OpTrace, OsdVisit
+from ..errors import ConfigurationError
+from ..obs.names import KIND_INDEX, OP_KINDS
 
 
 @dataclass
@@ -46,6 +49,8 @@ class CompactStream:
     trace_cpu_us: np.ndarray       #: float64[num_traces]
     trace_net_us: np.ndarray       #: float64[num_traces]
     trace_rtt_us: np.ndarray       #: float64[num_traces]
+    trace_kind: np.ndarray         #: int64[num_traces] index into OP_KINDS
+    trace_retries: np.ndarray      #: int64[num_traces] absorbed retries
     trace_visit_start: np.ndarray  #: int64[num_traces + 1] prefix offsets
     visit_osd: np.ndarray          #: int64[num_visits]
     visit_service_us: np.ndarray   #: float64[num_visits]
@@ -84,9 +89,9 @@ class CompactStream:
         """Total buffer memory of the columns (for memory assertions)."""
         return sum(getattr(self, name).nbytes for name in (
             "op_requests", "op_trace_start", "trace_cpu_us", "trace_net_us",
-            "trace_rtt_us", "trace_visit_start", "visit_osd",
-            "visit_service_us", "visit_latency_us", "visit_hop_us",
-            "visit_push_us"))
+            "trace_rtt_us", "trace_kind", "trace_retries",
+            "trace_visit_start", "visit_osd", "visit_service_us",
+            "visit_latency_us", "visit_hop_us", "visit_push_us"))
 
     def op(self, index: int) -> ClientOpTrace:
         """Decode one client op back into the object form (tests only)."""
@@ -101,9 +106,11 @@ class CompactStream:
                       for v in range(int(self.trace_visit_start[t]),
                                      int(self.trace_visit_start[t + 1]))]
             traces.append(OpTrace(
-                kind="op", client_cpu_us=float(self.trace_cpu_us[t]),
+                kind=OP_KINDS[int(self.trace_kind[t])],
+                client_cpu_us=float(self.trace_cpu_us[t]),
                 client_net_us=float(self.trace_net_us[t]),
-                network_us=float(self.trace_rtt_us[t]), visits=visits))
+                network_us=float(self.trace_rtt_us[t]), visits=visits,
+                retries=int(self.trace_retries[t])))
         return ClientOpTrace(requests=int(self.op_requests[index]),
                              traces=traces)
 
@@ -127,6 +134,16 @@ def encode_stream(ops: Sequence[ClientOpTrace]) -> CompactStream:
                             dtype=np.float64, count=len(traces))
     trace_rtt = np.fromiter((t.network_us for t in traces),
                             dtype=np.float64, count=len(traces))
+    try:
+        trace_kind = np.fromiter((KIND_INDEX[t.kind] for t in traces),
+                                 dtype=np.int64, count=len(traces))
+    except KeyError:
+        unknown = sorted({t.kind for t in traces if t.kind not in KIND_INDEX})
+        raise ConfigurationError(
+            f"unknown OpTrace kind(s) {unknown}; declared kinds: "
+            f"{list(OP_KINDS)} (repro.obs.names.OP_KINDS)") from None
+    trace_retries = np.fromiter((getattr(t, "retries", 0) for t in traces),
+                                dtype=np.int64, count=len(traces))
     trace_visit_start = np.zeros(len(traces) + 1, dtype=np.int64)
     np.cumsum(np.fromiter((len(t.visits) for t in traces), dtype=np.int64,
                           count=len(traces)), out=trace_visit_start[1:])
@@ -137,6 +154,8 @@ def encode_stream(ops: Sequence[ClientOpTrace]) -> CompactStream:
         trace_cpu_us=trace_cpu,
         trace_net_us=trace_net,
         trace_rtt_us=trace_rtt,
+        trace_kind=trace_kind,
+        trace_retries=trace_retries,
         trace_visit_start=trace_visit_start,
         visit_osd=np.fromiter((v.osd_id for v in visits), dtype=np.int64,
                               count=len(visits)),
@@ -191,6 +210,8 @@ def tile_stream(stream: CompactStream, num_ops: int) -> CompactStream:
         trace_cpu_us=tile(stream.trace_cpu_us)[:take_traces],
         trace_net_us=tile(stream.trace_net_us)[:take_traces],
         trace_rtt_us=tile(stream.trace_rtt_us)[:take_traces],
+        trace_kind=tile(stream.trace_kind)[:take_traces],
+        trace_retries=tile(stream.trace_retries)[:take_traces],
         trace_visit_start=trace_visit_start,
         visit_osd=tile(stream.visit_osd)[:take_visits],
         visit_service_us=tile(stream.visit_service_us)[:take_visits],

@@ -46,6 +46,7 @@ from .reservoir import (CLIENT_RESERVOIR_CAPACITY, LatencyReservoir,
                         merge_reservoirs)
 from .scheduler import EventSimResult
 from ..errors import ConfigurationError
+from ..obs.spans import SpanTracer
 
 __all__ = ["simulate_closed_loop", "simulate_fleet",
            "fleet_streams_from_template"]
@@ -365,11 +366,16 @@ def _merge_results(params: CostParameters, parts: List[EventSimResult],
 
 def simulate_closed_loop(params: CostParameters,
                          streams: Sequence[Sequence[ClientOpTrace]],
-                         queue_depth: int) -> EventSimResult:
+                         queue_depth: int,
+                         tracer: Optional[SpanTracer] = None,
+                         ) -> EventSimResult:
     """Closed-loop compact replay, sharded per ``params.sim_shards``.
 
     With one shard (the default) this is bit-identical to the legacy
-    scheduler — same event discipline over flattened columns.
+    scheduler — same event discipline over flattened columns.  A tracer
+    forces one in-process shard: spans carry every event's sim-clock
+    times, which cannot cross worker-process boundaries, and splitting
+    contention domains would change the very timeline being recorded.
     """
     if queue_depth <= 0:
         raise ConfigurationError("queue depth must be positive")
@@ -378,6 +384,8 @@ def simulate_closed_loop(params: CostParameters,
         raise ConfigurationError(
             "event simulation needs at least one traced operation "
             "(was ledger.trace_ops enabled during the run?)")
+    if tracer is not None:
+        return replay_closed_loop(params, compact, queue_depth, tracer)
     payloads = [(params, compact[lo:hi], "closed", queue_depth, None)
                 for lo, hi in _partition(len(compact), params.sim_shards)]
     return _merge_results(params, _run_shards(params, payloads),
@@ -386,14 +394,18 @@ def simulate_closed_loop(params: CostParameters,
 
 def simulate_fleet(params: CostParameters,
                    streams: Sequence[Sequence[ClientOpTrace]],
-                   arrivals_us: Sequence[Sequence[float]]) -> EventSimResult:
+                   arrivals_us: Sequence[Sequence[float]],
+                   tracer: Optional[SpanTracer] = None) -> EventSimResult:
     """Open-loop fleet replay: op ``j`` of client ``i`` issues at
     ``arrivals_us[i][j]``.
 
     Uses the vectorized scan engine whenever the workload allows it
     (single-RADOS-op client ops, single-server OSD queues) and
     ``params.event_engine`` is "compact"; otherwise the index-based
-    event machine replays each shard exactly.
+    event machine replays each shard exactly.  A tracer forces one
+    in-process exact (index-machine) shard — the vectorized scans never
+    materialize per-event times, and spans cannot cross worker-process
+    boundaries.
     """
     compact = encode_streams(streams)
     if len(arrivals_us) != len(compact):
@@ -414,6 +426,8 @@ def simulate_fleet(params: CostParameters,
             raise ConfigurationError(
                 "arrival timestamps must be sorted per client")
         arrays.append(arr)
+    if tracer is not None:
+        return replay_open_loop(params, compact, arrays, tracer)
     vectorized = (params.event_engine == "compact"
                   and params.osd_shards == 1
                   and not has_serial_chains(compact))

@@ -17,9 +17,10 @@ bound.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
+
+from ..errors import ConfigurationError
 
 
 # Resource names used across the stack.
@@ -81,12 +82,15 @@ class OpTrace:
     primary; the rest are replicas (writes only).
     """
 
-    kind: str                      #: "write" or "read"
+    kind: str                      #: one of :data:`repro.obs.names.OP_KINDS`
     client_cpu_us: float           #: client dispatch CPU service time
     client_net_us: float           #: client NIC transfer service time
     network_us: float              #: request/response round-trip latency
     visits: List[OsdVisit] = field(default_factory=list)
     bytes_moved: int = 0
+    #: failed dispatch attempts absorbed before this op succeeded (their
+    #: timeout/backoff cost is folded into ``network_us``)
+    retries: int = 0
 
     @property
     def primary(self) -> OsdVisit:
@@ -120,8 +124,11 @@ class CostLedger:
     """Accumulates counters and per-resource busy time."""
 
     def __init__(self) -> None:
-        self.counters: Dict[str, float] = defaultdict(float)
-        self.resource_us: Dict[str, float] = defaultdict(float)
+        # Plain dicts on purpose: a defaultdict would let a mere subscript
+        # *read* of a misspelled counter materialize a fresh key, silently
+        # polluting snapshot()/diff() key sets.
+        self.counters: Dict[str, float] = {}
+        self.resource_us: Dict[str, float] = {}
         self.latency_sum_us: float = 0.0
         self.op_count: int = 0
         #: when True, the RADOS layer records an :class:`OpTrace` per
@@ -139,14 +146,20 @@ class CostLedger:
     # -- recording ------------------------------------------------------------
 
     def count(self, name: str, amount: float = 1.0) -> None:
-        """Increment a named counter."""
-        self.counters[name] += amount
+        """Increment a named counter.
+
+        Counter names form a declared namespace
+        (:data:`repro.obs.names.COUNTERS`); the test suite scans every
+        ``count(...)`` literal in ``src/`` against it.
+        """
+        self.counters[name] = self.counters.get(name, 0.0) + amount
 
     def busy(self, resource: str, microseconds: float) -> None:
         """Attribute busy time to a resource."""
         if microseconds < 0:
-            raise ValueError("busy time must be non-negative")
-        self.resource_us[resource] += microseconds
+            raise ConfigurationError("busy time must be non-negative")
+        self.resource_us[resource] = (self.resource_us.get(resource, 0.0)
+                                      + microseconds)
 
     def finish_op(self, receipt: OpReceipt, ops: int = 1) -> None:
         """Record the completion of ``ops`` client-visible operations.
@@ -158,7 +171,7 @@ class CostLedger:
         comparable.
         """
         if ops <= 0:
-            raise ValueError("ops must be positive")
+            raise ConfigurationError("ops must be positive")
         self.latency_sum_us += receipt.latency_us
         self.op_count += ops
         if self.trace_ops:
@@ -299,8 +312,8 @@ class CostLedger:
     def snapshot(self) -> "CostLedger":
         """Deep copy of the current state (used to diff before/after a run)."""
         clone = CostLedger()
-        clone.counters = defaultdict(float, self.counters)
-        clone.resource_us = defaultdict(float, self.resource_us)
+        clone.counters = dict(self.counters)
+        clone.resource_us = dict(self.resource_us)
         clone.latency_sum_us = self.latency_sum_us
         clone.op_count = self.op_count
         clone.client_ops = list(self.client_ops)

@@ -20,13 +20,15 @@ which is what fleet-scale arrival processes (Poisson, trace-driven) need.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .compact import CompactStream
 from .costparams import CostParameters
 from .reservoir import CLIENT_RESERVOIR_CAPACITY, LatencyReservoir
 from .scheduler import EventSimResult, ServiceQueue
 from ..errors import ConfigurationError
+from ..obs.names import OP_KINDS
+from ..obs.spans import SpanTracer
 
 # Event codes (payload meanings in parentheses).
 _ISSUE = 0      # closed-loop: issue a client's next op       (client, -)
@@ -41,9 +43,15 @@ class _Replay:
     """One single-use replay of compact streams (closed- or open-loop)."""
 
     def __init__(self, params: CostParameters,
-                 streams: Sequence[CompactStream]) -> None:
+                 streams: Sequence[CompactStream],
+                 tracer: Optional[SpanTracer] = None) -> None:
         self._params = params
         self._streams = list(streams)
+        #: span sink, or None; every emission site is behind an
+        #: ``is not None`` check so the untraced hot loop stays untouched
+        self._tracer = tracer
+        #: flight id -> submit time of its in-progress RADOS op
+        self._rados_start: Dict[int, float] = {}
         self._cpu = [ServiceQueue(f"client.{i}.cpu")
                      for i in range(len(self._streams))]
         self._net = [ServiceQueue(f"client.{i}.net")
@@ -106,6 +114,12 @@ class _Replay:
         dispatch = self._cpu[client].submit(now, float(stream.trace_cpu_us[t]))
         transfer = self._net[client].submit(dispatch.end_us,
                                             float(stream.trace_net_us[t]))
+        if self._tracer is not None:
+            self._tracer.client_dispatch(client, dispatch.start_us,
+                                         float(stream.trace_cpu_us[t]))
+            self._tracer.client_transfer(client, transfer.start_us,
+                                         float(stream.trace_net_us[t]))
+            self._rados_start[fid] = now
         half_rtt = float(stream.trace_rtt_us[t]) / 2.0
         arrival = transfer.end_us + half_rtt
         vs = int(stream.trace_visit_start[t])
@@ -124,6 +138,12 @@ class _Replay:
         flight = self._flights.pop(fid)
         client, op, issued = flight[0], flight[1], flight[2]
         stream = self._streams[client]
+        if self._tracer is not None:
+            t0 = int(stream.op_trace_start[op])
+            kind = (OP_KINDS[int(stream.trace_kind[t0])]
+                    if t0 < int(stream.op_trace_start[op + 1]) else "noop")
+            self._tracer.client_op(client, kind, issued, now,
+                                   int(stream.op_requests[op]))
         latency = now - issued
         self._op_stats.record(latency)
         requests = int(stream.op_requests[op])
@@ -160,6 +180,10 @@ class _Replay:
                     now, service)
                 ack = job.start_us + max(service,
                                          float(stream.visit_latency_us[a]))
+                if self._tracer is not None:
+                    self._tracer.osd_visit(
+                        int(stream.visit_osd[a]), job.start_us, ack,
+                        OP_KINDS[int(stream.trace_kind[flight[3] - 1])])
                 self._schedule(ack, _ACK, b, 0)
             elif code == _ACK:
                 flight = flights[a]
@@ -176,11 +200,22 @@ class _Replay:
                 stream = streams[flight[0]]
                 job = self.cluster_net.submit(
                     now, float(stream.visit_push_us[a]))
+                if self._tracer is not None:
+                    self._tracer.cluster_push(int(stream.visit_osd[a]),
+                                              job.start_us,
+                                              float(stream.visit_push_us[a]))
                 self._schedule(job.end_us + float(stream.visit_hop_us[a]),
                                _ARRIVE, a, b)
             elif code == _CHAIN:
                 flight = flights[b]
                 stream = streams[flight[0]]
+                if self._tracer is not None:
+                    start = self._rados_start.pop(b, None)
+                    if start is not None:
+                        t = flight[3] - 1
+                        self._tracer.rados_op(
+                            flight[0], OP_KINDS[int(stream.trace_kind[t])],
+                            start, now, int(stream.trace_retries[t]))
                 if flight[3] < int(stream.op_trace_start[flight[1] + 1]):
                     self._run_rados(b, now)
                 else:
@@ -259,17 +294,18 @@ class _Replay:
 
 def replay_closed_loop(params: CostParameters,
                        streams: Sequence[CompactStream],
-                       queue_depth: int) -> EventSimResult:
+                       queue_depth: int,
+                       tracer: Optional[SpanTracer] = None) -> EventSimResult:
     """Closed-loop compact replay (one fresh machine per call)."""
-    return _Replay(params, streams).run_closed(queue_depth)
+    return _Replay(params, streams, tracer).run_closed(queue_depth)
 
 
 def replay_open_loop(params: CostParameters,
                      streams: Sequence[CompactStream],
                      arrivals_us: Sequence[Sequence[float]],
-                     ) -> EventSimResult:
+                     tracer: Optional[SpanTracer] = None) -> EventSimResult:
     """Open-loop compact replay: ops issue at the given timestamps."""
-    return _Replay(params, streams).run_open(arrivals_us)
+    return _Replay(params, streams, tracer).run_open(arrivals_us)
 
 
 def has_serial_chains(streams: Sequence[CompactStream]) -> bool:

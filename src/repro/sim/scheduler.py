@@ -37,6 +37,8 @@ from .events import EventLoop
 from .ledger import ClientOpTrace, OpTrace, OsdVisit
 from .reservoir import CLIENT_RESERVOIR_CAPACITY, LatencyReservoir
 from ..errors import ConfigurationError
+from ..obs.names import KIND_INDEX, OP_KINDS
+from ..obs.spans import SpanTracer
 
 
 class ServiceQueue:
@@ -154,8 +156,12 @@ class _ClientState:
 class ClusterScheduler:
     """Replays per-client op-trace streams against one shared cluster."""
 
-    def __init__(self, params: CostParameters) -> None:
+    def __init__(self, params: CostParameters,
+                 tracer: Optional[SpanTracer] = None) -> None:
         self._params = params
+        #: span sink, or None; emission sites match the compact replay's
+        #: (same sim-clock instants), pinned by the golden span tests
+        self._tracer = tracer
         self.loop = EventLoop()
         self.osd_queues: Dict[int, ServiceQueue] = {}
         self.cluster_net = ServiceQueue("cluster.net")
@@ -175,7 +181,7 @@ class ClusterScheduler:
     # -- op lifecycle ----------------------------------------------------------
 
     def _visit_osd(self, visit: OsdVisit, arrival_us: float,
-                   done: Callable[[float], None]) -> None:
+                   done: Callable[[float], None], kind: str) -> None:
         """Schedule one OSD visit; ``done`` fires at the OSD's local ack."""
         def arrive() -> None:
             job = self._osd_queue(visit.osd_id).submit(self.loop.now,
@@ -183,6 +189,8 @@ class ClusterScheduler:
             # The shard frees after the occupancy, but the acknowledgement
             # waits for the critical path (device latencies included).
             ack = job.start_us + max(visit.service_us, visit.latency_us)
+            if self._tracer is not None:
+                self._tracer.osd_visit(visit.osd_id, job.start_us, ack, kind)
             self.loop.schedule_at(ack, lambda: done(ack))
         self.loop.schedule_at(arrival_us, arrive)
 
@@ -192,6 +200,18 @@ class ClusterScheduler:
         now = self.loop.now
         dispatch = client.cpu.submit(now, trace.client_cpu_us)
         transfer = client.net.submit(dispatch.end_us, trace.client_net_us)
+        if self._tracer is not None:
+            self._tracer.client_dispatch(client.index, dispatch.start_us,
+                                         trace.client_cpu_us)
+            self._tracer.client_transfer(client.index, transfer.start_us,
+                                         trace.client_net_us)
+            inner_done = done
+
+            def done() -> None:
+                self._tracer.rados_op(client.index, trace.kind, now,
+                                      self.loop.now,
+                                      getattr(trace, "retries", 0))
+                inner_done()
         half_rtt = trace.network_us / 2.0
         arrival = transfer.end_us + half_rtt
 
@@ -206,15 +226,18 @@ class ClusterScheduler:
             if len(acks) == pending:
                 self.loop.schedule_at(max(acks) + half_rtt, done)
 
-        self._visit_osd(trace.primary, arrival, osd_done)
+        self._visit_osd(trace.primary, arrival, osd_done, trace.kind)
         for replica in trace.replicas:
             # The primary forwards the payload as soon as the request
             # arrives: one push through the shared backend network, one
             # hop of latency, then the replica's own queue.
             def push(replica: OsdVisit = replica) -> None:
                 job = self.cluster_net.submit(self.loop.now, replica.push_us)
+                if self._tracer is not None:
+                    self._tracer.cluster_push(replica.osd_id, job.start_us,
+                                              replica.push_us)
                 self._visit_osd(replica, job.end_us + replica.hop_us,
-                                osd_done)
+                                osd_done, trace.kind)
             self.loop.schedule_at(arrival, push)
 
     def _run_client_op(self, client: _ClientState, cop: ClientOpTrace,
@@ -223,6 +246,10 @@ class ClusterScheduler:
         traces = cop.traces
 
         def finish() -> None:
+            if self._tracer is not None:
+                kind = traces[0].kind if traces else "noop"
+                self._tracer.client_op(client.index, kind, issued_us,
+                                       self.loop.now, cop.requests)
             latency = self.loop.now - issued_us
             self._op_stats.record(latency)
             per_request = latency / cop.requests
@@ -272,6 +299,13 @@ class ClusterScheduler:
             raise ConfigurationError(
                 "event simulation needs at least one traced operation "
                 "(was ledger.trace_ops enabled during the run?)")
+        unknown = sorted({trace.kind for stream in streams for cop in stream
+                          for trace in cop.traces
+                          if trace.kind not in KIND_INDEX})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown OpTrace kind(s) {unknown}; declared kinds: "
+                f"{list(OP_KINDS)} (repro.obs.names.OP_KINDS)")
         for index, stream in enumerate(streams):
             client = _ClientState(index, stream)
             self._clients.append(client)
@@ -318,7 +352,9 @@ class ClusterScheduler:
 
 def simulate_client_ops(params: CostParameters,
                         streams: Sequence[Sequence[ClientOpTrace]],
-                        queue_depth: int) -> EventSimResult:
+                        queue_depth: int,
+                        tracer: Optional[SpanTracer] = None,
+                        ) -> EventSimResult:
     """Replay ``streams`` closed-loop with the engine ``params`` selects.
 
     ``event_engine="compact"`` (the default) flattens the streams into
@@ -331,18 +367,20 @@ def simulate_client_ops(params: CostParameters,
     """
     engine = getattr(params, "event_engine", "legacy")
     if engine == "legacy":
-        return ClusterScheduler(params).run(streams, queue_depth)
+        return ClusterScheduler(params, tracer).run(streams, queue_depth)
     from .fleet import simulate_closed_loop
-    return simulate_closed_loop(params, streams, queue_depth)
+    return simulate_closed_loop(params, streams, queue_depth, tracer=tracer)
 
 
 def simulate_open_loop(params: CostParameters,
                        streams: Sequence[Sequence[ClientOpTrace]],
                        arrivals_us: Sequence[Sequence[float]],
+                       tracer: Optional[SpanTracer] = None,
                        ) -> EventSimResult:
     """Replay ``streams`` open-loop: op ``j`` of client ``i`` is *issued*
     at ``arrivals_us[i][j]`` regardless of completions (an arrival
     process, not a closed queue-depth loop), so overload shows up as
     unbounded queueing rather than throttled issue."""
     from .fleet import simulate_fleet
-    return simulate_fleet(params, streams, arrivals_us=arrivals_us)
+    return simulate_fleet(params, streams, arrivals_us=arrivals_us,
+                          tracer=tracer)

@@ -85,11 +85,17 @@ class _ClientStream:
 
 
 class ClusterWorkloadRunner:
-    """Runs one workload spec as N concurrent client streams."""
+    """Runs one workload spec as N concurrent client streams.
 
-    def __init__(self, cluster: Cluster) -> None:
+    ``tracer`` records span timelines exactly as in
+    :class:`~repro.workload.runner.WorkloadRunner`; each client stream
+    lands on its own span track.
+    """
+
+    def __init__(self, cluster: Cluster, tracer=None) -> None:
         self._cluster = cluster
         self._model = PerformanceModel(cluster.params)
+        self._tracer = tracer
 
     @property
     def cluster(self) -> Cluster:
@@ -119,15 +125,16 @@ class ClusterWorkloadRunner:
         ledger = self._cluster.ledger
         before = ledger.snapshot()
         events = self.sim_mode == "events"
+        capture = events or self._tracer is not None
         traces_before = len(ledger.client_ops)
-        if events:
+        if capture:
             ledger.trace_ops = True
         streams = [_ClientStream(i, image, spec.for_client(i))
                    for i, image in enumerate(images)]
         try:
             self._interleave(streams)
         finally:
-            if events:
+            if capture:
                 ledger.trace_ops = False
                 ledger.trace_client = 0
                 ledger.discard_open_traces()
@@ -149,10 +156,10 @@ class ClusterWorkloadRunner:
                     arrival_process_for(spec),
                     [len(stream) for stream in per_client])
                 sim = simulate_open_loop(self._cluster.params, per_client,
-                                         arrivals)
+                                         arrivals, tracer=self._tracer)
             else:
                 sim = simulate_client_ops(self._cluster.params, per_client,
-                                          model_depth)
+                                          model_depth, tracer=self._tracer)
             estimate = self._model.estimate_from_events(sim, total_bytes)
             # As in WorkloadRunner: report simulated completion latencies
             # so the samples agree with the estimate's percentiles.
@@ -160,6 +167,13 @@ class ClusterWorkloadRunner:
             per_client_latencies = [list(sample) for sample in
                                     sim.client_request_latencies_us]
         else:
+            if self._tracer is not None:
+                from ..obs.spans import spans_from_client_ops
+                traces = ledger.pop_client_ops(traces_before)
+                for i in range(spec.num_clients):
+                    spans_from_client_ops(
+                        [cop for cop in traces if cop.client == i],
+                        self._tracer, client=i)
             # Without queueing, N independent depth-QD streams look like
             # one stream at depth N*QD to the Little's-law bound.
             estimate = self._model.estimate(

@@ -144,11 +144,19 @@ class BatchedStreamIssuer:
 
 
 class WorkloadRunner:
-    """Runs workload specs against images on one cluster."""
+    """Runs workload specs against images on one cluster.
 
-    def __init__(self, cluster: Cluster) -> None:
+    ``tracer`` (a :class:`repro.obs.SpanTracer`) records the run's span
+    timeline: in events mode the replay emits spans at the exact
+    sim-clock instants that produce the reported latencies; in analytic
+    mode the sealed traces are laid out on the serial contention-free
+    timeline the closed-form bound assumes.
+    """
+
+    def __init__(self, cluster: Cluster, tracer=None) -> None:
         self._cluster = cluster
         self._model = PerformanceModel(cluster.params)
+        self._tracer = tracer
 
     @property
     def cluster(self) -> Cluster:
@@ -179,8 +187,9 @@ class WorkloadRunner:
         latencies: List[float] = []
         total_bytes = 0
         events = self.sim_mode == "events"
+        capture = events or self._tracer is not None
         traces_before = len(ledger.client_ops)
-        if events:
+        if capture:
             ledger.trace_ops = True
         try:
             if spec.batched:
@@ -203,7 +212,7 @@ class WorkloadRunner:
                 # final client-visible operation (like fio's end_fsync).
                 finish_cache_flush(ledger, io_image, latencies)
         finally:
-            if events:
+            if capture:
                 ledger.trace_ops = False
                 ledger.discard_open_traces()
 
@@ -221,16 +230,20 @@ class WorkloadRunner:
                 arrivals = arrival_schedule(arrival_process_for(spec),
                                             [len(stream)])
                 sim = simulate_open_loop(self._cluster.params, [stream],
-                                         arrivals)
+                                         arrivals, tracer=self._tracer)
             else:
                 sim = simulate_client_ops(self._cluster.params, [stream],
-                                          model_depth)
+                                          model_depth, tracer=self._tracer)
             estimate = self._model.estimate_from_events(sim, total_bytes)
             # Report the simulated completion latencies (queue waiting
             # included) so latencies_us agrees with the percentiles the
             # estimate carries, instead of the queueing-free receipts.
             latencies = list(sim.request_latencies_us)
         else:
+            if self._tracer is not None:
+                from ..obs.spans import spans_from_client_ops
+                spans_from_client_ops(ledger.pop_client_ops(traces_before),
+                                      self._tracer, client=0)
             estimate = self._model.estimate(delta, total_bytes, model_depth,
                                             latencies_us=latencies)
         layout = layout_name or self._layout_of(image)

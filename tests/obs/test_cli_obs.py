@@ -1,0 +1,110 @@
+"""CLI observability flags: --metrics-out / --trace-out on every command."""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+from check_prom_exposition import validate_exposition  # noqa: E402
+
+
+def load_trace(path):
+    doc = json.loads(Path(path).read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert spans and meta
+    return doc, spans
+
+
+class TestSweepObservability:
+    def test_sweep_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "run.json"
+        prom = tmp_path / "metrics.prom"
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "luks-baseline,object-end",
+                     "--image-size", "16M", "--bytes-per-point", "512K",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "ui.perfetto.dev" in out
+        assert "Metrics drill-down" in out
+        doc, spans = load_trace(trace)
+        # sweep points namespace their span processes: layout/io_size/...
+        processes = {e["args"]["name"] for e in doc["traceEvents"]
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        assert any(p.startswith("object-end/16.0KiB/") for p in processes)
+        assert any(p.startswith("luks-baseline/16.0KiB/") for p in processes)
+        assert validate_exposition(prom.read_text()) > 0
+        text = prom.read_text()
+        assert 'layout="object-end"' in text
+        assert "repro_sweep_bandwidth_mibps" in text
+
+    def test_sweep_events_mode_traces(self, tmp_path):
+        trace = tmp_path / "run.json"
+        assert main(["sweep", "--kind", "write", "--sizes", "16K",
+                     "--layouts", "object-end", "--image-size", "16M",
+                     "--bytes-per-point", "512K", "--sim-mode", "events",
+                     "--trace-out", str(trace)]) == 0
+        _, spans = load_trace(trace)
+        cats = {e["cat"] for e in spans}
+        assert {"client", "osd", "rados", "op"} <= cats
+
+
+class TestFleetObservability:
+    def test_fleet_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "fleet.json"
+        prom = tmp_path / "fleet.prom"
+        assert main(["fleet", "--num-clients", "4", "--ops-per-client", "20",
+                     "--osds", "8", "--template-ops", "8",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(prom)]) == 0
+        _, spans = load_trace(trace)
+        assert {"dispatch", "xfer"} <= {e["name"] for e in spans}
+        text = prom.read_text()
+        assert validate_exposition(text) > 0
+        assert "repro_sim_elapsed_us" in text
+        assert "repro_request_latency_us_bucket" in text
+        # the tracer forces the exact single-shard engine
+        assert 'engine="compact"' in text
+
+    def test_fleet_metrics_without_trace_keeps_vectorized_engine(
+            self, tmp_path):
+        prom = tmp_path / "fleet.prom"
+        assert main(["fleet", "--num-clients", "4", "--ops-per-client", "20",
+                     "--osds", "8", "--template-ops", "8",
+                     "--metrics-out", str(prom)]) == 0
+        assert 'engine="vectorized"' in prom.read_text()
+
+
+class TestDrillAndCrashObservability:
+    def test_failure_drill_trace_has_recovery_tracks(self, tmp_path):
+        trace = tmp_path / "drill.json"
+        prom = tmp_path / "drill.prom"
+        assert main(["failure-drill", "--fault-stage",
+                     "kill-primary-mid-txn", "--fault-seed", "12345",
+                     "--osds", "24", "--image-size", "1M",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(prom)]) == 0
+        doc, spans = load_trace(trace)
+        names = {e["name"] for e in spans}
+        assert "backfill" in names            # recovery storm is traced
+        processes = {e["args"]["name"] for e in doc["traceEvents"]
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        assert any(p.startswith("kill-primary-mid-txn/")
+                   for p in processes)
+        text = prom.read_text()
+        assert validate_exposition(text) > 0
+        assert 'stage="kill-primary-mid-txn"' in text
+        assert "repro_recovery_objects_pushed_total" in text
+
+    def test_crash_writes_stage_labelled_metrics(self, tmp_path):
+        prom = tmp_path / "crash.prom"
+        assert main(["crash", "--fault-stage", "mid-drain",
+                     "--fault-seed", "7", "--io-count", "8",
+                     "--metrics-out", str(prom)]) == 0
+        text = prom.read_text()
+        assert validate_exposition(text) > 0
+        assert 'stage="mid-drain"' in text

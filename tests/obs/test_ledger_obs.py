@@ -1,0 +1,67 @@
+"""Ledger regressions introduced by the observability work.
+
+The counter store is a plain dict (reads are non-mutating — the old
+defaultdict grew a zero-valued key on every ``counters[name]`` lookup,
+polluting snapshots and exports), and configuration misuse raises
+:class:`~repro.errors.ConfigurationError` rather than a bare ValueError.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.ledger import CostLedger, OpReceipt
+
+
+class TestPlainDictCounters:
+    def test_counters_is_a_plain_dict(self):
+        assert type(CostLedger().counters) is dict
+
+    def test_reading_an_absent_counter_does_not_create_it(self):
+        ledger = CostLedger()
+        assert ledger.counter("cache.read_hits") == 0.0
+        with pytest.raises(KeyError):
+            ledger.counters["cache.read_hits"]
+        assert ledger.counters == {}
+
+    def test_snapshot_key_set_unpolluted_by_reads(self):
+        ledger = CostLedger()
+        ledger.count("crypto.blocks", 8)
+        ledger.counter("rados.write_ops")          # read of an absent key
+        ledger.counter("cache.read_misses")        # another one
+        snapshot = ledger.snapshot()
+        assert set(snapshot.counters) == {"crypto.blocks"}
+
+    def test_diff_key_set_is_union_of_written_keys_only(self):
+        ledger = CostLedger()
+        ledger.count("crypto.blocks", 8)
+        before = ledger.snapshot()
+        ledger.count("rados.write_ops", 2)
+        ledger.counter("pwl.appends")              # absent-key read
+        delta = ledger.diff(before)
+        assert set(delta.counters) == {"crypto.blocks", "rados.write_ops"}
+        assert delta.counters["crypto.blocks"] == 0.0
+        assert delta.counters["rados.write_ops"] == 2.0
+
+    def test_items_iterates_sorted(self):
+        ledger = CostLedger()
+        ledger.count("z.last")
+        ledger.count("a.first")
+        assert [name for name, _ in ledger.items()] == ["a.first", "z.last"]
+
+
+class TestConfigurationErrors:
+    def test_negative_busy_time_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            CostLedger().busy("client.cpu", -1.0)
+
+    def test_non_positive_ops_raises_configuration_error(self):
+        ledger = CostLedger()
+        with pytest.raises(ConfigurationError, match="positive"):
+            ledger.finish_op(OpReceipt(latency_us=1.0), ops=0)
+        with pytest.raises(ConfigurationError, match="positive"):
+            ledger.finish_op(OpReceipt(latency_us=1.0), ops=-3)
+
+    def test_configuration_error_is_catchable_as_repro_error(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            CostLedger().busy("x", -1.0)

@@ -1,0 +1,103 @@
+"""Semantics of the typed, label-aware metrics registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import LATENCY_BUCKETS_US, HistogramData, MetricsRegistry
+
+
+class TestFamilies:
+    def test_counter_inc_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        family = registry.counter("rados.write_ops", "writes")
+        family.labels(client="0").inc(3)
+        family.labels(client="0").inc(2)
+        family.labels(client="1").inc()
+        values = {labels: value for labels, value in family.series()}
+        assert values[(("client", "0"),)] == 5.0
+        assert values[(("client", "1"),)] == 1.0
+
+    def test_label_order_does_not_create_new_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c")
+        family.labels(a="1", b="2").inc()
+        family.labels(b="2", a="1").inc()
+        assert len(list(family.series())) == 1
+
+    def test_registering_same_name_same_kind_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_registering_same_name_different_kind_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("c")
+
+    def test_collect_is_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("zz")
+        registry.counter("aa")
+        registry.histogram("mm")
+        assert [f.name for f in registry.collect()] == ["aa", "mm", "zz"]
+
+    def test_get_unknown_is_none(self):
+        assert MetricsRegistry().get("nope") is None
+
+
+class TestTypeDiscipline:
+    def test_counter_rejects_decrease(self):
+        registry = MetricsRegistry()
+        series = registry.counter("c").labels()
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            series.inc(-1)
+
+    def test_counter_rejects_set(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="not a gauge"):
+            registry.counter("c").labels().set(1.0)
+
+    def test_gauge_rejects_inc_and_observe(self):
+        registry = MetricsRegistry()
+        series = registry.gauge("g").labels()
+        with pytest.raises(ConfigurationError, match="not a counter"):
+            series.inc()
+        with pytest.raises(ConfigurationError, match="not a histogram"):
+            series.observe(1.0)
+
+    def test_gauge_set_overwrites(self):
+        registry = MetricsRegistry()
+        series = registry.gauge("g").labels(queue="osd.0")
+        series.set(10.0)
+        series.set(4.0)
+        assert series.value == 4.0
+
+
+class TestHistogram:
+    def test_default_bounds_are_log_spaced_microseconds(self):
+        assert LATENCY_BUCKETS_US[0] == 1.0
+        assert LATENCY_BUCKETS_US[-1] == 2.0 ** 24
+        ratios = {b / a for a, b in zip(LATENCY_BUCKETS_US,
+                                        LATENCY_BUCKETS_US[1:])}
+        assert ratios == {2.0}
+
+    def test_observations_land_in_correct_buckets(self):
+        registry = MetricsRegistry()
+        series = registry.histogram("h", bounds=(1.0, 10.0, 100.0)).labels()
+        for value in (0.5, 1.0, 7.0, 100.0, 1000.0):
+            series.observe(value)
+        data = series.value
+        assert isinstance(data, HistogramData)
+        # (-inf,1], (1,10], (10,100], (100,+inf)
+        assert data.counts == [2, 1, 1, 1]
+        assert data.count == 5
+        assert data.sum == pytest.approx(1108.5)
+
+    def test_weighted_observation(self):
+        registry = MetricsRegistry()
+        series = registry.histogram("h", bounds=(10.0,)).labels()
+        series.observe(4.0, weight=3)
+        data = series.value
+        assert data.counts == [3, 0]
+        assert data.count == 3
+        assert data.sum == pytest.approx(12.0)

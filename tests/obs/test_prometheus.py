@@ -1,0 +1,141 @@
+"""The Prometheus text exposition: format contract and validator gate."""
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (MetricsRegistry, registry_from_counters,
+                       registry_from_ledger, to_prometheus, write_prometheus)
+from repro.obs.names import COUNTERS
+from repro.sim.ledger import CostLedger, OpReceipt
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+from check_prom_exposition import (ExpositionError,  # noqa: E402
+                                   validate_exposition)
+
+SAMPLE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$")
+
+
+def small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("rados.write_ops", "writes issued")
+    counter.labels(client="0").inc(7)
+    counter.labels(client="1").inc(3)
+    registry.gauge("sim_elapsed_us", "elapsed").labels(engine="compact") \
+        .set(1234.5)
+    hist = registry.histogram("request_latency_us", "latency",
+                              bounds=(1.0, 2.0, 4.0))
+    series = hist.labels(kind="write")
+    for value in (0.5, 1.5, 3.0, 100.0):
+        series.observe(value)
+    return registry
+
+
+class TestExposition:
+    def test_every_line_is_comment_or_sample(self):
+        for line in to_prometheus(small_registry()).splitlines():
+            assert line.startswith("#") or SAMPLE.match(line), line
+
+    def test_prefix_and_counter_total_suffix(self):
+        text = to_prometheus(small_registry())
+        assert "# TYPE repro_rados_write_ops_total counter" in text
+        assert 'repro_rados_write_ops_total{client="0"} 7' in text
+        # every sample carries the repro_ prefix
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert line.startswith("repro_"), line
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = to_prometheus(small_registry())
+        buckets = [line for line in text.splitlines()
+                   if line.startswith("repro_request_latency_us_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in buckets[-1]
+        assert counts[-1] == 4
+        count_line = [line for line in text.splitlines()
+                      if line.startswith("repro_request_latency_us_count")]
+        assert count_line[0].endswith(" 4")
+
+    def test_no_duplicate_series(self):
+        text = to_prometheus(small_registry())
+        samples = [line for line in text.splitlines()
+                   if not line.startswith("#")]
+        keys = [line.rsplit(" ", 1)[0] for line in samples]
+        assert len(keys) == len(set(keys))
+
+    def test_validator_accepts_exporter_output(self):
+        assert validate_exposition(to_prometheus(small_registry())) > 0
+
+    def test_write_prometheus_roundtrip(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(str(path), small_registry())
+        assert validate_exposition(path.read_text()) > 0
+
+
+class TestRegistryBuilders:
+    def test_registry_from_counters_attaches_labels(self):
+        registry = registry_from_counters(
+            {"rados.write_ops": 5.0, "crypto.blocks": 9.0},
+            layout="object-end")
+        family = registry.get("rados.write_ops")
+        values = dict(family.series())
+        assert values[(("layout", "object-end"),)] == 5.0
+        # declared names pick up their registered help strings
+        assert family.help == COUNTERS["rados.write_ops"]
+
+    def test_registry_from_counters_merges_into_existing(self):
+        registry = registry_from_counters({"crypto.blocks": 1.0}, client="0")
+        registry_from_counters({"crypto.blocks": 2.0}, registry, client="1")
+        assert len(list(registry.get("crypto.blocks").series())) == 2
+
+    def test_registry_from_ledger_includes_busy_and_op_gauges(self):
+        ledger = CostLedger()
+        ledger.count("crypto.blocks", 4)
+        ledger.busy("client.cpu", 12.5)
+        ledger.finish_op(OpReceipt(latency_us=100.0))
+        registry = registry_from_ledger(ledger)
+        busy = dict(registry.get("resource_busy_us").series())
+        assert busy[(("resource", "client.cpu"),)] == 12.5
+        ops = dict(registry.get("ops_finished").series())
+        assert ops[()] == 1.0
+        text = to_prometheus(registry)
+        assert validate_exposition(text) > 0
+
+
+class TestValidatorRejects:
+    def test_duplicate_series(self):
+        text = ("# HELP repro_x_total x\n# TYPE repro_x_total counter\n"
+                "repro_x_total 1\nrepro_x_total 2\n")
+        with pytest.raises(ExpositionError, match="duplicate series"):
+            validate_exposition(text)
+
+    def test_counter_without_total_suffix(self):
+        text = "# HELP repro_x x\n# TYPE repro_x counter\nrepro_x 1\n"
+        with pytest.raises(ExpositionError, match="_total"):
+            validate_exposition(text)
+
+    def test_sample_without_type(self):
+        with pytest.raises(ExpositionError, match="no # TYPE"):
+            validate_exposition("repro_x 1\n")
+
+    def test_unparseable_sample(self):
+        text = ("# HELP repro_x x\n# TYPE repro_x gauge\n"
+                "repro_x{unterminated 1\n")
+        with pytest.raises(ExpositionError):
+            validate_exposition(text)
+
+    def test_non_numeric_value(self):
+        text = "# HELP repro_x x\n# TYPE repro_x gauge\nrepro_x NaNopes\n"
+        with pytest.raises(ExpositionError, match="non-numeric"):
+            validate_exposition(text)
+
+    def test_decreasing_histogram_buckets(self):
+        text = ("# HELP repro_h h\n# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="1"} 5\n'
+                'repro_h_bucket{le="+Inf"} 3\n'
+                "repro_h_sum 1\nrepro_h_count 3\n")
+        with pytest.raises(ExpositionError, match="decrease"):
+            validate_exposition(text)

@@ -1,0 +1,115 @@
+"""Span tracer semantics and the Chrome-trace / JSONL exporters."""
+
+import json
+
+from repro.obs import (SpanTracer, span_sort_key, to_chrome_trace,
+                       to_op_log_jsonl, write_chrome_trace,
+                       write_op_log_jsonl)
+
+
+def tiny_timeline() -> SpanTracer:
+    tracer = SpanTracer()
+    tracer.client_dispatch(0, 0.0, 5.0)
+    tracer.client_transfer(0, 5.0, 4.0)
+    tracer.osd_visit(3, 12.0, 30.0, "write")
+    tracer.cluster_push(7, 12.0, 3.0)
+    tracer.rados_op(0, "write", 0.0, 33.0, retries=2)
+    tracer.client_op(0, "write", 0.0, 33.0, requests=1)
+    return tracer
+
+
+class TestTracer:
+    def test_helpers_land_on_the_documented_tracks(self):
+        tracks = {(s.process, s.thread, s.name)
+                  for s in tiny_timeline().spans}
+        assert tracks == {
+            ("client 0", "cpu", "dispatch"),
+            ("client 0", "net", "xfer"),
+            ("osd", "osd.3", "write"),
+            ("net", "cluster.net", "push osd.7"),
+            ("client 0", "rados", "write"),
+            ("client 0", "ops", "write"),
+        }
+
+    def test_retries_and_requests_ride_in_args(self):
+        spans = {s.thread: s for s in tiny_timeline().spans}
+        assert spans["rados"].args == {"retries": 2}
+        assert spans["ops"].args == {"requests": 1}
+
+    def test_zero_retries_args_stay_empty(self):
+        tracer = SpanTracer()
+        tracer.rados_op(0, "read", 0.0, 1.0, retries=0)
+        assert tracer.spans[0].args == {}
+
+    def test_cap_drops_and_counts(self):
+        tracer = SpanTracer(max_spans=2)
+        for i in range(5):
+            tracer.client_dispatch(0, float(i), 1.0)
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_begin_process_namespaces_subsequent_spans(self):
+        tracer = SpanTracer()
+        tracer.client_dispatch(0, 0.0, 1.0)
+        tracer.begin_process("object-end/4096")
+        tracer.client_dispatch(0, 2.0, 1.0)
+        assert tracer.spans[0].process == "client 0"
+        assert tracer.spans[1].process == "object-end/4096/client 0"
+
+
+class TestChromeTrace:
+    def test_metadata_names_every_process_and_thread(self):
+        doc = to_chrome_trace(tiny_timeline())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "client 0") in names
+        assert ("process_name", "osd") in names
+        assert ("thread_name", "osd.3") in names
+        assert ("thread_name", "cluster.net") in names
+
+    def test_pid_tid_assignment_is_deterministic(self):
+        one = to_chrome_trace(tiny_timeline())
+        two = to_chrome_trace(tiny_timeline())
+        assert one == two
+        # pids follow sorted process-name order starting at 1
+        pids = {e["args"]["name"]: e["pid"]
+                for e in one["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        assert pids == {name: i + 1
+                        for i, name in enumerate(sorted(pids))}
+
+    def test_complete_events_carry_sim_clock_times(self):
+        doc = to_chrome_trace(tiny_timeline())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 6
+        visit = [e for e in events if e["cat"] == "osd"][0]
+        assert visit["ts"] == 12.0 and visit["dur"] == 18.0
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tiny_timeline())
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestOpLog:
+    def test_one_json_object_per_span_sorted(self, tmp_path):
+        tracer = tiny_timeline()
+        text = to_op_log_jsonl(tracer)
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == len(tracer.spans)
+        tracks = [r["track"] for r in records]
+        assert tracks == sorted(tracks)
+        path = tmp_path / "ops.jsonl"
+        write_op_log_jsonl(str(path), tracer)
+        assert path.read_text() == text
+
+    def test_empty_tracer_renders_empty(self):
+        assert to_op_log_jsonl(SpanTracer()) == ""
+
+    def test_sort_key_orders_by_track_then_time(self):
+        tracer = tiny_timeline()
+        ordered = sorted(tracer.spans, key=span_sort_key)
+        keys = [(s.process, s.thread, s.start_us) for s in ordered]
+        assert keys == sorted(keys)

@@ -76,7 +76,7 @@ class TestLedger:
         ledger.busy(RES_OSD_CPU, 5)
         ledger.busy(RES_OSD_CPU, 7)
         assert ledger.resource(RES_OSD_CPU) == 12
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ledger.busy(RES_OSD_CPU, -1)
 
     def test_finish_op_tracks_latency(self):

@@ -1,0 +1,110 @@
+"""Unit tests for the Prometheus exposition validator (CI obs-smoke gate)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from check_prom_exposition import (ExpositionError,  # noqa: E402
+                                   validate_exposition, main)
+
+VALID = """\
+# HELP repro_crypto_blocks_total blocks encrypted
+# TYPE repro_crypto_blocks_total counter
+repro_crypto_blocks_total{client="0"} 128
+repro_crypto_blocks_total{client="1"} 64
+# HELP repro_sim_elapsed_us elapsed
+# TYPE repro_sim_elapsed_us gauge
+repro_sim_elapsed_us{engine="compact"} 1234.5
+# HELP repro_request_latency_us latency
+# TYPE repro_request_latency_us histogram
+repro_request_latency_us_bucket{le="1"} 1
+repro_request_latency_us_bucket{le="2"} 3
+repro_request_latency_us_bucket{le="+Inf"} 4
+repro_request_latency_us_sum 10.5
+repro_request_latency_us_count 4
+"""
+
+
+class TestValidate:
+    def test_valid_document_counts_samples(self):
+        assert validate_exposition(VALID) == 8
+
+    def test_empty_document_is_valid(self):
+        assert validate_exposition("") == 0
+
+    def test_blank_lines_are_ignored(self):
+        assert validate_exposition("\n\n" + VALID + "\n") == 8
+
+    def test_help_must_precede_type(self):
+        text = "# TYPE repro_x gauge\n# HELP repro_x x\nrepro_x 1\n"
+        with pytest.raises(ExpositionError, match="precedes HELP"):
+            validate_exposition(text)
+
+    def test_duplicate_type_rejected(self):
+        text = ("# HELP repro_x x\n# TYPE repro_x gauge\n"
+                "# TYPE repro_x gauge\nrepro_x 1\n")
+        with pytest.raises(ExpositionError, match="duplicate TYPE"):
+            validate_exposition(text)
+
+    def test_unknown_type_rejected(self):
+        text = "# HELP repro_x x\n# TYPE repro_x summary\nrepro_x 1\n"
+        with pytest.raises(ExpositionError, match="malformed TYPE"):
+            validate_exposition(text)
+
+    def test_bad_label_name_rejected(self):
+        text = ('# HELP repro_x x\n# TYPE repro_x gauge\n'
+                'repro_x{0bad="v"} 1\n')
+        with pytest.raises(ExpositionError, match="bad label"):
+            validate_exposition(text)
+
+    def test_duplicate_series_across_label_order(self):
+        # same label set must be rejected even if the line repeats verbatim
+        text = ("# HELP repro_x x\n# TYPE repro_x gauge\n"
+                'repro_x{a="1"} 1\nrepro_x{a="1"} 2\n')
+        with pytest.raises(ExpositionError, match="duplicate series"):
+            validate_exposition(text)
+
+    def test_histogram_inf_bucket_must_equal_count(self):
+        text = ("# HELP repro_h h\n# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="+Inf"} 4\n'
+                "repro_h_sum 1\nrepro_h_count 5\n")
+        with pytest.raises(ExpositionError, match="!= _count"):
+            validate_exposition(text)
+
+    def test_histogram_missing_count_rejected(self):
+        text = ("# HELP repro_h h\n# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="+Inf"} 4\nrepro_h_sum 1\n')
+        with pytest.raises(ExpositionError, match="missing _count"):
+            validate_exposition(text)
+
+    def test_negative_counter_rejected(self):
+        text = ("# HELP repro_x_total x\n# TYPE repro_x_total counter\n"
+                "repro_x_total -1\n")
+        with pytest.raises(ExpositionError, match="negative counter"):
+            validate_exposition(text)
+
+
+class TestCli:
+    def test_main_ok_and_fail_paths(self, tmp_path, capsys):
+        good = tmp_path / "good.prom"
+        good.write_text(VALID)
+        bad = tmp_path / "bad.prom"
+        bad.write_text("repro_x 1\n")
+        assert main([str(good)]) == 0
+        assert "8 samples valid" in capsys.readouterr().out
+        assert main([str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tool_runs_as_a_script(self, tmp_path):
+        good = tmp_path / "good.prom"
+        good.write_text(VALID)
+        proc = subprocess.run(
+            [sys.executable, str(TOOLS / "check_prom_exposition.py"),
+             str(good)], capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+        assert "samples valid" in proc.stdout

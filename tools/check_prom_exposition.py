@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition file (the CI obs-smoke gate).
+
+Checks the subset of the exposition format the exporter
+(:func:`repro.obs.export.to_prometheus`) promises:
+
+* every non-comment line parses as ``name{labels} value`` with a legal
+  metric name, legal label names and float-parseable value;
+* every sample is preceded by matching ``# HELP`` / ``# TYPE`` comments
+  (one pair per family, TYPE one of counter/gauge/histogram);
+* counters are suffixed ``_total``; histograms expose ``_bucket`` series
+  with cumulative, monotonically non-decreasing counts ending in a
+  ``le="+Inf"`` bucket that equals ``_count``;
+* no duplicate series: a (name, label set) pair may appear at most once.
+
+Stdlib only, importable (``tests/tools/test_check_prom_exposition.py``).
+
+Usage::
+
+    python tools/check_prom_exposition.py metrics.prom [more.prom ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Dict, List, Tuple
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_PAIR = re.compile(r'^(?P<key>[^=]+)="(?P<value>[^"]*)"$')
+TYPES = ("counter", "gauge", "histogram")
+#: histogram sample suffixes that attach to a ``# TYPE ... histogram``
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class ExpositionError(AssertionError):
+    """A line of the exposition violated the format contract."""
+
+
+def _parse_labels(body: str, line_no: int) -> Tuple[Tuple[str, str], ...]:
+    if not body:
+        return ()
+    pairs = []
+    for chunk in body.split(","):
+        match = LABEL_PAIR.match(chunk)
+        if match is None:
+            raise ExpositionError(f"line {line_no}: bad label pair {chunk!r}")
+        key = match.group("key")
+        if not LABEL_NAME.match(key):
+            raise ExpositionError(f"line {line_no}: bad label name {key!r}")
+        pairs.append((key, match.group("value")))
+    return tuple(pairs)
+
+
+def _family_of(name: str, types: Dict[str, str]) -> str:
+    """Resolve a sample name to its declared family name."""
+    if name in types:
+        return name
+    for suffix in HIST_SUFFIXES:
+        base = name[:-len(suffix)] if name.endswith(suffix) else None
+        if base and types.get(base) == "histogram":
+            return base
+    raise ExpositionError(f"sample {name!r} has no # TYPE declaration")
+
+
+def validate_exposition(text: str) -> int:
+    """Validate one exposition document; returns the number of samples."""
+    types: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    seen: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+    buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], List[float]] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    samples = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not METRIC_NAME.match(parts[2]):
+                raise ExpositionError(f"line {line_no}: malformed HELP line")
+            if parts[2] in helped:
+                raise ExpositionError(
+                    f"line {line_no}: duplicate HELP for {parts[2]}")
+            helped[parts[2]] = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                raise ExpositionError(f"line {line_no}: malformed TYPE line")
+            if parts[2] in types:
+                raise ExpositionError(
+                    f"line {line_no}: duplicate TYPE for {parts[2]}")
+            if parts[2] not in helped:
+                raise ExpositionError(
+                    f"line {line_no}: TYPE for {parts[2]} precedes HELP")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE_LINE.match(line)
+        if match is None:
+            raise ExpositionError(f"line {line_no}: unparseable sample "
+                                  f"{line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line_no)
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ExpositionError(
+                f"line {line_no}: non-numeric value {raw!r}") from None
+        family = _family_of(name, types)
+        if types[family] == "counter":
+            if not family.endswith("_total"):
+                raise ExpositionError(
+                    f"counter {family!r} is not suffixed _total")
+            if value < 0:
+                raise ExpositionError(
+                    f"line {line_no}: negative counter value {value}")
+        key = (name, labels)
+        if key in seen:
+            raise ExpositionError(
+                f"line {line_no}: duplicate series {name}"
+                f"{dict(labels)} (first at line {seen[key]})")
+        seen[key] = line_no
+        samples += 1
+        if name == family + "_bucket" and types[family] == "histogram":
+            rest = tuple(pair for pair in labels if pair[0] != "le")
+            buckets.setdefault((family, rest), []).append(value)
+        if name == family + "_count" and types[family] == "histogram":
+            counts[(family, labels)] = value
+    for (family, rest), series in sorted(buckets.items()):
+        for lower, upper in zip(series, series[1:]):
+            if upper < lower:
+                raise ExpositionError(
+                    f"histogram {family}{dict(rest)}: bucket counts "
+                    f"decrease ({lower} -> {upper})")
+        total = counts.get((family, rest))
+        if total is None:
+            raise ExpositionError(
+                f"histogram {family}{dict(rest)}: missing _count series")
+        if series[-1] != total:
+            raise ExpositionError(
+                f"histogram {family}{dict(rest)}: +Inf bucket "
+                f"{series[-1]} != _count {total}")
+    return samples
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="Prometheus text exposition files to validate")
+    args = parser.parse_args(argv)
+    for path in args.paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            samples = validate_exposition(text)
+        except ExpositionError as exc:
+            print(f"FAIL {path}: {exc}")
+            return 1
+        print(f"ok {path}: {samples} samples valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
